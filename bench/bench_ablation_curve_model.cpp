@@ -1,0 +1,75 @@
+// Ablation: why the generator uses the two-segment (kinked) curve family
+// rather than the quadratic one (DESIGN.md §3). The quadratic model couples
+// EP to the peak-EE location — whole (EP, peak-spot) combinations the
+// published data contains are infeasible for it — while the two-segment
+// family covers all of them and hits EP targets exactly under the
+// ten-trapezoid discretisation.
+#include "common.h"
+
+#include <cmath>
+
+#include "metrics/curve_models.h"
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Ablation — curve model family",
+                      "two-segment vs quadratic on (EP, peak spot) targets");
+
+  // Representative (EP, peak-EE spot) targets drawn from the population's
+  // calibration anchors.
+  struct Target {
+    double ep;
+    double spot;
+  };
+  const std::vector<Target> targets = {
+      {0.18, 1.0}, {0.37, 1.0}, {0.56, 1.0}, {0.75, 1.0}, {0.75, 0.8},
+      {0.85, 0.8}, {0.85, 0.7}, {0.90, 0.7}, {0.95, 0.6}, {1.05, 0.6}};
+
+  TextTable table;
+  table.columns({"EP target", "peak spot", "two-segment", "quadratic"});
+  int two_seg_hits = 0;
+  int quad_hits = 0;
+  for (const auto& target : targets) {
+    // Two-segment: search the idle window documented in the generator.
+    std::string two_seg = "infeasible";
+    for (double idle = 0.04; idle <= 0.9; idle += 0.01) {
+      const double tau = target.spot < 1.0 ? target.spot : 0.5;
+      auto model = metrics::TwoSegmentPowerModel::solve(target.ep, idle, tau);
+      if (!model.ok() || !model.value().monotone()) continue;
+      const auto curve = metrics::to_power_curve(model.value(), 200.0, 1e6);
+      if (std::abs(metrics::energy_proportionality(curve) - target.ep) < 1e-9 &&
+          metrics::peak_ee_utilization(curve) == target.spot) {
+        two_seg = "exact (idle " + format_percent(idle, 0) + ")";
+        ++two_seg_hits;
+        break;
+      }
+    }
+    // Quadratic: EP pins b given idle; the peak spot is then forced.
+    std::string quad = "infeasible";
+    for (double idle = 0.04; idle <= 0.9; idle += 0.01) {
+      const auto model =
+          metrics::QuadraticPowerModel::from_ep_and_idle(target.ep, idle);
+      if (!model.monotone()) continue;
+      const double spot = model.peak_ee_utilization();
+      const double snapped = spot >= 0.95 ? 1.0 : std::round(spot * 10.0) / 10.0;
+      if (std::abs(snapped - target.spot) < 1e-9) {
+        quad = "feasible (idle " + format_percent(idle, 0) + ")";
+        ++quad_hits;
+        break;
+      }
+    }
+    table.row({format_fixed(target.ep, 2), format_percent(target.spot, 0),
+               two_seg, quad});
+  }
+  std::cout << table.render();
+  std::cout << "\ntwo-segment: " << two_seg_hits << "/" << targets.size()
+            << " targets hit exactly; quadratic: " << quad_hits << "/"
+            << targets.size()
+            << " reachable.\nThe quadratic family ties the spot to "
+               "sqrt(idle/b), so low-EP interior peaks are\nimpossible — the "
+               "published population contains them (e.g. EP 0.75 peaking at "
+               "80%).\n";
+  return 0;
+}

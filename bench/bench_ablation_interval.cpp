@@ -1,0 +1,59 @@
+// Ablation: measurement-interval length in the SPECpower simulator. Short
+// intervals are fast but noisy; this sweep shows how the calibrated rate,
+// overall EE, and measured EP converge as the interval grows — justifying
+// the 8-30 s settings used across the test and bench suites.
+#include "common.h"
+
+#include "metrics/proportionality.h"
+#include "specpower/simulator.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Ablation — simulator measurement interval",
+                      "convergence of one server's results vs interval length");
+
+  power::ServerPowerModel::Config config;
+  config.cpu.tdp_watts = 85.0;
+  config.cpu.cores = 6;
+  config.cpu.min_freq_ghz = 1.2;
+  config.cpu.max_freq_ghz = 2.4;
+  config.sockets = 2;
+  config.dram.dimm_count = 8;
+  config.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  auto server = power::ServerPowerModel::create(config);
+  if (!server.ok()) return 1;
+  specpower::ThroughputModel::Params tparams;
+  tparams.total_cores = 12;
+  auto throughput = specpower::ThroughputModel::create(tparams);
+  if (!throughput.ok()) return 1;
+  const power::OndemandGovernor governor(0.8);
+
+  TextTable table;
+  table.columns({"interval (s)", "calibrated ops/s", "overall EE", "EP",
+                 "sojourn@90% (ms)"});
+  for (const double seconds : {2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    specpower::SimConfig sim_config;
+    sim_config.interval_seconds = seconds;
+    sim_config.calibration_seconds = seconds;
+    sim_config.seed = 33;
+    const specpower::SpecPowerSimulator sim(server.value(), throughput.value(),
+                                            governor, sim_config);
+    auto run = sim.run(4.0);
+    if (!run.ok()) return 1;
+    auto curve = run.value().to_power_curve();
+    if (!curve.ok()) return 1;
+    table.row({format_fixed(seconds, 0),
+               format_fixed(run.value().calibrated_max_ops_per_sec, 0),
+               format_fixed(metrics::overall_score(curve.value()), 1),
+               format_fixed(
+                   metrics::energy_proportionality(curve.value()), 3),
+               format_fixed(
+                   run.value().levels[8].avg_sojourn_seconds * 1000.0, 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nresults stabilise by ~10 s intervals; the real benchmark's "
+               "240 s intervals buy\nprecision this simulation does not "
+               "need (its only noise sources are the Poisson\narrivals and "
+               "the simulated power meter).\n";
+  return 0;
+}

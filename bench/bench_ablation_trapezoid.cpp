@@ -1,0 +1,71 @@
+// Ablation: accuracy of the paper's ten-trapezoid Eq.1 approximation versus
+// fine numerical integration, across curve shapes. For piecewise-linear
+// curves with the kink on a measured level the approximation is exact; for
+// smooth (quadratic) curves the error stays under a fraction of a percent —
+// justifying the paper's (and this library's) use of the coarse rule.
+#include "common.h"
+
+#include <cmath>
+
+#include "metrics/curve_models.h"
+#include "metrics/proportionality.h"
+
+namespace {
+
+using namespace epserve;
+
+/// EP from a fine Riemann integration of an analytic model.
+template <typename Model>
+double exact_ep(const Model& model) {
+  double area = 0.0;
+  constexpr int kSteps = 100000;
+  for (int i = 0; i < kSteps; ++i) {
+    const double u = (i + 0.5) / kSteps;
+    area += model.power(u) / kSteps;
+  }
+  return 2.0 - 2.0 * area;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — ten-trapezoid EP vs exact integral",
+                      "Eq.1 discretisation error across curve shapes");
+
+  TextTable table;
+  table.columns({"curve", "exact EP", "10-trapezoid EP", "abs error"});
+
+  // Two-segment curves (kink on a measured level): exact by construction.
+  for (const auto& [ep, idle, tau] :
+       {std::tuple{0.3, 0.72, 0.5}, std::tuple{0.75, 0.32, 0.7},
+        std::tuple{1.05, 0.05, 0.6}}) {
+    const auto model = metrics::TwoSegmentPowerModel::solve(ep, idle, tau);
+    const auto curve = metrics::to_power_curve(model.value(), 200.0, 1e6);
+    const double fine = exact_ep(model.value());
+    const double coarse = metrics::energy_proportionality(curve);
+    table.row({"two-segment EP=" + format_fixed(ep, 2),
+               format_fixed(fine, 6), format_fixed(coarse, 6),
+               format_fixed(std::abs(fine - coarse), 6)});
+  }
+
+  // Quadratic curves: the trapezoid rule overestimates convex areas by
+  // O(h^2); h = 0.1 keeps the EP error ~1e-3.
+  double worst_quadratic = 0.0;
+  for (const double b : {-0.3, 0.1, 0.3, 0.6}) {
+    metrics::QuadraticPowerModel model{.idle = 0.3, .b = b};
+    if (!model.monotone()) continue;
+    const auto curve = metrics::to_power_curve(model, 200.0, 1e6);
+    const double fine = exact_ep(model);
+    const double coarse = metrics::energy_proportionality(curve);
+    worst_quadratic = std::max(worst_quadratic, std::abs(fine - coarse));
+    table.row({"quadratic b=" + format_fixed(b, 1), format_fixed(fine, 6),
+               format_fixed(coarse, 6),
+               format_fixed(std::abs(fine - coarse), 6)});
+  }
+  std::cout << table.render();
+  std::cout << "\nworst quadratic-curve error: "
+            << format_fixed(worst_quadratic, 6)
+            << " EP units — two orders below the population's EP spread, so "
+               "the paper's\ncoarse rule does not distort any analysis.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Related work [11] (Tolia et al.): delivering energy proportionality with
+// non-proportional systems by optimising the ensemble. Compares the daily
+// energy of (a) always-on placement policies and (b) the autoscaler that
+// powers machines off — on an OLD, badly-proportional sub-fleet, where the
+// ensemble trick matters most.
+#include "common.h"
+
+#include "cluster/autoscaler.h"
+#include "metrics/proportionality.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Ref [11] — ensemble proportionality via autoscaling",
+                      "2008-2009 fleet (mean EP ~0.45) under a diurnal day");
+
+  std::vector<dataset::ServerRecord> fleet;
+  for (const auto& r : bench::population().records()) {
+    if (r.hw_year >= 2008 && r.hw_year <= 2009 && fleet.size() < 24) {
+      fleet.push_back(r);
+    }
+  }
+  double mean_ep = 0.0;
+  for (const auto& s : fleet) {
+    mean_ep += metrics::energy_proportionality(s.curve);
+  }
+  mean_ep /= static_cast<double>(fleet.size());
+  std::cout << "fleet: " << fleet.size() << " servers, mean EP "
+            << format_fixed(mean_ep, 2) << "\n\n";
+
+  const auto trace = cluster::DemandTrace::diurnal(0.2, 0.4);
+  const auto always_on = cluster::compare_policies_over_day(fleet, trace);
+  if (!always_on.ok()) return 1;
+  const auto scaled = cluster::autoscale_over_day(fleet, trace);
+  if (!scaled.ok()) return 1;
+
+  TextTable table;
+  table.columns({"strategy", "energy (kWh/day)", "efficiency (ops/J)"});
+  for (const auto& day : always_on.value()) {
+    table.row({day.policy + " (always on)", format_fixed(day.energy_kwh, 2),
+               format_fixed(day.avg_efficiency, 1)});
+  }
+  table.row({"autoscaled ensemble", format_fixed(scaled.value().energy_kwh, 2),
+             format_fixed(scaled.value().avg_efficiency, 1)});
+  std::cout << table.render();
+
+  const double best_always_on =
+      std::min({always_on.value()[0].energy_kwh,
+                always_on.value()[1].energy_kwh,
+                always_on.value()[2].energy_kwh});
+  std::cout << "\nautoscaling vs best always-on policy: "
+            << format_percent(
+                   scaled.value().energy_kwh / best_always_on - 1.0, 1)
+            << " energy\nfor the same served work — on low-EP fleets the "
+               "ensemble, not the server,\nis where proportionality comes "
+               "from (ref [11]); modern high-EP fleets shrink this gap.\n";
+  return 0;
+}

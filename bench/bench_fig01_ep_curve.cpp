@@ -1,0 +1,53 @@
+// Fig.1: the energy-proportionality curve of the 2016 sample server with
+// overall score 12212 and EP = 1.02, normalised to power at 100% load,
+// alongside the ideal (proportional) curve.
+#include "common.h"
+
+#include "metrics/proportionality.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header(
+      "Fig.1 — energy proportionality curve",
+      "2016 sample server (overall score 12212); EP via the ten-trapezoid "
+      "Eq.1");
+
+  const dataset::ServerRecord* sample = nullptr;
+  for (const auto& r : bench::population().records()) {
+    if (r.hw_year == 2016 &&
+        std::abs(metrics::overall_score(r.curve) - 12212.0) < 1.0) {
+      sample = &r;
+    }
+  }
+  if (sample == nullptr) {
+    std::fprintf(stderr, "Fig.1 exemplar missing from population\n");
+    return 1;
+  }
+
+  TextTable table;
+  table.columns({"utilization", "normalized power", "ideal"});
+  table.row({"0% (idle)",
+             format_fixed(sample->curve.idle_fraction(), 3),
+             "0.000"});
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    const double u = metrics::kLoadLevels[i];
+    table.row({format_percent(u, 0),
+               format_fixed(sample->curve.watts_at_level(i) /
+                                sample->curve.peak_watts(),
+                            3),
+               format_fixed(u, 3)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nEP (Eq.1, ten trapezoids): "
+            << bench::vs_paper(
+                   format_fixed(
+                       metrics::energy_proportionality(sample->curve), 3),
+                   "1.02")
+            << "\noverall score: "
+            << bench::vs_paper(
+                   format_fixed(metrics::overall_score(sample->curve), 0),
+                   "12212")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig.5: CDF of energy proportionality across the 477 servers. The paper's
+// callouts: 25.21% of servers in [0.6, 0.7), 17.44% in [0.8, 0.9), and
+// 99.58% below EP 1.0.
+#include "common.h"
+
+#include "stats/histogram.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.5 — CDF of energy proportionality",
+                      "bucket shares and cumulative distribution");
+
+  const auto eps =
+      dataset::ResultRepository::ep_values(bench::population().all());
+
+  TextTable table;
+  table.columns({"EP bucket", "count", "share", "cumulative"});
+  double cumulative = 0.0;
+  for (const auto& bin : stats::histogram(eps, 0.0, 1.2, 12)) {
+    cumulative += bin.share;
+    table.row({format_fixed(bin.lo, 1) + ".." + format_fixed(bin.hi, 1),
+               std::to_string(bin.count), format_percent(bin.share),
+               format_percent(cumulative)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nshare in [0.6, 0.7): "
+            << bench::vs_paper(format_percent(stats::share_in(eps, 0.6, 0.7)),
+                               "25.21%")
+            << "\nshare in [0.8, 0.9): "
+            << bench::vs_paper(format_percent(stats::share_in(eps, 0.8, 0.9)),
+                               "17.44%")
+            << "\nshare below EP 1.0: "
+            << bench::vs_paper(
+                   format_percent(stats::share_in(eps, 0.0, 1.0)), "99.58%")
+            << "\n";
+  return 0;
+}

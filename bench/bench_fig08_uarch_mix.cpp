@@ -1,0 +1,38 @@
+// Fig.8: per-year codename composition 2012-2016 — the mix shift that
+// explains the "specious stagnation" of EP in 2013/2014 (§III.B).
+#include "common.h"
+
+#include "analysis/uarch_analysis.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.8 — microarchitecture mix, 2012-2016",
+                      "codename counts per hardware year + mix decomposition");
+
+  for (const auto& [year, mix] :
+       analysis::yearly_codename_mix(bench::population())) {
+    std::cout << "\n" << year << ":\n";
+    TextTable table;
+    table.columns({"codename", "count"});
+    for (const auto& [name, count] : mix) {
+      table.row({name, std::to_string(count)});
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << section_banner("Composition decomposition (§III.B)");
+  TextTable decomp;
+  decomp.columns({"year", "actual mean EP", "mix-predicted EP"});
+  for (const auto& row :
+       analysis::composition_decomposition(bench::population(), 2012, 2016)) {
+    decomp.row({std::to_string(row.year),
+                format_fixed(row.actual_mean_ep, 3),
+                format_fixed(row.composition_predicted_ep, 3)});
+  }
+  std::cout << decomp.render();
+  std::cout << "\npaper: the 2013/2014 EP dip tracks the adoption of Ivy "
+               "Bridge parts (lower\nper-codename EP) plus thin result "
+               "counts — a composition effect, not stagnation;\nEP recovers "
+               "in 2015/2016.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig.9: the pencil-head chart — all 477 normalised power-utilisation curves
+// fall between the curve of the lowest-EP server (upper envelope, EP 0.18,
+// 2008) and the highest-EP server (lower envelope, EP 1.05, 2012).
+#include "common.h"
+
+#include "analysis/envelope.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.9 — pencil-head chart of energy proportionality",
+                      "pointwise envelope of all normalised power curves");
+
+  const auto env = analysis::power_envelope(bench::population());
+  const auto upper_curve = analysis::normalized_power_points(*env.min_ep_server);
+  const auto lower_curve = analysis::normalized_power_points(*env.max_ep_server);
+
+  TextTable table;
+  table.columns({"utilization", "lower envelope", "max-EP server",
+                 "upper envelope", "min-EP server", "ideal"});
+  const auto label = [](std::size_t i) {
+    return i == 0 ? std::string("0% (idle)")
+                  : format_percent(metrics::kLoadLevels[i - 1], 0);
+  };
+  for (std::size_t i = 0; i < analysis::kEnvelopePoints; ++i) {
+    const double ideal = i == 0 ? 0.0 : metrics::kLoadLevels[i - 1];
+    table.row({label(i), format_fixed(env.lower[i], 3),
+               format_fixed(lower_curve[i], 3), format_fixed(env.upper[i], 3),
+               format_fixed(upper_curve[i], 3), format_fixed(ideal, 3)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nenveloping servers: min EP "
+            << bench::vs_paper(format_fixed(env.min_ep, 2), "0.18 (2008)")
+            << " / max EP "
+            << bench::vs_paper(format_fixed(env.max_ep, 2), "1.05 (2012)")
+            << "\nmin-EP server year: " << env.min_ep_server->hw_year
+            << ", max-EP server year: " << env.max_ep_server->hw_year << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig.12: selected normalised EE curves. Paper callouts: servers with EP > 1
+// reach 0.8x of their full-load EE before 30% utilisation and 1.0x before
+// 40%; the higher the EP, the farther the peak EE sits from 100% load.
+#include "common.h"
+
+#include "analysis/efficiency_zones.h"
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.12 — selected energy efficiency curves",
+                      "normalised EE; onset of the high-efficiency zone");
+
+  const std::vector<std::pair<int, double>> selections = {
+      {2008, 0.18}, {2005, 0.30}, {2009, 0.61}, {2011, 0.75}, {2016, 0.75},
+      {2016, 0.82}, {2014, 0.86}, {2016, 0.87}, {2016, 0.96}, {2016, 1.02},
+      {2012, 1.05}};
+
+  TextTable table;
+  table.columns({"exemplar", "EP", "reach 0.8x at", "reach 1.0x at",
+                 "peak EE util", "peak/full"});
+  for (const auto& [year, ep_target] : selections) {
+    const dataset::ServerRecord* match = nullptr;
+    double best_delta = 0.006;
+    for (const auto& r : bench::population().records()) {
+      if (r.hw_year != year) continue;
+      const double delta =
+          std::abs(metrics::energy_proportionality(r.curve) - ep_target);
+      if (delta < best_delta) {
+        best_delta = delta;
+        match = &r;
+      }
+    }
+    if (match == nullptr) continue;
+    const double at_08 =
+        metrics::utilization_reaching_normalized_ee(match->curve, 0.8);
+    const double at_10 =
+        metrics::utilization_reaching_normalized_ee(match->curve, 1.0);
+    table.row(
+        {std::to_string(year) + " EP=" + format_fixed(ep_target, 2),
+         format_fixed(metrics::energy_proportionality(match->curve), 2),
+         at_08 > 1.0 ? "never" : format_percent(at_08, 0),
+         at_10 > 1.0 ? "at 100%" : format_percent(at_10, 0),
+         format_percent(metrics::peak_ee_utilization(match->curve), 0),
+         format_fixed(metrics::peak_to_full_ratio(match->curve), 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\npaper: EP>1 servers reach 0.8x before 30% and 1.0x before "
+               "40% utilisation;\ntheir high-efficiency zones above 1.0 are "
+               "the widest — the best operating bands.\n"
+            << "corr(EP, 1.0x-zone width) across all 477 servers: "
+            << format_fixed(
+                   analysis::zone_width_ep_correlation(bench::population()),
+                   3)
+            << " (paper: qualitative 'wider at higher EP')\n";
+  return 0;
+}

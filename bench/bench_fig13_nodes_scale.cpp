@@ -1,0 +1,27 @@
+// Fig.13: EP and EE versus node count. Paper: median EP rises monotonically
+// with nodes; the average dips at 8 nodes (few results); economies of scale
+// favour multi-node systems.
+#include "common.h"
+
+#include "analysis/scale_analysis.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.13 — EP/EE vs server node count",
+                      "multi-node economies of scale");
+
+  TextTable table;
+  table.columns({"nodes", "n", "avg EP", "med EP", "avg EE", "med EE"});
+  for (const auto& row : analysis::ep_ee_by_nodes(bench::population())) {
+    table.row({std::to_string(row.key), std::to_string(row.count),
+               format_fixed(row.ep.mean, 3), format_fixed(row.ep.median, 3),
+               format_fixed(row.score.mean, 0),
+               format_fixed(row.score.median, 0)});
+  }
+  std::cout << table.render();
+  std::cout << "\npaper: median EP increases monotonically with node count; "
+               "the 8-node average dips\n(too few results), recovering at 16 "
+               "nodes. Grouping identical nodes on one workload\nbeats "
+               "running them on independent workloads.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig.18: overall EE on testbed server #1 (Sugon A620r-G, 2x Opteron 6272)
+// across memory-per-core {1.25, 1.75, 2} GB/core and CPU frequencies
+// 1.4-2.1 GHz plus ondemand. Paper: best MPC is 1.75 GB/core; ondemand
+// tracks the top frequency; lower fixed frequencies always lose EE.
+#include "common.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.18 — EE vs memory-per-core x frequency, server #1",
+                      "Sugon A620r-G (2012), simulated SPECpower runs");
+
+  auto sweep = run_testbed_sweep(1);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+    return 1;
+  }
+  const auto mpcs = testbed::paper_sweep_config(1).memory_per_core_gb;
+  bench::print_sweep_grid(sweep.value(), mpcs);
+
+  std::cout << "\nbest memory per core: "
+            << bench::vs_paper(format_fixed(sweep.value().best_mpc(), 2),
+                               "1.75 GB/core")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig.19: overall EE on testbed server #2 (Sugon I620-G10, 1x E5-2603)
+// across memory-per-core {2, 4, 8} GB/core and frequencies 1.2-1.8 GHz plus
+// ondemand. Paper: best MPC is 4 GB/core; EE drops 10.6% moving to 8.
+#include "common.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.19 — EE vs memory-per-core x frequency, server #2",
+                      "Sugon I620-G10 (2013), simulated SPECpower runs");
+
+  auto sweep = run_testbed_sweep(2);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+    return 1;
+  }
+  const auto mpcs = testbed::paper_sweep_config(2).memory_per_core_gb;
+  bench::print_sweep_grid(sweep.value(), mpcs);
+
+  std::cout << "\nbest memory per core: "
+            << bench::vs_paper(format_fixed(sweep.value().best_mpc(), 2),
+                               "4 GB/core")
+            << "\nEE change 4 -> 8 GB/core: "
+            << bench::vs_paper(
+                   format_percent(sweep.value().ee_change(4.0, 8.0)), "-10.6%")
+            << "\n";
+  return 0;
+}

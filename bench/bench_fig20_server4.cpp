@@ -1,0 +1,32 @@
+// Fig.20: overall EE on testbed server #4 (ThinkServer RD450, 2x E5-2620 v3)
+// across memory-per-core {1.33, 2.67, 8, 16} GB/core and frequencies
+// 1.2-2.4 GHz plus ondemand. Paper: best MPC is 2.67 GB/core; EE drops 4.6%
+// at 8 and 11.1% at 16 GB/core.
+#include "common.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.20 — EE vs memory-per-core x frequency, server #4",
+                      "ThinkServer RD450 (2015), simulated SPECpower runs");
+
+  auto sweep = run_testbed_sweep(4);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+    return 1;
+  }
+  const auto mpcs = testbed::paper_sweep_config(4).memory_per_core_gb;
+  bench::print_sweep_grid(sweep.value(), mpcs);
+
+  std::cout << "\nbest memory per core: "
+            << bench::vs_paper(format_fixed(sweep.value().best_mpc(), 2),
+                               "2.67 GB/core")
+            << "\nEE change 2.67 -> 8 GB/core: "
+            << bench::vs_paper(
+                   format_percent(sweep.value().ee_change(2.67, 8.0)), "-4.6%")
+            << "\nEE change 2.67 -> 16 GB/core: "
+            << bench::vs_paper(
+                   format_percent(sweep.value().ee_change(2.67, 16.0)),
+                   "-11.1%")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig.21: overall EE and peak power on server #4 across frequency, one
+// series per memory configuration. Paper: power rises with frequency and
+// with installed memory; ondemand draws about the same power as the top
+// frequency while matching its EE.
+#include "common.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.21 — EE and peak power vs frequency, server #4",
+                      "series per memory-per-core configuration");
+
+  auto sweep = run_testbed_sweep(4);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+    return 1;
+  }
+  const auto& result = sweep.value();
+  const auto mpcs = testbed::paper_sweep_config(4).memory_per_core_gb;
+
+  TextTable table;
+  std::vector<std::string> header = {"frequency"};
+  for (const double mpc : mpcs) {
+    header.push_back("EE@" + format_fixed(mpc, 2));
+    header.push_back("W@" + format_fixed(mpc, 2));
+  }
+  table.columns(std::move(header));
+
+  std::vector<std::string> governors;
+  for (const auto& cell : result.cells) {
+    if (std::find(governors.begin(), governors.end(), cell.governor) ==
+        governors.end()) {
+      governors.push_back(cell.governor);
+    }
+  }
+  for (const auto& governor : governors) {
+    std::vector<std::string> row = {governor};
+    for (const double mpc : mpcs) {
+      const auto* cell = result.find(mpc, governor);
+      if (cell != nullptr) {
+        row.push_back(format_fixed(cell->overall_ee, 1));
+        row.push_back(format_fixed(cell->peak_power_watts, 0));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+    }
+    table.row(std::move(row));
+  }
+  std::cout << table.render();
+
+  const auto* lo = result.find(16.0, "fixed@1.2GHz");
+  const auto* hi = result.find(16.0, "fixed@2.4GHz");
+  const auto* od = result.find(16.0, "ondemand");
+  if (lo != nullptr && hi != nullptr && od != nullptr) {
+    std::cout << "\npeak power at 16 GB/core: "
+              << format_fixed(lo->peak_power_watts, 0) << " W @1.2GHz vs "
+              << format_fixed(hi->peak_power_watts, 0)
+              << " W @2.4GHz (paper: rises with frequency)\n"
+              << "ondemand peak power: " << format_fixed(od->peak_power_watts, 0)
+              << " W (paper: ~same as the highest frequency)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// §VII future work: EP/EE variation under different workload profiles.
+// Runs full simulated benchmark sweeps on testbed server #4 under each
+// built-in profile — the paper's closing point that placement and
+// characterisation must be redone per workload.
+#include "common.h"
+
+#include "metrics/proportionality.h"
+#include "specpower/simulator.h"
+#include "specpower/workload_profiles.h"
+#include "testbed/config.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("§VII — EP/EE under different workloads",
+                      "testbed server #4 across the built-in profiles");
+
+  const auto* server = testbed::find_server(4);
+  if (server == nullptr) return 1;
+
+  TextTable table;
+  table.columns({"workload", "overall EE", "EP", "idle%", "peak EE util"});
+  for (const auto& profile : specpower::workload_profiles()) {
+    // Rebuild the server model with the profile's subsystem intensities.
+    auto model = server->power_model(server->base_memory_gb);
+    if (!model.ok()) return 1;
+    power::ServerPowerModel::Config config = model.value().config();
+    config.memory_intensity = profile.memory_intensity;
+    config.storage_intensity = profile.storage_intensity;
+    auto profiled = power::ServerPowerModel::create(config);
+    if (!profiled.ok()) return 1;
+
+    specpower::ThroughputModel::Params tparams;
+    tparams.total_cores = server->total_cores();
+    tparams.ops_per_core_ghz =
+        server->ops_per_core_ghz / profile.cpu_work_factor;
+    tparams.ipc_factor = server->ipc_factor;
+    tparams.mpc_sweet_spot_gb = profile.mpc_sweet_spot_gb;
+    auto throughput = specpower::ThroughputModel::create(tparams);
+    if (!throughput.ok()) return 1;
+
+    const power::OndemandGovernor governor(0.8);
+    specpower::SimConfig sim_config;
+    sim_config.interval_seconds = 10.0;
+    sim_config.calibration_seconds = 10.0;
+    const specpower::SpecPowerSimulator sim(profiled.value(),
+                                            throughput.value(), governor,
+                                            sim_config);
+    auto run = sim.run(server->base_memory_gb / server->total_cores());
+    if (!run.ok()) return 1;
+    auto curve = run.value().to_power_curve();
+    if (!curve.ok()) return 1;
+
+    table.row({std::string(profile.name),
+               format_fixed(metrics::overall_score(curve.value()), 1),
+               format_fixed(
+                   metrics::energy_proportionality(curve.value()), 3),
+               format_percent(curve.value().idle_fraction(), 1),
+               format_percent(
+                   metrics::peak_ee_utilization(curve.value()), 0)});
+  }
+  std::cout << table.render();
+  std::cout << "\npaper §V.C/§VII: the same machine exposes a different EP "
+               "and EE curve per workload;\nEP-aware placement needs "
+               "per-workload characterisation, which this harness provides.\n";
+  return 0;
+}

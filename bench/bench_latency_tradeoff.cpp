@@ -1,0 +1,59 @@
+// §V.C's hidden cost: keeping servers at high utilisation trades latency.
+// The discrete-event core exposes the mean transaction sojourn per load
+// level; this harness prints the EE-vs-latency frontier that bounds how far
+// an operator can push "keep the server at 70%+" before queueing bites.
+#include "common.h"
+
+#include "specpower/simulator.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Extension — efficiency vs latency across load",
+                      "the queueing cost of running servers hot");
+
+  power::ServerPowerModel::Config config;
+  config.cpu.tdp_watts = 85.0;
+  config.cpu.cores = 6;
+  config.cpu.min_freq_ghz = 1.2;
+  config.cpu.max_freq_ghz = 2.4;
+  config.sockets = 2;
+  config.dram.dimm_count = 8;
+  config.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  auto server = power::ServerPowerModel::create(config);
+  if (!server.ok()) return 1;
+  specpower::ThroughputModel::Params tparams;
+  tparams.total_cores = 12;
+  auto throughput = specpower::ThroughputModel::create(tparams);
+  if (!throughput.ok()) return 1;
+  const power::OndemandGovernor governor(0.8);
+  specpower::SimConfig sim_config;
+  sim_config.interval_seconds = 20.0;
+  sim_config.calibration_seconds = 20.0;
+  const specpower::SpecPowerSimulator sim(server.value(), throughput.value(),
+                                          governor, sim_config);
+  auto run = sim.run(4.0);
+  if (!run.ok()) return 1;
+
+  TextTable table;
+  table.columns({"target load", "ssj_ops/W", "mean sojourn (ms)",
+                 "vs 10% load"});
+  const double base_sojourn =
+      run.value().levels.front().avg_sojourn_seconds;
+  for (const auto& level : run.value().levels) {
+    table.row({format_percent(level.target_load, 0),
+               format_fixed(level.achieved_ops_per_sec / level.avg_watts, 1),
+               format_fixed(level.avg_sojourn_seconds * 1000.0, 2),
+               format_fixed(level.avg_sojourn_seconds / base_sojourn, 2) +
+                   "x"});
+  }
+  std::cout << table.render();
+  std::cout
+      << "\nthree regimes are visible: (1) at low load the ondemand governor "
+         "clocks down, so\nservice (and sojourn) is SLOWER despite empty "
+         "queues; (2) mid-load runs at high\nfrequency with little queueing "
+         "— the latency sweet spot around the paper's 70%\noperating point; "
+         "(3) past ~80% queueing delay explodes superlinearly. (The 100%\n"
+         "row is the benchmark's closed-loop saturation phase: no external "
+         "arrivals, so no\nqueueing delay is observable there.)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig.13 mechanism: WHY multi-node servers are more energy proportional.
+// The calibrated population reproduces Fig.13's statistics; this harness
+// derives the same ordering from first principles — shared chassis fans,
+// PSU bank, and management plane amortise across node boards, collapsing
+// the idle fraction as node count grows.
+#include "common.h"
+
+#include "metrics/proportionality.h"
+#include "power/chassis.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Fig.13 mechanism — multi-node chassis model",
+                      "EP vs node count from component models (no calibration)");
+
+  power::ServerPowerModel::Config node;
+  node.cpu.tdp_watts = 85.0;
+  node.cpu.cores = 8;
+  node.cpu.min_freq_ghz = 1.2;
+  node.cpu.max_freq_ghz = 2.4;
+  node.sockets = 2;
+  node.dram.dimm_capacity_gb = 8.0;
+  node.dram.dimm_count = 8;
+  node.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+
+  TextTable table;
+  table.columns({"nodes", "idle W", "peak W", "idle fraction", "EP"});
+  for (const int nodes : {1, 2, 4, 8, 16}) {
+    auto chassis = power::make_chassis(node, nodes);
+    if (!chassis.ok()) {
+      std::fprintf(stderr, "%s\n", chassis.error().message.c_str());
+      return 1;
+    }
+    const auto curve = chassis.value().measure(1e6);
+    table.row({std::to_string(nodes), format_fixed(curve.idle_watts(), 0),
+               format_fixed(curve.peak_watts(), 0),
+               format_percent(curve.idle_fraction(), 1),
+               format_fixed(metrics::energy_proportionality(curve), 3)});
+  }
+  std::cout << table.render();
+  std::cout << "\nthe same silicon gains EP purely from chassis-level "
+               "amortisation — the paper's\neconomies of scale (and its "
+               "suggestion to group nodes on one workload) without\nany "
+               "population calibration in the loop.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Microbenchmarks of the SPECpower run simulator (google-benchmark): one
+// full benchmark run (calibration + ten levels + idle) at several interval
+// lengths, and the per-interval queueing core.
+#include <benchmark/benchmark.h>
+
+#include "power/dvfs.h"
+#include "power/server_power_model.h"
+#include "specpower/simulator.h"
+
+namespace {
+
+using namespace epserve;
+
+const power::ServerPowerModel& server() {
+  static const power::ServerPowerModel model = [] {
+    power::ServerPowerModel::Config config;
+    config.cpu.tdp_watts = 85.0;
+    config.cpu.cores = 6;
+    config.cpu.min_freq_ghz = 1.2;
+    config.cpu.max_freq_ghz = 2.4;
+    config.sockets = 2;
+    config.dram.dimm_capacity_gb = 16.0;
+    config.dram.dimm_count = 8;
+    config.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+    auto result = power::ServerPowerModel::create(config);
+    return std::move(result).take();
+  }();
+  return model;
+}
+
+const specpower::ThroughputModel& throughput() {
+  static const specpower::ThroughputModel model = [] {
+    specpower::ThroughputModel::Params params;
+    params.total_cores = 12;
+    auto result = specpower::ThroughputModel::create(params);
+    return std::move(result).take();
+  }();
+  return model;
+}
+
+void BM_FullSpecPowerRun(benchmark::State& state) {
+  const power::OndemandGovernor governor(0.8);
+  specpower::SimConfig config;
+  config.interval_seconds = static_cast<double>(state.range(0));
+  config.calibration_seconds = config.interval_seconds;
+  const specpower::SpecPowerSimulator sim(server(), throughput(), governor,
+                                          config);
+  for (auto _ : state) {
+    auto result = sim.run(4.0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "s intervals");
+}
+BENCHMARK(BM_FullSpecPowerRun)->Arg(5)->Arg(10)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WallPowerEvaluation(benchmark::State& state) {
+  double u = 0.0;
+  for (auto _ : state) {
+    u += 0.001;
+    if (u > 1.0) u = 0.0;
+    benchmark::DoNotOptimize(server().wall_power(u, 2.0));
+  }
+}
+BENCHMARK(BM_WallPowerEvaluation);
+
+void BM_GovernorDecision(benchmark::State& state) {
+  const power::OndemandGovernor governor(0.8);
+  double load = 0.0;
+  for (auto _ : state) {
+    load += 0.001;
+    if (load > 1.0) load = 0.0;
+    benchmark::DoNotOptimize(governor.frequency_for(load, server().cpu()));
+  }
+}
+BENCHMARK(BM_GovernorDecision);
+
+}  // namespace

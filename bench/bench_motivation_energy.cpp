@@ -1,0 +1,50 @@
+// §I motivation: the national data-center energy trajectories the paper
+// opens with — EPA's 2007 warning (107.4 TWh by 2011 under 2006 trends),
+// NRDC's 2011 measurement and 2020 extrapolation (76.4 -> 138 TWh), and
+// LBNL's 2016 estimate of a near-flat 70 -> 73 TWh thanks to efficiency
+// gains and hyperscale consolidation — the gap EP research exists to close.
+#include "common.h"
+
+#include "analysis/national_energy.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("§I — U.S. data-center energy scenarios",
+                      "stock-and-efficiency model vs the cited estimates");
+
+  TextTable table;
+  table.columns({"year", "epa-2006-trend (TWh)", "nrdc-current (TWh)",
+                 "lbnl-current (TWh)"});
+  const auto scenarios = analysis::paper_scenarios();
+  for (const int year : {2011, 2014, 2016, 2020}) {
+    std::vector<std::string> row = {std::to_string(year)};
+    for (const auto& scenario : scenarios) {
+      row.push_back(year >= scenario.base_year
+                        ? format_fixed(
+                              analysis::projected_energy_twh(scenario, year), 1)
+                        : "-");
+    }
+    table.row(std::move(row));
+  }
+  std::cout << table.render();
+
+  const auto* epa = analysis::find_scenario("epa-2006-trend");
+  const auto* nrdc = analysis::find_scenario("nrdc-current");
+  const auto* lbnl = analysis::find_scenario("lbnl-current");
+  std::cout << "\nEPA 2006-trend at 2011: "
+            << bench::vs_paper(
+                   format_fixed(analysis::projected_energy_twh(*epa, 2011), 1),
+                   "107.4 billion kWh")
+            << "\nNRDC current at 2020: "
+            << bench::vs_paper(
+                   format_fixed(analysis::projected_energy_twh(*nrdc, 2020), 1),
+                   "138 billion kWh")
+            << "\nLBNL current at 2020: "
+            << bench::vs_paper(
+                   format_fixed(analysis::projected_energy_twh(*lbnl, 2020), 1),
+                   "73 billion kWh")
+            << "\n\nthe EPA prediction did not pan out because server "
+               "efficiency (and proportionality)\nimproved — the subject of "
+               "the rest of this reproduction.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// §VI related work (Wong & Annavaram): even as overall EP improves across
+// hardware generations, the proportionality gap concentrates at low
+// utilisation. Mean signed gap (normalised power - utilisation) per level,
+// per era.
+#include "common.h"
+
+#include "analysis/gap_analysis.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("§VI — proportionality gap by utilisation level",
+                      "mean (normalised power - utilisation), per era");
+
+  const std::vector<std::pair<int, int>> eras = {
+      {2004, 2008}, {2009, 2011}, {2012, 2013}, {2014, 2016}};
+
+  std::vector<analysis::GapProfile> profiles;
+  for (const auto& [from, to] : eras) {
+    profiles.push_back(analysis::gap_profile(bench::population(), from, to));
+  }
+
+  TextTable table;
+  std::vector<std::string> header = {"utilization"};
+  for (const auto& profile : profiles) {
+    header.push_back(std::to_string(profile.from_year) + "-" +
+                     std::to_string(profile.to_year) + " (n=" +
+                     std::to_string(profile.servers) + ")");
+  }
+  table.columns(std::move(header));
+  const auto label = [](std::size_t i) {
+    return i == 0 ? std::string("0% (idle)")
+                  : format_percent(metrics::kLoadLevels[i - 1], 0);
+  };
+  for (std::size_t i = 0; i <= metrics::kNumLoadLevels; ++i) {
+    std::vector<std::string> row = {label(i)};
+    for (const auto& profile : profiles) {
+      row.push_back(format_fixed(profile.mean_gap[i], 3));
+    }
+    table.row(std::move(row));
+  }
+  std::cout << table.render();
+
+  std::cout << "\npoorly proportional region (mean gap > 0.15) ends at:\n";
+  for (const auto& profile : profiles) {
+    std::cout << "  " << profile.from_year << "-" << profile.to_year << ": "
+              << format_percent(
+                     analysis::poorly_proportional_below(profile, 0.15), 0)
+              << " utilisation and below\n";
+  }
+  std::cout << "\nWong & Annavaram: the gap keeps shrinking with hardware "
+               "generation but remains\nconcentrated at low utilisation — "
+               "exactly the region where real data centers run.\n";
+  return 0;
+}

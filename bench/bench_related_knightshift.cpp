@@ -1,0 +1,52 @@
+// Refs [17]/[40] (Wong & Annavaram, KnightShift): server-level heterogeneity
+// scales the energy-proportionality wall. Front representative primaries of
+// each era with a 15%-capacity knight node and compare EP.
+#include "common.h"
+
+#include "cluster/knightshift.h"
+#include "metrics/proportionality.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Refs [17]/[40] — KnightShift heterogeneity",
+                      "primary vs knight-fronted composite, one per era");
+
+  TextTable table;
+  table.columns({"primary (year, EP)", "idle%", "composite EP",
+                 "composite idle%", "EP gain"});
+  for (const int year : {2008, 2010, 2012, 2016}) {
+    // Era representative: the median-EP server of the year.
+    const dataset::ServerRecord* representative = nullptr;
+    std::vector<const dataset::ServerRecord*> of_year;
+    for (const auto& r : bench::population().records()) {
+      if (r.hw_year == year) of_year.push_back(&r);
+    }
+    std::sort(of_year.begin(), of_year.end(),
+              [](const dataset::ServerRecord* a,
+                 const dataset::ServerRecord* b) {
+                return metrics::energy_proportionality(a->curve) <
+                       metrics::energy_proportionality(b->curve);
+              });
+    representative = of_year[of_year.size() / 2];
+
+    const auto cmp = cluster::compare_knightshift(*representative);
+    if (!cmp.ok()) {
+      std::fprintf(stderr, "%s\n", cmp.error().message.c_str());
+      return 1;
+    }
+    table.row({std::to_string(year) + ", EP " +
+                   format_fixed(cmp.value().primary_ep, 2),
+               format_percent(cmp.value().primary_idle_fraction, 0),
+               format_fixed(cmp.value().composite_ep, 2),
+               format_percent(cmp.value().composite_idle_fraction, 0),
+               "+" + format_fixed(cmp.value().composite_ep -
+                                      cmp.value().primary_ep,
+                                  2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nthe knight collapses the idle floor, so the gain is largest "
+               "exactly where EP is\nworst — Wong & Annavaram's route past "
+               "the single-server proportionality wall,\nwhich silicon "
+               "improvements (Fig.3) later made less necessary.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table II: the base configuration of the four tested 2U rack servers, plus
+// the component-model parameters each row was translated into.
+#include "common.h"
+
+#include "testbed/config.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Table II — testbed base configuration",
+                      "four simulated 2U rack servers (see DESIGN.md)");
+
+  TextTable table;
+  table.columns({"#", "name", "hw year", "CPU", "cores", "TDP (W)",
+                 "memory (GB)", "freq range (GHz)", "disks"});
+  for (const auto& s : testbed::table2_servers()) {
+    table.row({std::to_string(s.id), s.name, std::to_string(s.hw_year),
+               s.cpu_model, std::to_string(s.total_cores()),
+               format_fixed(s.tdp_watts, 0),
+               format_fixed(s.base_memory_gb, 0),
+               format_fixed(s.min_freq_ghz, 1) + "-" +
+                   format_fixed(s.max_freq_ghz, 1),
+               std::to_string(s.storage.size())});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nderived simulation parameters:\n";
+  TextTable derived;
+  derived.columns({"#", "idle wall (W)", "peak wall (W)",
+                   "MPC sweet spot (GB/core)"});
+  for (const auto& s : testbed::table2_servers()) {
+    auto model = s.power_model(s.base_memory_gb);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.error().message.c_str());
+      return 1;
+    }
+    derived.row({std::to_string(s.id),
+                 format_fixed(model.value().idle_wall_power(), 0),
+                 format_fixed(model.value().peak_wall_power(), 0),
+                 format_fixed(s.mpc_sweet_spot_gb, 2)});
+  }
+  std::cout << derived.render();
+  return 0;
+}

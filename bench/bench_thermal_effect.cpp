@@ -1,0 +1,59 @@
+// Extension ablation: the thermal-leakage feedback loop's effect on the CPU
+// power curve. The temperature-blind base model understates hot full-load
+// power and overstates cool idle power; closing the loop steepens the curve
+// and nudges EP upward at identical silicon.
+#include "common.h"
+
+#include "metrics/proportionality.h"
+#include "power/thermal.h"
+
+int main() {
+  using namespace epserve;
+  bench::print_header("Ablation — thermal-leakage feedback",
+                      "CPU power and EP with and without the thermal loop");
+
+  power::CpuModel::Params params;
+  params.tdp_watts = 95.0;
+  params.cores = 8;
+  params.min_freq_ghz = 1.2;
+  params.max_freq_ghz = 2.6;
+  auto base = power::CpuModel::create(params);
+  if (!base.ok()) return 1;
+  auto thermal = power::ThermalCpuModel::create(base.value(), {});
+  if (!thermal.ok()) return 1;
+
+  TextTable table;
+  table.columns({"utilization", "base W", "thermal W", "die temp (C)"});
+  for (double u = 0.0; u <= 1.0001; u += 0.2) {
+    const double util = std::min(u, 1.0);
+    table.row({format_percent(util, 0),
+               format_fixed(base.value().power(util, 2.6), 1),
+               format_fixed(thermal.value().power(util, 2.6), 1),
+               format_fixed(thermal.value().temperature(util, 2.6), 1)});
+  }
+  std::cout << table.render();
+
+  // EP of a whole-CPU curve under each model (ops linear in load).
+  const auto ep_of = [&](bool use_thermal) {
+    std::array<double, metrics::kNumLoadLevels> watts{};
+    std::array<double, metrics::kNumLoadLevels> ops{};
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      const double u = metrics::kLoadLevels[i];
+      watts[i] = use_thermal ? thermal.value().power(u, 2.6)
+                             : base.value().power(u, 2.6);
+      ops[i] = 1e6 * u;
+    }
+    const double idle = use_thermal ? thermal.value().power(0.0, 1.2)
+                                    : base.value().power(0.0, 1.2);
+    return metrics::energy_proportionality(
+        metrics::PowerCurve(watts, ops, idle));
+  };
+  std::cout << "\npackage-level EP, temperature-blind: "
+            << format_fixed(ep_of(false), 3)
+            << "; with thermal loop: " << format_fixed(ep_of(true), 3)
+            << "\nthe loop steepens the high-load end (hot silicon leaks "
+               "more), which slightly\nimproves proportionality at constant "
+               "peak-rated silicon — a second-order effect\nthe Table II "
+               "experiments absorb into their calibration.\n";
+  return 0;
+}

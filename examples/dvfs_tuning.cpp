@@ -1,0 +1,77 @@
+// DVFS & memory tuning (paper §V.A/§V.B): sweep a Table II testbed server
+// across memory-per-core installations and DVFS governors, then print the
+// tuning recommendation the paper derives: install the sweet-spot memory,
+// run ondemand (or the top frequency) — never a low fixed frequency.
+//
+//   ./build/examples/dvfs_tuning [server_id 1..4]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/epserve.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace epserve;
+
+  const int server_id = argc > 1 ? std::atoi(argv[1]) : 4;
+  const auto* server = testbed::find_server(server_id);
+  if (server == nullptr) {
+    std::fprintf(stderr, "server id must be 1..4\n");
+    return 1;
+  }
+
+  std::cout << "epserve " << version() << " — DVFS/memory tuning for #"
+            << server_id << " " << server->name << " (" << server->cpu_model
+            << ", " << server->total_cores() << " cores)\n";
+
+  auto sweep = run_testbed_sweep(server_id);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+    return 1;
+  }
+  const auto& result = sweep.value();
+
+  std::cout << section_banner("Overall EE (ssj_ops/W) by MPC x governor");
+  TextTable grid;
+  std::vector<std::string> header = {"governor"};
+  const auto mpcs = testbed::paper_sweep_config(server_id).memory_per_core_gb;
+  for (const double mpc : mpcs) {
+    header.push_back(format_fixed(mpc, 2) + " GB/core");
+  }
+  grid.columns(std::move(header));
+  std::vector<std::string> governors;
+  for (const auto& cell : result.cells) {
+    if (std::find(governors.begin(), governors.end(), cell.governor) ==
+        governors.end()) {
+      governors.push_back(cell.governor);
+    }
+  }
+  for (const auto& governor : governors) {
+    std::vector<std::string> row = {governor};
+    for (const double mpc : mpcs) {
+      const auto* cell = result.find(mpc, governor);
+      row.push_back(cell != nullptr ? format_fixed(cell->overall_ee, 1) : "-");
+    }
+    grid.row(std::move(row));
+  }
+  std::cout << grid.render();
+
+  std::cout << section_banner("Recommendation");
+  const double best = result.best_mpc();
+  std::cout << "best memory per core: " << format_fixed(best, 2)
+            << " GB/core\n";
+  for (const double mpc : mpcs) {
+    if (mpc == best) continue;
+    std::cout << "  EE at " << format_fixed(mpc, 2) << " GB/core: "
+              << format_percent(result.ee_change(best, mpc)) << " vs best\n";
+  }
+  const auto* ondemand = result.find(best, "ondemand");
+  if (ondemand != nullptr) {
+    std::cout << "governor: ondemand (EE " << format_fixed(ondemand->overall_ee, 1)
+              << " ssj_ops/W — tracks the top fixed frequency; lower fixed "
+                 "frequencies trade throughput away faster than power)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+// epserve_cli — one binary exposing the library's main workflows:
+//
+//   epserve_cli report  [seed] [--json]     full population study (§III/§IV)
+//   epserve_cli export  <out.csv> [seed]    generate + export the population
+//   epserve_cli validate <in.csv>           structural validation of a CSV
+//   epserve_cli sweep   <server 1..4>       §V testbed sweep (Fig.18-21)
+//   epserve_cli guide   [fleet_size] [seed] §V.C operating guide
+//   epserve_cli fit     <in.csv> <id>       fit the two-segment model to one
+//                                           server's measured curve
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/operating_guide.h"
+#include "analysis/report_json.h"
+#include "core/epserve.h"
+#include "dataset/validation.h"
+#include "metrics/model_fit.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace epserve;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: epserve_cli <report|export|validate|sweep|guide|fit> "
+               "[args]\n  see the header comment of examples/epserve_cli.cpp\n");
+  return 2;
+}
+
+int cmd_report(int argc, char** argv) {
+  dataset::GeneratorConfig config;
+  bool as_json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else {
+      config.seed = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+  }
+  auto study = run_population_study(config);
+  if (!study.ok()) {
+    std::fprintf(stderr, "%s\n", study.error().message.c_str());
+    return 1;
+  }
+  if (as_json) {
+    std::cout << analysis::render_report_json(study.value().report) << "\n";
+  } else {
+    std::cout << analysis::render_report(study.value().report);
+  }
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 3) return usage();
+  dataset::GeneratorConfig config;
+  if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+  auto population = dataset::generate_population(config);
+  if (!population.ok()) {
+    std::fprintf(stderr, "%s\n", population.error().message.c_str());
+    return 1;
+  }
+  auto saved = dataset::save_population(argv[2], population.value());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.error().message.c_str());
+    return 1;
+  }
+  std::cout << "wrote " << population.value().size() << " records to "
+            << argv[2] << "\n";
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto loaded = dataset::load_population(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  const auto report = dataset::validate_population(loaded.value());
+  if (report.ok()) {
+    std::cout << "OK: " << loaded.value().size()
+              << " records, no structural issues\n";
+    return 0;
+  }
+  for (const auto& issue : report.issues) {
+    std::cout << "record " << issue.record_id << ": " << issue.message << "\n";
+  }
+  return 1;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto sweep = run_testbed_sweep(std::atoi(argv[2]));
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+    return 1;
+  }
+  TextTable table;
+  table.columns({"MPC (GB/core)", "governor", "overall EE", "peak W"});
+  for (const auto& cell : sweep.value().cells) {
+    table.row({format_fixed(cell.memory_per_core_gb, 2), cell.governor,
+               format_fixed(cell.overall_ee, 1),
+               format_fixed(cell.peak_power_watts, 0)});
+  }
+  std::cout << sweep.value().server_name << "\n"
+            << table.render() << "best MPC: "
+            << format_fixed(sweep.value().best_mpc(), 2) << " GB/core\n";
+  return 0;
+}
+
+int cmd_guide(int argc, char** argv) {
+  const std::size_t fleet_size =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 24;
+  dataset::GeneratorConfig config;
+  if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+  auto population = dataset::generate_population(config);
+  if (!population.ok()) {
+    std::fprintf(stderr, "%s\n", population.error().message.c_str());
+    return 1;
+  }
+  std::vector<dataset::ServerRecord> fleet;
+  for (const auto& r : population.value()) {
+    if (r.hw_year >= 2012 && fleet.size() < fleet_size) fleet.push_back(r);
+  }
+  auto guide = cluster::build_operating_guide(fleet);
+  if (!guide.ok()) {
+    std::fprintf(stderr, "%s\n", guide.error().message.c_str());
+    return 1;
+  }
+  std::cout << cluster::render_guide(guide.value());
+  return 0;
+}
+
+int cmd_fit(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto loaded = dataset::load_population(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  const int id = std::atoi(argv[3]);
+  for (const auto& r : loaded.value()) {
+    if (r.id != id) continue;
+    const auto fit = metrics::fit_two_segment(r.curve);
+    std::cout << "server " << id << " (" << r.model << ")\n"
+              << "  idle fraction: " << format_percent(fit.model.idle, 1)
+              << "\n  kink tau     : " << format_percent(fit.model.tau, 0)
+              << "\n  slopes       : s1 " << format_fixed(fit.model.s1, 3)
+              << ", s2 " << format_fixed(fit.model.s2, 3)
+              << "\n  model EP     : " << format_fixed(fit.model.ep(), 3)
+              << "\n  fit RMSE     : " << format_fixed(fit.rmse, 4) << "\n";
+    return 0;
+  }
+  std::fprintf(stderr, "no record with id %d\n", id);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "report") return cmd_report(argc, argv);
+  if (command == "export") return cmd_export(argc, argv);
+  if (command == "validate") return cmd_validate(argc, argv);
+  if (command == "sweep") return cmd_sweep(argc, argv);
+  if (command == "guide") return cmd_guide(argc, argv);
+  if (command == "fit") return cmd_fit(argc, argv);
+  return usage();
+}

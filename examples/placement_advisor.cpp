@@ -1,0 +1,99 @@
+// Placement advisor (paper §V.C): take a heterogeneous rack drawn from the
+// population, build EP-bucketed logical clusters with their shared optimal
+// working regions, and compare placement policies across the demand range.
+//
+//   ./build/examples/placement_advisor [fleet_size] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/epserve.h"
+#include "cluster/operating_guide.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace epserve;
+
+  const std::size_t fleet_size =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
+  dataset::GeneratorConfig config;
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  auto population = dataset::generate_population(config);
+  if (!population.ok()) {
+    std::fprintf(stderr, "%s\n", population.error().message.c_str());
+    return 1;
+  }
+  // A modern rack (2012+ hardware): the generation where peak EE has moved
+  // to 70-80% utilisation and EP-aware placement pays off (paper §IV/§V.C).
+  std::vector<dataset::ServerRecord> fleet;
+  std::vector<const dataset::ServerRecord*> modern;
+  for (const auto& r : population.value()) {
+    if (r.hw_year >= 2012 && r.nodes == 1) modern.push_back(&r);
+  }
+  for (std::size_t i = 0; i < modern.size() && fleet.size() < fleet_size;
+       i += std::max<std::size_t>(1, modern.size() / fleet_size)) {
+    fleet.push_back(*modern[i]);
+  }
+
+  std::cout << "epserve " << version() << " — placement advisor, "
+            << fleet.size() << " servers\n";
+
+  // The §V.C operating guide: clusters, shared regions, recommended targets.
+  std::cout << section_banner("Operating guide (logical clusters, §V.C)");
+  const auto guide = cluster::build_operating_guide(fleet);
+  if (!guide.ok()) {
+    std::fprintf(stderr, "%s\n", guide.error().message.c_str());
+    return 1;
+  }
+  std::cout << cluster::render_guide(guide.value());
+
+  // Policy comparison across the demand range.
+  std::cout << section_banner("Fleet efficiency by placement policy");
+  const cluster::PackToFullPolicy pack;
+  const cluster::BalancedPolicy balanced;
+  const cluster::OptimalRegionPolicy optimal;
+  TextTable policy_table;
+  policy_table.columns(
+      {"demand", "pack-to-full", "balanced", "optimal-region", "winner"});
+  for (double demand = 0.1; demand <= 0.91; demand += 0.1) {
+    double best = 0.0;
+    std::string winner;
+    std::vector<std::string> row = {format_percent(demand, 0)};
+    for (const cluster::PlacementPolicy* policy :
+         std::initializer_list<const cluster::PlacementPolicy*>{
+             &pack, &balanced, &optimal}) {
+      const auto a = cluster::evaluate(*policy, fleet, demand);
+      if (!a.ok()) {
+        std::fprintf(stderr, "%s\n", a.error().message.c_str());
+        return 1;
+      }
+      row.push_back(format_fixed(a.value().efficiency(), 1));
+      if (a.value().efficiency() > best) {
+        best = a.value().efficiency();
+        winner = policy->name();
+      }
+    }
+    row.push_back(winner);
+    policy_table.row(std::move(row));
+  }
+  std::cout << policy_table.render();
+
+  // Cluster-wide EP per policy.
+  std::cout << section_banner("Cluster-wide energy proportionality");
+  for (const cluster::PlacementPolicy* policy :
+       std::initializer_list<const cluster::PlacementPolicy*>{&pack, &balanced,
+                                                              &optimal}) {
+    const auto curve = cluster::cluster_power_curve(*policy, fleet);
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s\n", curve.error().message.c_str());
+      return 1;
+    }
+    std::cout << policy->name() << ": EP = "
+              << format_fixed(
+                     metrics::energy_proportionality(curve.value()), 3)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: compute the paper's metrics for one server from its raw
+// SPECpower-style measurement sheet.
+//
+//   cmake --build build && ./build/examples/quickstart
+//
+// The numbers below follow the paper's Fig.1 sample server (hardware year
+// 2016, overall score ~12212, EP = 1.02): power and throughput at the ten
+// graduated load levels plus active idle.
+#include <cstdio>
+
+#include "core/epserve.h"
+
+int main() {
+  using namespace epserve;
+
+  // Measurement sheet: watts and ssj_ops at 10%..100% load, plus idle watts.
+  const std::array<double, metrics::kNumLoadLevels> watts = {
+      40.5, 66.0, 91.5, 117.0, 142.5, 168.0, 193.5, 229.0, 264.5, 300.0};
+  const std::array<double, metrics::kNumLoadLevels> ops = {
+      400000.0,  800000.0,  1200000.0, 1600000.0, 2000000.0,
+      2400000.0, 2800000.0, 3200000.0, 3600000.0, 4000000.0};
+  const double idle_watts = 15.0;
+
+  const metrics::PowerCurve curve(watts, ops, idle_watts);
+  if (auto valid = curve.validate(); !valid.ok()) {
+    std::fprintf(stderr, "invalid curve: %s\n", valid.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("epserve %s — quickstart\n\n", version().c_str());
+  std::printf("energy proportionality (Eq.1) : %.3f\n",
+              metrics::energy_proportionality(curve));
+  std::printf("overall score (ssj_ops/W)     : %.0f\n",
+              metrics::overall_score(curve));
+  std::printf("idle power ratio              : %.1f%%\n",
+              100.0 * metrics::idle_power_ratio(curve));
+  std::printf("dynamic range                 : %.1f%%\n",
+              100.0 * metrics::dynamic_range(curve));
+  std::printf("linear deviation              : %+.3f\n",
+              metrics::linear_deviation(curve));
+
+  const auto peak = metrics::peak_ee(curve);
+  std::printf("peak EE                       : %.0f ssj_ops/W at %.0f%% load\n",
+              peak.value, 100.0 * metrics::peak_ee_utilization(curve));
+  std::printf("peak-to-full EE ratio         : %.3f\n",
+              metrics::peak_to_full_ratio(curve));
+
+  const auto crossings = metrics::ideal_intersections(curve);
+  if (crossings.empty()) {
+    std::printf("never crosses the ideal curve before 100%% load\n");
+  } else {
+    std::printf("crosses the ideal curve at %.0f%% utilisation\n",
+                100.0 * crossings.front());
+  }
+
+  const auto region = cluster::optimal_region(curve, 0.95);
+  std::printf("optimal working region (95%%)  : %.0f%%..%.0f%% load\n",
+              100.0 * region.lo, 100.0 * region.hi);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// SPECpower sheet simulator: run the full simulated SPECpower_ssj2008
+// benchmark (calibration, ten graduated levels, active idle) on a
+// user-described server and print the familiar result sheet with the
+// paper's metrics underneath.
+//
+//   ./build/examples/specpower_sim [sockets] [cores/socket] [tdp_w]
+//                                  [max_ghz] [memory_gb] [governor]
+//   governor: ondemand | performance | powersave | <GHz as float>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/epserve.h"
+#include "specpower/sheet.h"
+#include "specpower/simulator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace epserve;
+
+  const int sockets = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double tdp = argc > 3 ? std::atof(argv[3]) : 95.0;
+  const double max_ghz = argc > 4 ? std::atof(argv[4]) : 2.4;
+  const double memory_gb =
+      argc > 5 ? std::atof(argv[5]) : 2.0 * sockets * cores;
+  const std::string governor_name = argc > 6 ? argv[6] : "ondemand";
+
+  power::ServerPowerModel::Config config;
+  config.cpu.tdp_watts = tdp;
+  config.cpu.cores = cores;
+  config.cpu.min_freq_ghz = std::max(0.8, max_ghz / 2.0);
+  config.cpu.max_freq_ghz = max_ghz;
+  config.sockets = sockets;
+  config.dram.dimm_capacity_gb = 16.0;
+  config.dram.dimm_count =
+      std::max(1, static_cast<int>(memory_gb / 16.0 + 0.999));
+  config.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  config.psu.rating_watts = std::max(500.0, sockets * tdp * 2.5 + 150.0);
+  auto server = power::ServerPowerModel::create(config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server config: %s\n", server.error().message.c_str());
+    return 1;
+  }
+
+  specpower::ThroughputModel::Params tparams;
+  tparams.total_cores = sockets * cores;
+  auto throughput = specpower::ThroughputModel::create(tparams);
+  if (!throughput.ok()) {
+    std::fprintf(stderr, "%s\n", throughput.error().message.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<power::DvfsGovernor> governor;
+  if (governor_name == "ondemand") {
+    governor = power::make_ondemand_governor();
+  } else if (governor_name == "performance") {
+    governor = power::make_performance_governor();
+  } else if (governor_name == "powersave") {
+    governor = power::make_powersave_governor();
+  } else {
+    governor = power::make_fixed_governor(std::atof(governor_name.c_str()));
+  }
+
+  specpower::SimConfig sim_config;
+  sim_config.interval_seconds = 20.0;
+  sim_config.calibration_seconds = 20.0;
+  const specpower::SpecPowerSimulator sim(server.value(), throughput.value(),
+                                          *governor, sim_config);
+  const double mpc = memory_gb / (sockets * cores);
+  auto run = sim.run(mpc);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.error().message.c_str());
+    return 1;
+  }
+
+  std::string title = "epserve " + version() +
+                      " — simulated SPECpower_ssj2008 run\n" +
+                      std::to_string(sockets) + " socket(s) x " +
+                      std::to_string(cores) + " cores, " +
+                      format_fixed(tdp, 0) + " W TDP, " +
+                      format_fixed(memory_gb, 0) + " GB (" +
+                      format_fixed(mpc, 2) + " GB/core), governor " +
+                      governor->name();
+  std::cout << specpower::render_sheet(run.value(), title);
+  return 0;
+}

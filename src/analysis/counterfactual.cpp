@@ -1,0 +1,63 @@
+#include "analysis/counterfactual.h"
+
+#include <map>
+
+#include "metrics/proportionality.h"
+#include "stats/descriptive.h"
+
+namespace epserve::analysis {
+
+Result<CounterfactualResult> frozen_mix_counterfactual(
+    const dataset::ResultRepository& repo,
+    const std::string& reference_codename, int from_year, int to_year) {
+  if (from_year > to_year) {
+    return Error::invalid_argument("year range inverted");
+  }
+  // Global per-codename mean EP.
+  std::map<std::string, double> codename_mean;
+  for (const auto& [name, view] : repo.by_codename()) {
+    codename_mean[name] =
+        stats::mean(dataset::ResultRepository::ep_values(view));
+  }
+  const auto reference = codename_mean.find(reference_codename);
+  if (reference == codename_mean.end()) {
+    return Error::not_found("reference codename not in population: " +
+                            reference_codename);
+  }
+
+  CounterfactualResult result;
+  result.reference_codename = reference_codename;
+  for (const auto& [year, view] : repo.by_year()) {
+    if (year < from_year || year > to_year) continue;
+    CounterfactualRow row;
+    row.year = year;
+    row.count = view.size();
+    double actual = 0.0;
+    double counterfactual = 0.0;
+    for (const auto* r : view) {
+      const double ep = metrics::energy_proportionality(r->curve);
+      actual += ep;
+      const double residual = ep - codename_mean.at(r->cpu_codename);
+      counterfactual += reference->second + residual;
+    }
+    row.actual_mean_ep = actual / static_cast<double>(view.size());
+    row.counterfactual_mean_ep =
+        counterfactual / static_cast<double>(view.size());
+    result.rows.push_back(row);
+  }
+  if (result.rows.empty()) {
+    return Error::not_found("no servers in the requested year range");
+  }
+
+  result.dip_removed = true;
+  const double baseline = result.rows.front().counterfactual_mean_ep;
+  for (const auto& row : result.rows) {
+    if (row.count < 10) continue;  // thin years carry outlier residue
+    if (row.counterfactual_mean_ep < baseline - 0.01) {
+      result.dip_removed = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace epserve::analysis

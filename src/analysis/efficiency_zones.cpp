@@ -1,0 +1,43 @@
+#include "analysis/efficiency_zones.h"
+
+#include <algorithm>
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "stats/correlation.h"
+
+namespace epserve::analysis {
+
+ZoneRow efficiency_zone(const dataset::ServerRecord& record) {
+  ZoneRow row;
+  row.server_id = record.id;
+  row.ep = metrics::energy_proportionality(record.curve);
+  const double start =
+      metrics::utilization_reaching_normalized_ee(record.curve, 1.0);
+  row.zone_start = start;
+  row.zone_width = start <= 1.0 ? 1.0 - start : 0.0;
+  return row;
+}
+
+std::vector<ZoneRow> efficiency_zones(const dataset::ResultRepository& repo) {
+  std::vector<ZoneRow> rows;
+  rows.reserve(repo.size());
+  for (const auto& r : repo.records()) {
+    rows.push_back(efficiency_zone(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ZoneRow& a, const ZoneRow& b) { return a.ep < b.ep; });
+  return rows;
+}
+
+double zone_width_ep_correlation(const dataset::ResultRepository& repo) {
+  std::vector<double> eps, widths;
+  for (const auto& r : repo.records()) {
+    const ZoneRow row = efficiency_zone(r);
+    eps.push_back(row.ep);
+    widths.push_back(row.zone_width);
+  }
+  return stats::pearson(eps, widths);
+}
+
+}  // namespace epserve::analysis

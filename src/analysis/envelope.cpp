@@ -1,0 +1,80 @@
+#include "analysis/envelope.h"
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "util/contracts.h"
+
+namespace epserve::analysis {
+
+std::array<double, kEnvelopePoints> normalized_power_points(
+    const dataset::ServerRecord& record) {
+  std::array<double, kEnvelopePoints> points{};
+  points[0] = record.curve.idle_fraction();
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    points[i + 1] =
+        record.curve.watts_at_level(i) / record.curve.peak_watts();
+  }
+  return points;
+}
+
+std::array<double, metrics::kNumLoadLevels> normalized_ee_points(
+    const dataset::ServerRecord& record) {
+  std::array<double, metrics::kNumLoadLevels> points{};
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    points[i] = metrics::normalized_ee(record.curve, i);
+  }
+  return points;
+}
+
+PowerEnvelope power_envelope(const dataset::ResultRepository& repo) {
+  EPSERVE_EXPECTS(repo.size() > 0);
+  PowerEnvelope env;
+  env.lower.fill(2.0);
+  env.upper.fill(0.0);
+  env.min_ep = 2.0;
+  env.max_ep = 0.0;
+  for (const auto& r : repo.records()) {
+    const auto points = normalized_power_points(r);
+    for (std::size_t i = 0; i < kEnvelopePoints; ++i) {
+      env.lower[i] = std::min(env.lower[i], points[i]);
+      env.upper[i] = std::max(env.upper[i], points[i]);
+    }
+    const double ep = metrics::energy_proportionality(r.curve);
+    if (ep < env.min_ep) {
+      env.min_ep = ep;
+      env.min_ep_server = &r;
+    }
+    if (ep > env.max_ep) {
+      env.max_ep = ep;
+      env.max_ep_server = &r;
+    }
+  }
+  return env;
+}
+
+EeEnvelope ee_envelope(const dataset::ResultRepository& repo) {
+  EPSERVE_EXPECTS(repo.size() > 0);
+  EeEnvelope env;
+  env.lower.fill(1e30);
+  env.upper.fill(0.0);
+  double min_ep = 2.0, max_ep = 0.0;
+  for (const auto& r : repo.records()) {
+    const auto points = normalized_ee_points(r);
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      env.lower[i] = std::min(env.lower[i], points[i]);
+      env.upper[i] = std::max(env.upper[i], points[i]);
+    }
+    const double ep = metrics::energy_proportionality(r.curve);
+    if (ep < min_ep) {
+      min_ep = ep;
+      env.min_ep_server = &r;
+    }
+    if (ep > max_ep) {
+      max_ep = ep;
+      env.max_ep_server = &r;
+    }
+  }
+  return env;
+}
+
+}  // namespace epserve::analysis

@@ -1,0 +1,69 @@
+#include "analysis/forecast.h"
+
+#include <algorithm>
+
+#include "metrics/efficiency.h"
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+
+namespace epserve::analysis {
+
+PeakShiftForecast forecast_peak_shift(const dataset::ResultRepository& repo,
+                                      int fit_from_year, int project_until) {
+  PeakShiftForecast out;
+  for (const auto& [year, view] : repo.by_year()) {
+    if (year < fit_from_year) continue;
+    const auto utils = dataset::ResultRepository::metric(
+        view, [](const dataset::ServerRecord& r) {
+          return metrics::peak_ee_utilization(r.curve);
+        });
+    out.observed.push_back({year, stats::mean(utils)});
+  }
+  EPSERVE_EXPECTS(out.observed.size() >= 2);
+
+  std::vector<double> xs, ys;
+  for (const auto& p : out.observed) {
+    xs.push_back(static_cast<double>(p.year));
+    ys.push_back(p.value);
+  }
+  out.trend = stats::fit_linear(xs, ys);
+
+  const int last_year = out.observed.back().year;
+  for (int year = last_year + 1; year <= project_until; ++year) {
+    const double projected = std::max(
+        metrics::kLoadLevels.front(),
+        out.trend.predict(static_cast<double>(year)));
+    out.projected.push_back({year, projected});
+    if (out.year_reaching_50 == 0 && projected <= 0.5) {
+      out.year_reaching_50 = year;
+    }
+    if (out.year_reaching_40 == 0 && projected <= 0.4) {
+      out.year_reaching_40 = year;
+    }
+  }
+  return out;
+}
+
+double IdleForecast::projected_idle(int year) const {
+  return std::max(0.02, trend.predict(static_cast<double>(year)));
+}
+
+IdleForecast forecast_idle_fraction(const dataset::ResultRepository& repo,
+                                    int fit_from_year) {
+  IdleForecast out;
+  for (const auto& [year, view] : repo.by_year()) {
+    if (year < fit_from_year) continue;
+    const auto idles = dataset::ResultRepository::idle_fraction_values(view);
+    out.observed.push_back({year, stats::mean(idles)});
+  }
+  EPSERVE_EXPECTS(out.observed.size() >= 2);
+  std::vector<double> xs, ys;
+  for (const auto& p : out.observed) {
+    xs.push_back(static_cast<double>(p.year));
+    ys.push_back(p.value);
+  }
+  out.trend = stats::fit_linear(xs, ys);
+  return out;
+}
+
+}  // namespace epserve::analysis

@@ -1,0 +1,41 @@
+#include "analysis/gap_analysis.h"
+
+#include "metrics/proportionality.h"
+#include "util/contracts.h"
+
+namespace epserve::analysis {
+
+GapProfile gap_profile(const dataset::ResultRepository& repo, int from_year,
+                       int to_year) {
+  EPSERVE_EXPECTS(from_year <= to_year);
+  GapProfile profile;
+  profile.from_year = from_year;
+  profile.to_year = to_year;
+  for (const auto& r : repo.records()) {
+    if (r.hw_year < from_year || r.hw_year > to_year) continue;
+    profile.servers += 1;
+    profile.mean_gap[0] += r.curve.idle_fraction();
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      profile.mean_gap[i + 1] += metrics::proportionality_gap(r.curve, i);
+    }
+  }
+  EPSERVE_EXPECTS(profile.servers > 0);
+  for (auto& g : profile.mean_gap) {
+    g /= static_cast<double>(profile.servers);
+  }
+  return profile;
+}
+
+double poorly_proportional_below(const GapProfile& profile, double threshold) {
+  EPSERVE_EXPECTS(threshold > 0.0);
+  // Scan from high utilisation down; the first level whose mean gap exceeds
+  // the threshold bounds the poorly proportional region.
+  for (std::size_t i = metrics::kNumLoadLevels; i >= 1; --i) {
+    if (profile.mean_gap[i] > threshold) {
+      return metrics::kLoadLevels[i - 1];
+    }
+  }
+  return profile.mean_gap[0] > threshold ? metrics::kLoadLevels.front() : 0.0;
+}
+
+}  // namespace epserve::analysis

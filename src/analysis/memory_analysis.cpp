@@ -1,0 +1,51 @@
+#include "analysis/memory_analysis.h"
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+
+namespace epserve::analysis {
+
+std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
+                                     std::size_t min_count) {
+  std::vector<MpcRow> out;
+  for (const auto& [mpc, view] : repo.by_memory_per_core()) {
+    if (view.size() < min_count) continue;
+    MpcRow row;
+    row.gb_per_core = mpc;
+    row.count = view.size();
+    row.mean_ep = stats::mean(dataset::ResultRepository::ep_values(view));
+    row.mean_score =
+        stats::mean(dataset::ResultRepository::score_values(view));
+    out.push_back(row);
+  }
+  return out;
+}
+
+namespace {
+double best_mpc(const dataset::ResultRepository& repo, std::size_t min_count,
+                bool by_ep) {
+  const auto rows = mpc_distribution(repo, min_count);
+  EPSERVE_EXPECTS(!rows.empty());
+  const MpcRow* best = &rows.front();
+  for (const auto& row : rows) {
+    const double value = by_ep ? row.mean_ep : row.mean_score;
+    const double best_value = by_ep ? best->mean_ep : best->mean_score;
+    if (value > best_value) best = &row;
+  }
+  return best->gb_per_core;
+}
+}  // namespace
+
+double best_mpc_for_ep(const dataset::ResultRepository& repo,
+                       std::size_t min_count) {
+  return best_mpc(repo, min_count, /*by_ep=*/true);
+}
+
+double best_mpc_for_ee(const dataset::ResultRepository& repo,
+                       std::size_t min_count) {
+  return best_mpc(repo, min_count, /*by_ep=*/false);
+}
+
+}  // namespace epserve::analysis

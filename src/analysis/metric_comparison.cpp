@@ -1,0 +1,72 @@
+#include "analysis/metric_comparison.h"
+
+#include <algorithm>
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "stats/rank.h"
+
+namespace epserve::analysis {
+
+MetricAgreement metric_agreement(const dataset::ResultRepository& repo) {
+  const auto view = repo.all();
+  const auto eps = dataset::ResultRepository::ep_values(view);
+  const auto metric_of = [&](double (*fn)(const metrics::PowerCurve&)) {
+    return dataset::ResultRepository::metric(
+        view,
+        [fn](const dataset::ServerRecord& r) { return fn(r.curve); });
+  };
+
+  MetricAgreement out;
+  // Sign conventions: LD, IPR, and the gap all fall as EP rises; negate so a
+  // perfectly agreeing ranking reads +1.
+  out.ld_vs_ep = -stats::kendall_tau(metric_of(metrics::linear_deviation), eps);
+  out.ipr_vs_ep = -stats::kendall_tau(metric_of(metrics::idle_power_ratio), eps);
+  out.dr_vs_ep = stats::kendall_tau(metric_of(metrics::dynamic_range), eps);
+  out.gap_vs_ep =
+      -stats::kendall_tau(metric_of(metrics::max_proportionality_gap), eps);
+  return out;
+}
+
+std::vector<EpTierPeakRow> peak_location_by_ep_tier(
+    const dataset::ResultRepository& repo) {
+  // Sort servers by EP and slice into quartiles.
+  auto view = repo.all();
+  std::sort(view.begin(), view.end(),
+            [](const dataset::ServerRecord* a, const dataset::ServerRecord* b) {
+              return metrics::energy_proportionality(a->curve) <
+                     metrics::energy_proportionality(b->curve);
+            });
+  std::vector<EpTierPeakRow> rows(4);
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t q = std::min<std::size_t>(3, i * 4 / n);
+    auto& row = rows[q];
+    row.quartile = static_cast<int>(q) + 1;
+    row.count += 1;
+    row.mean_ep += metrics::energy_proportionality(view[i]->curve);
+    const double peak_util = metrics::peak_ee_utilization(view[i]->curve);
+    row.mean_peak_utilization += peak_util;
+    if (peak_util == 1.0) row.share_at_full_load += 1.0;
+    if (peak_util == 0.6) row.share_at_60 += 1.0;
+  }
+  for (auto& row : rows) {
+    if (row.count == 0) continue;
+    const auto count = static_cast<double>(row.count);
+    row.mean_ep /= count;
+    row.mean_peak_utilization /= count;
+    row.share_at_full_load /= count;
+    row.share_at_60 /= count;
+  }
+  return rows;
+}
+
+double share_peaking_at_60(const dataset::ResultRepository& repo) {
+  std::size_t at_60 = 0;
+  for (const auto& r : repo.records()) {
+    if (metrics::peak_ee_utilization(r.curve) == 0.6) ++at_60;
+  }
+  return static_cast<double>(at_60) / static_cast<double>(repo.size());
+}
+
+}  // namespace epserve::analysis

@@ -1,0 +1,39 @@
+// Full-population analysis report: runs every §III/§IV analysis and renders
+// a human-readable summary (the core façade's one-call entry point).
+#pragma once
+
+#include <string>
+
+#include "analysis/async_analysis.h"
+#include "analysis/idle_analysis.h"
+#include "analysis/rekeying.h"
+#include "analysis/scale_analysis.h"
+#include "analysis/trends.h"
+#include "analysis/uarch_analysis.h"
+#include "dataset/repository.h"
+
+namespace epserve::analysis {
+
+/// Every headline number of the paper's analysis sections, measured on the
+/// population at hand.
+struct FullReport {
+  std::size_t population = 0;
+  std::vector<YearTrendRow> trends_by_hw_year;
+  std::vector<YearTrendRow> trends_by_pub_year;
+  std::vector<CodenameEp> codename_ranking;
+  IdleAnalysis idle;
+  AsyncResult async;
+  TwoChipComparison two_chip;
+  RekeyingResult rekeying;
+  double ep_jump_2008_2009 = 0.0;  // paper: +48.65%
+  double ep_jump_2011_2012 = 0.0;  // paper: +24.24%
+  double share_full_load_2004_2012 = 0.0;  // paper: 75.71%
+  double share_full_load_2013_2016 = 0.0;  // paper: 23.21%
+};
+
+FullReport build_full_report(const dataset::ResultRepository& repo);
+
+/// Renders the report as readable text (tables via util/table.h).
+std::string render_report(const FullReport& report);
+
+}  // namespace epserve::analysis

@@ -1,0 +1,14 @@
+// Machine-readable rendering of the FullReport (JSON). The text renderer in
+// report.h is for humans; this one feeds dashboards and downstream tooling.
+#pragma once
+
+#include <string>
+
+#include "analysis/report.h"
+
+namespace epserve::analysis {
+
+/// The full report as one JSON document (stable key names; see tests).
+std::string render_report_json(const FullReport& report);
+
+}  // namespace epserve::analysis

@@ -1,0 +1,84 @@
+#include "analysis/scale_analysis.h"
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+
+namespace epserve::analysis {
+
+namespace {
+
+ScaleRow make_row(int key, const dataset::RecordView& view) {
+  ScaleRow row;
+  row.key = key;
+  row.count = view.size();
+  row.ep = stats::summarize(dataset::ResultRepository::ep_values(view));
+  row.score = stats::summarize(dataset::ResultRepository::score_values(view));
+  return row;
+}
+
+}  // namespace
+
+std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo) {
+  std::vector<ScaleRow> out;
+  for (const auto& [nodes, view] : repo.by_nodes()) {
+    out.push_back(make_row(nodes, view));
+  }
+  return out;
+}
+
+std::vector<ScaleRow> ep_ee_by_chips(const dataset::ResultRepository& repo) {
+  std::vector<ScaleRow> out;
+  for (const auto& [chips, view] : repo.single_node_by_chips()) {
+    out.push_back(make_row(chips, view));
+  }
+  return out;
+}
+
+TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
+  TwoChipComparison out;
+  double ep_gain_sum = 0.0, ee_gain_sum = 0.0;
+  double med_ep_gain_sum = 0.0, med_ee_gain_sum = 0.0;
+  std::size_t years_counted = 0;
+
+  for (const auto& [year, view] : repo.by_year()) {
+    dataset::RecordView two_chip;
+    for (const auto* r : view) {
+      if (r->nodes == 1 && r->chips == 2) two_chip.push_back(r);
+    }
+    if (two_chip.size() < 3) continue;  // too few for a stable comparison
+
+    TwoChipComparison::YearRow row;
+    row.year = year;
+    row.two_chip_count = two_chip.size();
+    row.all_count = view.size();
+
+    const auto ep_two = dataset::ResultRepository::ep_values(two_chip);
+    const auto ep_all = dataset::ResultRepository::ep_values(view);
+    const auto ee_two = dataset::ResultRepository::score_values(two_chip);
+    const auto ee_all = dataset::ResultRepository::score_values(view);
+    row.two_chip_avg_ep = stats::mean(ep_two);
+    row.all_avg_ep = stats::mean(ep_all);
+    row.two_chip_avg_ee = stats::mean(ee_two);
+    row.all_avg_ee = stats::mean(ee_all);
+    row.two_chip_med_ep = stats::median(ep_two);
+    row.all_med_ep = stats::median(ep_all);
+    row.two_chip_med_ee = stats::median(ee_two);
+    row.all_med_ee = stats::median(ee_all);
+    out.years.push_back(row);
+
+    ep_gain_sum += row.two_chip_avg_ep / row.all_avg_ep - 1.0;
+    ee_gain_sum += row.two_chip_avg_ee / row.all_avg_ee - 1.0;
+    med_ep_gain_sum += row.two_chip_med_ep / row.all_med_ep - 1.0;
+    med_ee_gain_sum += row.two_chip_med_ee / row.all_med_ee - 1.0;
+    ++years_counted;
+  }
+  if (years_counted > 0) {
+    out.avg_ep_gain = ep_gain_sum / static_cast<double>(years_counted);
+    out.avg_ee_gain = ee_gain_sum / static_cast<double>(years_counted);
+    out.median_ep_gain = med_ep_gain_sum / static_cast<double>(years_counted);
+    out.median_ee_gain = med_ee_gain_sum / static_cast<double>(years_counted);
+  }
+  return out;
+}
+
+}  // namespace epserve::analysis

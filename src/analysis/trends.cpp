@@ -1,0 +1,41 @@
+#include "analysis/trends.h"
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "util/contracts.h"
+
+namespace epserve::analysis {
+
+std::vector<YearTrendRow> year_trends(const dataset::ResultRepository& repo,
+                                      dataset::YearKey key) {
+  std::vector<YearTrendRow> rows;
+  for (const auto& [year, view] : repo.by_year(key)) {
+    YearTrendRow row;
+    row.year = year;
+    row.count = view.size();
+    row.ep = stats::summarize(dataset::ResultRepository::ep_values(view));
+    row.score =
+        stats::summarize(dataset::ResultRepository::score_values(view));
+    row.peak_ee = stats::summarize(dataset::ResultRepository::metric(
+        view, [](const dataset::ServerRecord& r) {
+          return metrics::peak_ee(r.curve).value;
+        }));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double ep_jump(const std::vector<YearTrendRow>& rows, int from_year,
+               int to_year) {
+  const YearTrendRow* from = nullptr;
+  const YearTrendRow* to = nullptr;
+  for (const auto& row : rows) {
+    if (row.year == from_year) from = &row;
+    if (row.year == to_year) to = &row;
+  }
+  EPSERVE_EXPECTS(from != nullptr && to != nullptr);
+  EPSERVE_EXPECTS(from->ep.mean > 0.0);
+  return (to->ep.mean - from->ep.mean) / from->ep.mean;
+}
+
+}  // namespace epserve::analysis

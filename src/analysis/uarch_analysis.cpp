@@ -1,0 +1,73 @@
+#include "analysis/uarch_analysis.h"
+
+#include <algorithm>
+
+#include "metrics/proportionality.h"
+#include "stats/descriptive.h"
+
+namespace epserve::analysis {
+
+std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo) {
+  std::vector<FamilyCount> out;
+  for (const auto& [family, view] : repo.by_family()) {
+    out.push_back({family, view.size()});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count > b.count;
+  });
+  return out;
+}
+
+std::vector<CodenameEp> codename_ep_ranking(
+    const dataset::ResultRepository& repo) {
+  std::vector<CodenameEp> out;
+  for (const auto& [name, view] : repo.by_codename()) {
+    CodenameEp row;
+    row.codename = name;
+    row.count = view.size();
+    const auto eps = dataset::ResultRepository::ep_values(view);
+    row.mean_ep = stats::mean(eps);
+    row.median_ep = stats::median(eps);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.mean_ep > b.mean_ep;
+  });
+  return out;
+}
+
+std::map<int, std::map<std::string, std::size_t>> yearly_codename_mix(
+    const dataset::ResultRepository& repo, int from_year, int to_year) {
+  std::map<int, std::map<std::string, std::size_t>> mix;
+  for (const auto& r : repo.records()) {
+    if (r.hw_year < from_year || r.hw_year > to_year) continue;
+    mix[r.hw_year][r.cpu_codename] += 1;
+  }
+  return mix;
+}
+
+std::vector<MixShift> composition_decomposition(
+    const dataset::ResultRepository& repo, int from_year, int to_year) {
+  // Global per-codename mean EP.
+  std::map<std::string, double> codename_mean;
+  for (const auto& [name, view] : repo.by_codename()) {
+    codename_mean[name] =
+        stats::mean(dataset::ResultRepository::ep_values(view));
+  }
+
+  std::vector<MixShift> out;
+  for (const auto& [year, view] : repo.by_year()) {
+    if (year < from_year || year > to_year) continue;
+    MixShift row;
+    row.year = year;
+    row.actual_mean_ep =
+        stats::mean(dataset::ResultRepository::ep_values(view));
+    double predicted = 0.0;
+    for (const auto* r : view) predicted += codename_mean.at(r->cpu_codename);
+    row.composition_predicted_ep = predicted / static_cast<double>(view.size());
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace epserve::analysis

@@ -1,0 +1,107 @@
+#include "cluster/autoscaler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "metrics/efficiency.h"
+
+namespace epserve::cluster {
+
+Result<AutoscaleResult> autoscale_over_day(
+    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace,
+    const AutoscalerConfig& config) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  if (trace.demand.empty()) return Error::invalid_argument("trace is empty");
+  if (!(trace.slot_hours > 0.0)) {
+    return Error::invalid_argument("slot length must be positive");
+  }
+  if (!(config.target_utilization > 0.0 &&
+        config.target_utilization <= 1.0)) {
+    return Error::invalid_argument("target utilisation must be in (0, 1]");
+  }
+  if (config.wake_penalty_wh < 0.0 || config.hysteresis_servers < 0) {
+    return Error::invalid_argument("penalty/hysteresis must be non-negative");
+  }
+
+  // Order servers best-overall-EE first; the active set is always a prefix.
+  std::vector<std::size_t> order(fleet.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ea = metrics::overall_score(fleet[a].curve);
+    const double eb = metrics::overall_score(fleet[b].curve);
+    if (ea != eb) return ea > eb;
+    return fleet[a].id < fleet[b].id;
+  });
+
+  double fleet_capacity = 0.0;
+  for (const auto& s : fleet) fleet_capacity += s.curve.peak_ops();
+
+  AutoscaleResult result;
+  int active = 0;
+  for (const double demand : trace.demand) {
+    if (demand < 0.0 || demand > 1.0) {
+      return Error::invalid_argument("trace demand outside [0, 1]");
+    }
+    const double demand_ops = demand * fleet_capacity;
+
+    // Smallest prefix whose capacity at the target utilisation covers the
+    // demand (the whole fleet at full tilt as a last resort).
+    int needed = 0;
+    double prefix_capacity = 0.0;
+    while (needed < static_cast<int>(fleet.size()) &&
+           prefix_capacity * config.target_utilization < demand_ops) {
+      prefix_capacity +=
+          fleet[order[static_cast<std::size_t>(needed)]].curve.peak_ops();
+      ++needed;
+    }
+    if (prefix_capacity * config.target_utilization < demand_ops) {
+      needed = static_cast<int>(fleet.size());  // serve above target util
+    }
+
+    // Hysteresis: grow immediately, shrink only past the band.
+    int next_active = active;
+    if (needed > active) {
+      next_active = needed;
+    } else if (active - needed > config.hysteresis_servers) {
+      next_active = needed;
+    }
+    const double wakes = std::max(0, next_active - active);
+    active = std::max(next_active, demand_ops > 0.0 ? 1 : 0);
+
+    // Spread the demand over the active prefix proportionally to capacity.
+    double active_capacity = 0.0;
+    for (int i = 0; i < active; ++i) {
+      active_capacity +=
+          fleet[order[static_cast<std::size_t>(i)]].curve.peak_ops();
+    }
+    const double utilization =
+        active_capacity > 0.0
+            ? std::min(1.0, demand_ops / active_capacity)
+            : 0.0;
+    double power = 0.0;
+    for (int i = 0; i < active; ++i) {
+      const auto& server = fleet[order[static_cast<std::size_t>(i)]];
+      power += server.curve.normalized_power(utilization) *
+               server.curve.peak_watts();
+    }
+
+    ScaleSlot slot;
+    slot.demand = demand;
+    slot.active_servers = active;
+    slot.power_watts = power;
+    slot.wakes = wakes;
+    result.slots.push_back(slot);
+
+    result.energy_kwh += power * trace.slot_hours / 1000.0 +
+                         wakes * config.wake_penalty_wh / 1000.0;
+    result.served_gops +=
+        std::min(demand_ops, active_capacity) * trace.slot_hours * 3600.0 /
+        1e9;
+  }
+  const double joules = result.energy_kwh * 3.6e6;
+  result.avg_efficiency =
+      joules > 0.0 ? result.served_gops * 1e9 / joules : 0.0;
+  return result;
+}
+
+}  // namespace epserve::cluster

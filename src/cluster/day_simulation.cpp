@@ -1,0 +1,65 @@
+#include "cluster/day_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace epserve::cluster {
+
+DemandTrace DemandTrace::diurnal(double base, double amplitude) {
+  DemandTrace trace;
+  trace.slot_hours = 1.0;
+  trace.demand.resize(24);
+  for (int h = 0; h < 24; ++h) {
+    // Trough around 04:00, peak around 20:00 (shifted sine, clamped).
+    const double phase =
+        2.0 * std::numbers::pi * (static_cast<double>(h) - 10.0) / 24.0;
+    const double value = base + amplitude * 0.5 * (1.0 + std::sin(phase));
+    trace.demand[static_cast<std::size_t>(h)] =
+        std::clamp(value, 0.0, 1.0);
+  }
+  return trace;
+}
+
+Result<DayResult> simulate_day(const PlacementPolicy& policy,
+                               const std::vector<dataset::ServerRecord>& fleet,
+                               const DemandTrace& trace) {
+  if (trace.demand.empty()) {
+    return Error::invalid_argument("trace has no slots");
+  }
+  if (!(trace.slot_hours > 0.0)) {
+    return Error::invalid_argument("slot length must be positive");
+  }
+  DayResult result;
+  result.policy = policy.name();
+  for (const double demand : trace.demand) {
+    auto assignment = evaluate(policy, fleet, demand);
+    if (!assignment.ok()) return assignment.error();
+    result.energy_kwh +=
+        assignment.value().total_power_watts * trace.slot_hours / 1000.0;
+    result.served_gops +=
+        assignment.value().total_ops * trace.slot_hours * 3600.0 / 1e9;
+  }
+  const double joules = result.energy_kwh * 3.6e6;
+  result.avg_efficiency = joules > 0.0 ? result.served_gops * 1e9 / joules : 0.0;
+  return result;
+}
+
+Result<std::vector<DayResult>> compare_policies_over_day(
+    const std::vector<dataset::ServerRecord>& fleet,
+    const DemandTrace& trace) {
+  const PackToFullPolicy pack;
+  const BalancedPolicy balanced;
+  const OptimalRegionPolicy optimal;
+  std::vector<DayResult> results;
+  for (const PlacementPolicy* policy :
+       std::initializer_list<const PlacementPolicy*>{&pack, &balanced,
+                                                     &optimal}) {
+    auto day = simulate_day(*policy, fleet, trace);
+    if (!day.ok()) return day.error();
+    results.push_back(std::move(day).take());
+  }
+  return results;
+}
+
+}  // namespace epserve::cluster

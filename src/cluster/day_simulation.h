@@ -1,0 +1,43 @@
+// Diurnal placement simulation: drive a fleet through a 24-hour demand
+// trace under each placement policy and account the energy. This turns the
+// paper's §V.C guidance into the quantity an operator actually pays for —
+// kWh per day of served work — instead of a single-point efficiency number.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "util/result.h"
+
+namespace epserve::cluster {
+
+/// A repeating daily demand trace: one aggregate-demand fraction per slot.
+struct DemandTrace {
+  std::vector<double> demand;       // each in [0, 1]
+  double slot_hours = 1.0;
+
+  /// Classic diurnal shape: trough at night, peak in the evening.
+  /// demand(t) = base + amplitude * sin-shaped day profile, 24 slots.
+  static DemandTrace diurnal(double base = 0.25, double amplitude = 0.45);
+};
+
+/// Energy accounting for one policy over one trace repetition.
+struct DayResult {
+  std::string policy;
+  double energy_kwh = 0.0;       // fleet energy over the trace
+  double served_gops = 0.0;      // integral of served throughput (Gops)
+  double avg_efficiency = 0.0;   // served ops per joule (ops/J)
+};
+
+/// Runs the trace under a policy. Fails on empty fleet/trace or demand
+/// outside [0, 1].
+epserve::Result<DayResult> simulate_day(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace);
+
+/// Convenience: all three built-in policies on the same fleet/trace.
+epserve::Result<std::vector<DayResult>> compare_policies_over_day(
+    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace);
+
+}  // namespace epserve::cluster

@@ -1,0 +1,84 @@
+#include "cluster/knightshift.h"
+
+#include <algorithm>
+
+#include "metrics/proportionality.h"
+
+namespace epserve::cluster {
+
+namespace {
+
+/// Knight power at a knight-local utilisation (linear little machine).
+double knight_power(const KnightShiftConfig& config, double primary_peak_watts,
+                    double utilization) {
+  const double peak = primary_peak_watts * config.knight_power_fraction;
+  return peak * (config.knight_idle_fraction +
+                 (1.0 - config.knight_idle_fraction) * utilization);
+}
+
+}  // namespace
+
+Result<metrics::PowerCurve> knightshift_curve(
+    const dataset::ServerRecord& primary, const KnightShiftConfig& config) {
+  if (!(config.knight_capacity_fraction > 0.0 &&
+        config.knight_capacity_fraction < 1.0)) {
+    return Error::invalid_argument("knight capacity fraction must be in (0,1)");
+  }
+  if (!(config.knight_power_fraction > 0.0 &&
+        config.knight_power_fraction < 1.0)) {
+    return Error::invalid_argument("knight power fraction must be in (0,1)");
+  }
+  if (config.knight_idle_fraction < 0.0 || config.knight_idle_fraction > 1.0 ||
+      config.primary_suspend_fraction < 0.0 ||
+      config.primary_suspend_fraction > 1.0) {
+    return Error::invalid_argument("fractions must be in [0,1]");
+  }
+  if (auto valid = primary.curve.validate(); !valid.ok()) {
+    return valid.error();
+  }
+
+  const double primary_ops = primary.curve.peak_ops();
+  const double primary_watts = primary.curve.peak_watts();
+  const double knight_ops = primary_ops * config.knight_capacity_fraction;
+  const double composite_ops = primary_ops + knight_ops;
+
+  std::array<double, metrics::kNumLoadLevels> watts{};
+  std::array<double, metrics::kNumLoadLevels> ops{};
+  const auto composite_power = [&](double composite_util) {
+    const double demand_ops = composite_util * composite_ops;
+    if (demand_ops <= knight_ops) {
+      // Knight-only regime: primary suspended.
+      const double knight_util = knight_ops > 0.0 ? demand_ops / knight_ops : 0.0;
+      return knight_power(config, primary_watts, knight_util) +
+             primary_watts * config.primary_suspend_fraction;
+    }
+    // Shared regime: knight saturated, primary takes the remainder.
+    const double primary_util =
+        std::min(1.0, (demand_ops - knight_ops) / primary_ops);
+    return knight_power(config, primary_watts, 1.0) +
+           primary.curve.normalized_power(primary_util) * primary_watts;
+  };
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    const double u = metrics::kLoadLevels[i];
+    watts[i] = composite_power(u);
+    ops[i] = composite_ops * u;
+  }
+  const double idle = composite_power(0.0);
+  metrics::PowerCurve curve(watts, ops, idle);
+  if (auto valid = curve.validate(); !valid.ok()) return valid.error();
+  return curve;
+}
+
+Result<KnightShiftComparison> compare_knightshift(
+    const dataset::ServerRecord& primary, const KnightShiftConfig& config) {
+  auto composite = knightshift_curve(primary, config);
+  if (!composite.ok()) return composite.error();
+  KnightShiftComparison cmp;
+  cmp.primary_ep = metrics::energy_proportionality(primary.curve);
+  cmp.composite_ep = metrics::energy_proportionality(composite.value());
+  cmp.primary_idle_fraction = primary.curve.idle_fraction();
+  cmp.composite_idle_fraction = composite.value().idle_fraction();
+  return cmp;
+}
+
+}  // namespace epserve::cluster

@@ -1,0 +1,147 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "metrics/efficiency.h"
+#include "util/contracts.h"
+
+namespace epserve::cluster {
+
+namespace {
+
+double fleet_capacity(const std::vector<dataset::ServerRecord>& fleet) {
+  double capacity = 0.0;
+  for (const auto& s : fleet) capacity += s.curve.peak_ops();
+  return capacity;
+}
+
+/// Server order by a score, descending.
+std::vector<std::size_t> order_by(
+    const std::vector<dataset::ServerRecord>& fleet,
+    const std::function<double(const dataset::ServerRecord&)>& score) {
+  std::vector<std::size_t> order(fleet.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double sa = score(fleet[a]);
+    const double sb = score(fleet[b]);
+    if (sa != sb) return sa > sb;
+    return fleet[a].id < fleet[b].id;
+  });
+  return order;
+}
+
+/// Greedy fill: walk servers in `order`, loading each up to its cap (ops),
+/// until `remaining_ops` is exhausted. Adds to existing utilisations.
+void greedy_fill(const std::vector<dataset::ServerRecord>& fleet,
+                 const std::vector<std::size_t>& order,
+                 const std::vector<double>& cap_util,
+                 std::vector<double>& util, double& remaining_ops) {
+  for (const auto idx : order) {
+    if (remaining_ops <= 0.0) break;
+    const double headroom_util = cap_util[idx] - util[idx];
+    if (headroom_util <= 0.0) continue;
+    const double headroom_ops = headroom_util * fleet[idx].curve.peak_ops();
+    const double take = std::min(headroom_ops, remaining_ops);
+    util[idx] += take / fleet[idx].curve.peak_ops();
+    remaining_ops -= take;
+  }
+}
+
+}  // namespace
+
+std::vector<double> PackToFullPolicy::place(
+    const std::vector<dataset::ServerRecord>& fleet, double demand) const {
+  std::vector<double> util(fleet.size(), 0.0);
+  double remaining = demand * fleet_capacity(fleet);
+  const auto order = order_by(fleet, [](const dataset::ServerRecord& r) {
+    return metrics::ee_at_level(r.curve, metrics::kNumLoadLevels - 1);
+  });
+  const std::vector<double> caps(fleet.size(), 1.0);
+  greedy_fill(fleet, order, caps, util, remaining);
+  return util;
+}
+
+std::vector<double> BalancedPolicy::place(
+    const std::vector<dataset::ServerRecord>& fleet, double demand) const {
+  return std::vector<double>(fleet.size(), demand);
+}
+
+std::vector<double> OptimalRegionPolicy::place(
+    const std::vector<dataset::ServerRecord>& fleet, double demand) const {
+  std::vector<double> util(fleet.size(), 0.0);
+  double remaining = demand * fleet_capacity(fleet);
+
+  // Stage 1: fill servers up to the top of their optimal region, best peak
+  // EE first.
+  std::vector<double> region_top(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const Region region = optimal_region(fleet[i].curve, ee_threshold_);
+    region_top[i] = region.empty() ? 1.0 : region.hi;
+  }
+  const auto order = order_by(fleet, [](const dataset::ServerRecord& r) {
+    return metrics::peak_ee(r.curve).value;
+  });
+  greedy_fill(fleet, order, region_top, util, remaining);
+
+  // Stage 2: demand exceeding the regions' capacity spills into full packing.
+  if (remaining > 0.0) {
+    const std::vector<double> caps(fleet.size(), 1.0);
+    greedy_fill(fleet, order, caps, util, remaining);
+  }
+  return util;
+}
+
+Result<Assignment> evaluate(const PlacementPolicy& policy,
+                            const std::vector<dataset::ServerRecord>& fleet,
+                            double demand) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  if (demand < 0.0 || demand > 1.0) {
+    return Error::invalid_argument("demand must be in [0, 1]");
+  }
+  Assignment assignment;
+  assignment.utilization = policy.place(fleet, demand);
+  if (assignment.utilization.size() != fleet.size()) {
+    return Error::failed_precondition("policy returned a misaligned vector");
+  }
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const double u = assignment.utilization[i];
+    if (u < -1e-9 || u > 1.0 + 1e-9) {
+      return Error::failed_precondition("policy produced utilisation outside [0,1]");
+    }
+    const double clamped = std::clamp(u, 0.0, 1.0);
+    assignment.total_power_watts +=
+        fleet[i].curve.normalized_power(clamped) * fleet[i].curve.peak_watts();
+    assignment.total_ops += clamped * fleet[i].curve.peak_ops();
+  }
+  return assignment;
+}
+
+Result<metrics::PowerCurve> cluster_power_curve(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  std::array<double, metrics::kNumLoadLevels> watts{};
+  std::array<double, metrics::kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    auto assignment = evaluate(policy, fleet, metrics::kLoadLevels[i]);
+    if (!assignment.ok()) return assignment.error();
+    watts[i] = assignment.value().total_power_watts;
+    ops[i] = assignment.value().total_ops;
+  }
+  // Active idle: every machine idles.
+  double idle = 0.0;
+  for (const auto& s : fleet) idle += s.curve.idle_watts();
+  // Policies can produce non-monotone aggregate power around the region
+  // boundaries; clamp to the physical invariant before validating.
+  for (std::size_t i = 1; i < metrics::kNumLoadLevels; ++i) {
+    watts[i] = std::max(watts[i], watts[i - 1]);
+    ops[i] = std::max(ops[i], ops[i - 1]);
+  }
+  metrics::PowerCurve curve(watts, ops, idle);
+  if (auto valid = curve.validate(); !valid.ok()) return valid.error();
+  return curve;
+}
+
+}  // namespace epserve::cluster

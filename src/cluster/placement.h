@@ -1,0 +1,92 @@
+// Energy-proportionality-aware workload placement (paper §V.C).
+//
+// A fleet of heterogeneous servers must serve an aggregate demand expressed
+// as a fraction of total fleet capacity. A placement policy decides each
+// server's utilisation; the fleet's power is the sum of per-server powers
+// read off their measured curves. The paper's claim: for a fixed number of
+// racks, EP-aware placement (keep machines inside their optimal working
+// region, e.g. at 70% rather than packed full) maximises throughput per watt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/working_region.h"
+#include "dataset/record.h"
+#include "util/result.h"
+
+namespace epserve::cluster {
+
+/// Fleet assignment: one utilisation per server, aligned with the fleet.
+struct Assignment {
+  std::vector<double> utilization;
+  double total_power_watts = 0.0;
+  double total_ops = 0.0;
+
+  [[nodiscard]] double efficiency() const {
+    return total_power_watts > 0.0 ? total_ops / total_power_watts : 0.0;
+  }
+};
+
+/// Placement policy interface. `demand` is the requested fraction of the
+/// fleet's aggregate peak throughput, in [0, 1].
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Produces per-server utilisations whose ops sum to demand * capacity.
+  [[nodiscard]] virtual std::vector<double> place(
+      const std::vector<dataset::ServerRecord>& fleet, double demand) const = 0;
+};
+
+/// Packs servers to 100% one at a time, most-efficient-at-full-load first.
+class PackToFullPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "pack-to-full"; }
+  [[nodiscard]] std::vector<double> place(
+      const std::vector<dataset::ServerRecord>& fleet,
+      double demand) const override;
+};
+
+/// Spreads load uniformly: every server runs at the same utilisation.
+class BalancedPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "balanced"; }
+  [[nodiscard]] std::vector<double> place(
+      const std::vector<dataset::ServerRecord>& fleet,
+      double demand) const override;
+};
+
+/// §V.C policy: fill servers only up to the top of their optimal working
+/// region (ordered by peak EE), packing beyond it only when demand cannot
+/// otherwise be met.
+class OptimalRegionPolicy final : public PlacementPolicy {
+ public:
+  explicit OptimalRegionPolicy(double ee_threshold = 0.95)
+      : ee_threshold_(ee_threshold) {}
+  [[nodiscard]] std::string name() const override { return "optimal-region"; }
+  [[nodiscard]] std::vector<double> place(
+      const std::vector<dataset::ServerRecord>& fleet,
+      double demand) const override;
+
+ private:
+  double ee_threshold_;
+};
+
+/// Evaluates a policy: computes utilisations, per-curve powers (linear
+/// interpolation on the measured sheets; active idle at utilisation 0) and
+/// the achieved throughput. Fails if the fleet is empty or demand is out of
+/// [0, 1].
+epserve::Result<Assignment> evaluate(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet, double demand);
+
+/// Aggregate fleet power at a fleet-wide demand under a policy — evaluated
+/// at the eleven SPECpower points this library uses everywhere — exposed as
+/// a PowerCurve so cluster-wide EP (Eq.1) applies directly.
+epserve::Result<metrics::PowerCurve> cluster_power_curve(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet);
+
+}  // namespace epserve::cluster

@@ -1,0 +1,54 @@
+#include "cluster/power_cap.h"
+
+namespace epserve::cluster {
+
+Result<CapResult> max_throughput_under_cap(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet, double cap_watts,
+    double tolerance) {
+  if (!(cap_watts > 0.0)) {
+    return Error::invalid_argument("cap must be positive");
+  }
+  if (!(tolerance > 0.0)) {
+    return Error::invalid_argument("tolerance must be positive");
+  }
+  auto idle = evaluate(policy, fleet, 0.0);
+  if (!idle.ok()) return idle.error();
+  if (idle.value().total_power_watts > cap_watts) {
+    return Error::failed_precondition(
+        "fleet idle power already exceeds the cap");
+  }
+
+  auto full = evaluate(policy, fleet, 1.0);
+  if (!full.ok()) return full.error();
+
+  CapResult result;
+  result.cap_watts = cap_watts;
+  if (full.value().total_power_watts <= cap_watts) {
+    result.max_demand = 1.0;
+    result.max_throughput = full.value().total_ops;
+    result.power_at_max = full.value().total_power_watts;
+    return result;
+  }
+
+  // Bisection on demand; per-policy power is monotone in demand.
+  double lo = 0.0, hi = 1.0;
+  Assignment at_lo = std::move(idle).take();
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    auto assignment = evaluate(policy, fleet, mid);
+    if (!assignment.ok()) return assignment.error();
+    if (assignment.value().total_power_watts <= cap_watts) {
+      lo = mid;
+      at_lo = std::move(assignment).take();
+    } else {
+      hi = mid;
+    }
+  }
+  result.max_demand = lo;
+  result.max_throughput = at_lo.total_ops;
+  result.power_at_max = at_lo.total_power_watts;
+  return result;
+}
+
+}  // namespace epserve::cluster

@@ -1,0 +1,28 @@
+#include "core/epserve.h"
+
+#include "testbed/config.h"
+
+namespace epserve {
+
+std::string version() { return "1.0.0"; }
+
+Result<PopulationStudy> run_population_study(
+    const dataset::GeneratorConfig& config) {
+  auto population = dataset::generate_population(config);
+  if (!population.ok()) return population.error();
+  PopulationStudy study;
+  study.repository = std::make_shared<dataset::ResultRepository>(
+      std::move(population).take());
+  study.report = analysis::build_full_report(*study.repository);
+  return study;
+}
+
+Result<testbed::SweepResult> run_testbed_sweep(int server_id) {
+  const auto* server = testbed::find_server(server_id);
+  if (server == nullptr) {
+    return Error::not_found("testbed server id must be 1..4");
+  }
+  return testbed::run_sweep(*server, testbed::paper_sweep_config(server_id));
+}
+
+}  // namespace epserve

@@ -1,0 +1,51 @@
+// epserve — energy-proportionality analysis toolkit for servers.
+//
+// Reproduction of "Energy Proportional Servers: Where Are We in 2016?"
+// (Jiang, Wang, Ou, Luo, Shi — ICDCS 2017). This façade is the one-include
+// entry point: generate the calibrated population, run the paper's full
+// analysis, and access the testbed / placement experiments.
+//
+//   #include "core/epserve.h"
+//   auto study = epserve::run_population_study();
+//   std::cout << epserve::analysis::render_report(study.value().report);
+//
+// Layering (each usable on its own):
+//   util -> stats -> metrics -> power -> specpower -> dataset
+//        -> {analysis, testbed, cluster} -> core
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/report.h"
+#include "cluster/placement.h"
+#include "cluster/working_region.h"
+#include "dataset/generator.h"
+#include "dataset/io.h"
+#include "dataset/repository.h"
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "testbed/experiment.h"
+#include "util/result.h"
+
+namespace epserve {
+
+/// Library version string (semver).
+std::string version();
+
+/// A generated population together with its full analysis report.
+struct PopulationStudy {
+  std::shared_ptr<dataset::ResultRepository> repository;
+  analysis::FullReport report;
+};
+
+/// Generates the calibrated 477-server population and runs every analysis
+/// of the paper's §III/§IV on it.
+Result<PopulationStudy> run_population_study(
+    const dataset::GeneratorConfig& config = {});
+
+/// Runs the paper's §V testbed sweep (Fig.18-21 protocol) on Table II
+/// server `server_id` (1..4).
+Result<testbed::SweepResult> run_testbed_sweep(int server_id);
+
+}  // namespace epserve

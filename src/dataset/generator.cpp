@@ -1,0 +1,520 @@
+#include "dataset/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "dataset/calibration.h"
+#include "metrics/curve_models.h"
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "power/uarch.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace epserve::dataset {
+
+namespace {
+
+using metrics::kLoadLevels;
+using metrics::kNumLoadLevels;
+
+constexpr double kMinIdle = 0.03;
+constexpr double kMaxIdle = 0.92;
+
+/// Vendor palette for cosmetic identities.
+constexpr std::array<std::string_view, 10> kVendors = {
+    "Dell",  "HP",     "IBM",    "Fujitsu",    "Sugon",
+    "Inspur", "Lenovo", "Huawei", "SuperMicro", "Acer"};
+
+/// Approximate socket TDP per family era (drives absolute peak power).
+double family_tdp(power::UarchFamily family) {
+  using power::UarchFamily;
+  switch (family) {
+    case UarchFamily::kNetburst: return 110.0;
+    case UarchFamily::kCore: return 80.0;
+    case UarchFamily::kNehalem: return 95.0;
+    case UarchFamily::kSandyBridge: return 95.0;
+    case UarchFamily::kIvyBridge: return 95.0;
+    case UarchFamily::kHaswell: return 90.0;
+    case UarchFamily::kBroadwell: return 105.0;
+    case UarchFamily::kSkylake: return 105.0;
+    case UarchFamily::kAmd10h: return 105.0;
+    case UarchFamily::kBulldozer: return 115.0;
+  }
+  return 95.0;
+}
+
+/// Work-in-progress record before curve synthesis.
+struct Draft {
+  int hw_year = 0;
+  const power::UarchInfo* uarch = nullptr;
+  double ep_target = 0.6;
+  double peak_spot = 1.0;
+  double pinned_score = 0.0;  // 0 = use the year target
+  int nodes = 1;
+  int chips = 2;
+  int cores_per_chip = 8;
+  double mpc = 1.0;
+  double ee_multiplier = 1.0;
+  bool is_exemplar = false;
+  bool dual_peak = false;
+  std::string_view note;
+  double score_mean = 0.0;
+  double score_sd_rel = 0.15;
+  double ep_floor = 0.05;
+};
+
+/// Cores per chip typical of a codename's era.
+int default_cores_per_chip(const power::UarchInfo& info, Rng& rng) {
+  using power::UarchFamily;
+  switch (info.family) {
+    case UarchFamily::kNetburst: return 1 + static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kCore: return 2 + 2 * static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kNehalem:
+      return info.codename == "Lynnfield" ? 4
+                                          : 4 + 2 * static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kSandyBridge: return 8;
+    case UarchFamily::kIvyBridge: return 10;
+    case UarchFamily::kHaswell: return 12;
+    case UarchFamily::kBroadwell: return 16;
+    case UarchFamily::kSkylake: return 18;
+    case UarchFamily::kAmd10h: return 6;
+    case UarchFamily::kBulldozer: return 16;
+  }
+  return 8;
+}
+
+/// Idle-fraction window at which a two-segment curve with the requested EP
+/// can place its peak EE at `spot` (see generator.h step 4).
+struct IdleWindow {
+  double lo = kMinIdle;
+  double hi = kMaxIdle;
+  double shape_tau = 0.5;
+  [[nodiscard]] bool valid() const { return lo < hi; }
+};
+
+IdleWindow idle_window_for(double ep, double spot) {
+  IdleWindow w;
+  if (spot >= 1.0) {
+    w.shape_tau = 0.5;
+    // Peak at 100%: idle < (1-EP)/tau_shape; slopes non-negative.
+    w.lo = std::max(kMinIdle, 1.0 - 2.0 * ep + 0.01);
+    w.hi = std::min({kMaxIdle, (1.0 - ep) / w.shape_tau - 0.01,
+                     1.0 - ep / (1.0 + w.shape_tau) - 0.01});
+  } else {
+    w.shape_tau = spot;
+    // Peak at tau: idle > (1-EP)/tau; EP feasible: idle <= 1 - EP/(1+tau).
+    w.lo = std::max(kMinIdle, (1.0 - ep) / spot + 0.01);
+    w.hi = std::min(kMaxIdle, 1.0 - ep / (1.0 + spot) - 0.01);
+  }
+  return w;
+}
+
+/// Minimal EP at which an interior peak at `spot` is feasible (window
+/// non-degenerate). Derived from idle_window_for's two bounds.
+double min_ep_for_interior_peak(double spot) {
+  // (1-EP)/spot + 0.02 <= 1 - EP/(1+spot)  =>  EP >= ...
+  // Solve numerically (monotone in EP) to keep the algebra out of the code.
+  double lo = 0.0, hi = 1.2;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const IdleWindow w = idle_window_for(mid, spot);
+    (w.valid() ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+/// One synthesized measurement sheet.
+struct CurveBuild {
+  metrics::PowerCurve curve;
+  double measured_ep = 0.0;
+};
+
+/// Discretises the model, applies jitter while preserving monotonicity and
+/// the peak-EE spot, and scales to absolute watts/ops.
+CurveBuild build_curve(const metrics::TwoSegmentPowerModel& model,
+                       double target_spot, bool dual_peak, double peak_watts,
+                       double overall_score, double jitter_sd, Rng& rng) {
+  std::array<double, kNumLoadLevels> norm{};
+  const std::size_t spot_level =
+      metrics::level_of_utilization(std::min(target_spot, 1.0));
+
+  for (int attempt = 0;; ++attempt) {
+    const double sd = jitter_sd * std::pow(0.5, attempt);
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      double w = model.power(kLoadLevels[i]);
+      if (attempt < 6 && sd > 0.0) {
+        w *= 1.0 + std::clamp(rng.normal(0.0, sd), -2.5 * sd, 2.5 * sd);
+      }
+      norm[i] = w;
+    }
+    // Monotone forward pass, then renormalise to the 100% level.
+    for (std::size_t i = 1; i < kNumLoadLevels; ++i) {
+      norm[i] = std::max(norm[i], norm[i - 1]);
+    }
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) norm[i] /= norm.back();
+
+    if (dual_peak) {
+      // Tie EE at 90% to EE at 80% exactly: w(0.9) = (0.9/0.8) * w(0.8).
+      norm[8] = norm[7] * (0.9 / 0.8);
+      if (norm[8] > 1.0) continue;  // infeasible jitter draw; retry
+    }
+
+    // The jitter must not move the peak-EE level (ops are linear in load, so
+    // the peak level is argmax u/norm(u)).
+    std::size_t argmax = 0;
+    double best = 0.0;
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      const double ee = kLoadLevels[i] / norm[i];
+      if (ee > best + 1e-12) {
+        best = ee;
+        argmax = i;
+      }
+    }
+    if (argmax != spot_level && attempt < 8) continue;
+
+    const double idle_norm =
+        std::min(model.power(0.0), norm.front() * 0.999);
+    std::array<double, kNumLoadLevels> watts{};
+    std::array<double, kNumLoadLevels> ops{};
+    double watts_sum = idle_norm * peak_watts;
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      watts[i] = norm[i] * peak_watts;
+      watts_sum += watts[i];
+    }
+    // Choose peak ops so the overall score lands exactly on target:
+    // score = (peak_ops * sum(u_i)) / (sum(watts) + idle).
+    constexpr double kLoadSum = 5.5;  // 0.1 + 0.2 + ... + 1.0
+    const double peak_ops = overall_score * watts_sum / kLoadSum;
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      ops[i] = peak_ops * kLoadLevels[i];
+    }
+    CurveBuild out{metrics::PowerCurve(watts, ops, idle_norm * peak_watts),
+                   0.0};
+    out.measured_ep = metrics::energy_proportionality(out.curve);
+    return out;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ServerRecord>> generate_population(
+    const GeneratorConfig& config) {
+  if (!plan_is_consistent()) {
+    return Error::failed_precondition(
+        "dataset calibration plan is internally inconsistent");
+  }
+  Rng rng(config.seed);
+
+  // ---- Phase 1: drafts per year (cohorts, exemplars, EP, spots). ----------
+  std::vector<Draft> drafts;
+  drafts.reserve(kTotalServers);
+
+  for (const auto& plan : year_plans()) {
+    // Remaining per-codename slots after exemplars claim theirs.
+    std::vector<CodenameQuota> remaining(plan.codenames.begin(),
+                                         plan.codenames.end());
+    std::vector<PeakSpotQuota> spots(plan.peak_spots.begin(),
+                                     plan.peak_spots.end());
+    std::vector<Draft> year_drafts;
+
+    for (const auto& ex : exemplars()) {
+      if (ex.hw_year != plan.year) continue;
+      for (auto& q : remaining) {
+        if (q.codename == ex.codename && q.count > 0) {
+          --q.count;
+          break;
+        }
+      }
+      for (auto& s : spots) {
+        if (std::abs(s.utilization - ex.peak_spot) < 1e-9 && s.count > 0) {
+          --s.count;
+          break;
+        }
+      }
+      Draft d;
+      d.hw_year = plan.year;
+      d.uarch = power::find_uarch(ex.codename);
+      d.ep_target = ex.ep;
+      d.peak_spot = ex.peak_spot;
+      d.pinned_score = ex.overall_score;
+      d.chips = ex.chips;
+      d.cores_per_chip = ex.cores_per_chip;
+      d.is_exemplar = true;
+      d.dual_peak = ex.dual_peak_spot;
+      d.note = ex.note;
+      d.score_mean = plan.score_mean;
+      d.score_sd_rel = plan.score_sd_rel;
+      year_drafts.push_back(d);
+    }
+
+    // Sample the rest of the year's cohort.
+    for (const auto& q : remaining) {
+      for (int i = 0; i < q.count; ++i) {
+        Draft d;
+        d.hw_year = plan.year;
+        d.uarch = power::find_uarch(q.codename);
+        d.ep_target = rng.truncated_normal(q.ep_mean, q.ep_sd,
+                                           q.ep_mean - 2.5 * q.ep_sd,
+                                           std::min(0.99, q.ep_mean + 2.5 * q.ep_sd));
+        d.cores_per_chip = default_cores_per_chip(*d.uarch, rng);
+        d.score_mean = plan.score_mean;
+        d.score_sd_rel = plan.score_sd_rel;
+        d.ep_floor = plan.ep_floor;
+        year_drafts.push_back(d);
+      }
+    }
+
+    // Interior peak spots go to the highest-EP non-exemplar servers.
+    std::vector<std::size_t> open;
+    for (std::size_t i = 0; i < year_drafts.size(); ++i) {
+      if (!year_drafts[i].is_exemplar) open.push_back(i);
+    }
+    std::sort(open.begin(), open.end(), [&](std::size_t a, std::size_t b) {
+      return year_drafts[a].ep_target > year_drafts[b].ep_target;
+    });
+    std::sort(spots.begin(), spots.end(),
+              [](const PeakSpotQuota& a, const PeakSpotQuota& b) {
+                return a.utilization < b.utilization;
+              });
+    std::size_t cursor = 0;
+    for (const auto& s : spots) {
+      for (int i = 0; i < s.count; ++i) {
+        EPSERVE_ENSURES(cursor < open.size());
+        Draft& d = year_drafts[open[cursor++]];
+        d.peak_spot = s.utilization;
+        if (s.utilization < 1.0) {
+          // Interior peaks need enough EP headroom; lift quietly if short.
+          const double floor_ep =
+              min_ep_for_interior_peak(s.utilization) + 0.01;
+          d.ep_target = std::max(d.ep_target, floor_ep);
+        }
+      }
+    }
+
+    // Multi-node quota: taken from the low-EP tail (the high-EP heads hold
+    // the interior peak spots). Walking the tail upward in the plan's quota
+    // order (2, 8, 4, 16 where present) gives 16-node systems the highest
+    // base EPs and parks 8-node systems below 4-node ones — the Fig.13
+    // economies-of-scale ordering with its dip at 8 nodes — on top of
+    // node_ep_shift().
+    std::size_t node_cursor = 0;
+    for (const auto& nq : plan.multi_node) {
+      for (int i = 0; i < nq.count; ++i) {
+        EPSERVE_ENSURES(node_cursor < open.size());
+        Draft& d = year_drafts[open[open.size() - 1 - node_cursor++]];
+        d.nodes = nq.nodes;
+        d.chips = 2;
+        d.ep_target =
+            std::min(0.99, d.ep_target + node_ep_shift(nq.nodes));
+      }
+    }
+
+    for (auto& d : year_drafts) drafts.push_back(std::move(d));
+  }
+  EPSERVE_ENSURES(static_cast<int>(drafts.size()) == kTotalServers);
+
+  // ---- Phase 2: chip counts for single-node servers (global quotas). ------
+  {
+    std::vector<ChipAdjust> chip_pool(chip_adjusts().begin(),
+                                      chip_adjusts().end());
+    for (auto& d : drafts) {
+      if (d.nodes > 1) continue;
+      if (d.is_exemplar) {
+        // Exemplars have pinned chip counts and EP; just consume the quota.
+        for (auto& c : chip_pool) {
+          if (c.chips == d.chips && c.single_node_count > 0) {
+            --c.single_node_count;
+            break;
+          }
+        }
+        continue;
+      }
+      // Era weighting: 4- and 8-chip boards live mostly in 2008-2013.
+      std::vector<double> weights;
+      for (const auto& c : chip_pool) {
+        double w = static_cast<double>(c.single_node_count);
+        if ((c.chips >= 4) && (d.hw_year < 2008 || d.hw_year > 2013)) {
+          w *= 0.05;
+        }
+        weights.push_back(w);
+      }
+      const std::size_t pick = rng.categorical(weights);
+      auto& chosen = chip_pool[pick];
+      --chosen.single_node_count;
+      d.chips = chosen.chips;
+      d.ep_target = std::clamp(d.ep_target + chosen.ep_shift, 0.06, 0.99);
+      d.ee_multiplier *= chosen.ee_multiplier;
+    }
+  }
+
+  // ---- Phase 3: memory-per-core assignment (global Table I quotas). -------
+  {
+    std::vector<MpcQuota> mpc_pool(mpc_quotas().begin(), mpc_quotas().end());
+    for (auto& d : drafts) {
+      std::vector<double> weights;
+      for (const auto& q : mpc_pool) {
+        double w = static_cast<double>(q.count);
+        if (d.hw_year < q.preferred_from_year) w *= 0.03;
+        weights.push_back(w);
+      }
+      const std::size_t pick = rng.categorical(weights);
+      auto& chosen = mpc_pool[pick];
+      --chosen.count;
+      d.mpc = chosen.gb_per_core;
+      d.ee_multiplier *= chosen.ee_multiplier;
+      if (!d.is_exemplar) {
+        d.ep_target = std::clamp(d.ep_target + chosen.ep_shift, 0.06, 0.99);
+      }
+    }
+  }
+
+  // ---- Phase 4: synthesize curves and assemble records. -------------------
+  std::vector<ServerRecord> records;
+  records.reserve(drafts.size());
+  int next_id = 1;
+
+  for (auto& d : drafts) {
+    EPSERVE_ENSURES(d.uarch != nullptr);
+
+    // Per-year floor keeps pinned minima (e.g. 2016's 0.73 exemplar) the
+    // actual minima after the chip/MPC shifts.
+    if (!d.is_exemplar) {
+      d.ep_target = std::max(d.ep_target, d.ep_floor);
+    }
+
+    // Idle fraction inside the feasibility window, near the codename's
+    // typical value.
+    IdleWindow window = idle_window_for(d.ep_target, d.peak_spot);
+    if (!window.valid()) {
+      // EP target slightly out of range for the requested spot; nudge EP.
+      d.ep_target = min_ep_for_interior_peak(d.peak_spot) + 0.02;
+      window = idle_window_for(d.ep_target, d.peak_spot);
+    }
+    EPSERVE_ENSURES(window.valid());
+    const double idle = rng.truncated_normal(
+        d.uarch->typical_idle_fraction, 0.04, window.lo, window.hi);
+
+    auto model = metrics::TwoSegmentPowerModel::solve(d.ep_target, idle,
+                                                      window.shape_tau);
+    if (!model.ok()) return model.error();
+
+    // Absolute scale: peak watts from the board, score from the year target.
+    const double tdp = family_tdp(d.uarch->family);
+    const double total_cores_d =
+        static_cast<double>(d.nodes * d.chips * d.cores_per_chip);
+    // Floor at 0.5 GB (a 2004 single-core machine at 0.5 GB/core): the
+    // floor must never bind, or the server would leave its Table I bucket.
+    const double memory_gb =
+        std::max(0.5, std::round(d.mpc * total_cores_d * 100.0) / 100.0);
+    double peak_watts =
+        d.nodes * (d.chips * tdp * 1.25 + 55.0) + memory_gb * 0.25;
+    peak_watts *= 1.0 + std::clamp(rng.normal(0.0, config.power_spread),
+                                   -0.2, 0.2);
+
+    double score = d.pinned_score;
+    if (score <= 0.0) {
+      score = d.score_mean * d.ee_multiplier *
+              (1.0 + std::clamp(rng.normal(0.0, d.score_sd_rel), -0.4, 0.4));
+      score = std::max(score, d.score_mean * 0.3);
+    }
+
+    const CurveBuild build =
+        build_curve(model.value(), d.peak_spot, d.dual_peak, peak_watts,
+                    score, d.is_exemplar ? 0.0 : config.curve_jitter_sd, rng);
+
+    ServerRecord rec;
+    rec.id = next_id++;
+    rec.vendor = std::string(kVendors[rng.uniform_index(kVendors.size())]);
+    rec.model = rec.vendor + " " +
+                std::string(d.uarch->codename) + " R" +
+                std::to_string(100 + static_cast<int>(rng.uniform_index(900)));
+    if (d.nodes > 1) {
+      rec.form_factor = FormFactor::kMultiNode;
+    } else if (d.is_exemplar && d.note.find("tower") != std::string_view::npos) {
+      rec.form_factor = FormFactor::kTower;
+    } else if (d.is_exemplar && d.note.find("1U") != std::string_view::npos) {
+      rec.form_factor = FormFactor::k1U;
+    } else {
+      const std::array<FormFactor, 4> common = {FormFactor::k1U, FormFactor::k2U,
+                                                FormFactor::k2U, FormFactor::k4U};
+      rec.form_factor = common[rng.uniform_index(common.size())];
+    }
+    rec.nodes = d.nodes;
+    rec.chips = d.chips;
+    rec.cores_per_chip = d.cores_per_chip;
+    rec.cpu_codename = std::string(d.uarch->codename);
+    rec.memory_gb = memory_gb;
+    rec.hw_year = d.hw_year;
+    rec.pub_year = d.hw_year;  // phase 5 introduces the mismatches
+    rec.curve = build.curve;
+    records.push_back(std::move(rec));
+  }
+
+  // ---- Phase 5: published-year mismatches (74 results). -------------------
+  {
+    auto offsets = year_mismatch_offsets();
+    std::vector<int> pool(offsets.begin(), offsets.end());
+
+    // Mandatory: every pre-2007 machine published in the benchmark era.
+    for (auto& rec : records) {
+      if (rec.hw_year >= 2007) continue;
+      const int needed = 2007 - rec.hw_year;
+      // Take the largest available offset that is >= needed.
+      auto best = pool.end();
+      for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (*it >= needed && (best == pool.end() || *it > *best)) best = it;
+      }
+      EPSERVE_ENSURES(best != pool.end());
+      rec.pub_year = rec.hw_year + *best;
+      pool.erase(best);
+    }
+    // The single negative offset goes to a 2016 machine (published 2015).
+    if (auto neg = std::find(pool.begin(), pool.end(), -1); neg != pool.end()) {
+      for (auto& rec : records) {
+        if (rec.hw_year == 2016 && rec.pub_year == rec.hw_year) {
+          rec.pub_year = 2015;
+          pool.erase(neg);
+          break;
+        }
+      }
+    }
+    // Spread the rest over 2007-2015 hardware, deterministic stride.
+    std::size_t idx = 0;
+    for (auto& rec : records) {
+      if (pool.empty()) break;
+      ++idx;
+      if (rec.pub_year != rec.hw_year) continue;
+      if (rec.hw_year < 2007 || rec.hw_year > 2015) continue;
+      if (idx % 5 != 0) continue;  // stride keeps mismatches spread out
+      // Find an offset keeping pub_year within the dataset window.
+      for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (rec.hw_year + *it <= 2016 && *it > 0) {
+          rec.pub_year = rec.hw_year + *it;
+          pool.erase(it);
+          break;
+        }
+      }
+    }
+    // If the stride left offsets unassigned, sweep once more without it.
+    for (auto& rec : records) {
+      if (pool.empty()) break;
+      if (rec.pub_year != rec.hw_year) continue;
+      if (rec.hw_year < 2007 || rec.hw_year > 2015) continue;
+      for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (rec.hw_year + *it <= 2016 && *it > 0) {
+          rec.pub_year = rec.hw_year + *it;
+          pool.erase(it);
+          break;
+        }
+      }
+    }
+    EPSERVE_ENSURES(pool.empty());
+  }
+
+  return records;
+}
+
+}  // namespace epserve::dataset

@@ -1,0 +1,48 @@
+// PopulationGenerator: produces the calibrated synthetic 477-server
+// population the analysis layer studies (the stand-in for SPEC's published
+// result set — see DESIGN.md for the substitution argument).
+//
+// Generation pipeline per server:
+//   1. Pick a (hardware-availability year, codename) cohort slot from the
+//      calibration plan; pinned exemplars claim their slots first.
+//   2. Sample a target EP around the cohort mean; apply the chip-count,
+//      node-count, and memory-per-core shifts from the plan.
+//   3. Assign a peak-EE utilisation spot from the year's Fig.16 quota —
+//      interior spots go to the highest-EP servers of the year, matching the
+//      paper's observation that high EP and early ideal-curve intersection
+//      travel together.
+//   4. Choose an idle fraction inside the feasibility window of the
+//      two-segment curve model (peak-at-tau requires idle > (1-EP)/tau;
+//      peak-at-100% requires idle < (1-EP)/tau_shape) near the codename's
+//      typical idle fraction.
+//   5. Solve the TwoSegmentPowerModel for the exact EP, discretise to the
+//      eleven SPECpower levels, apply monotonicity-preserving jitter, and
+//      re-check that the peak spot survived.
+//   6. Scale watts to the form-factor's absolute power and ops to the
+//      year's overall-score target (Fig.4).
+//   7. After all servers exist, mark 74 of them with published-year offsets
+//      (every pre-2007 machine must publish late; one 2016 machine
+//      publishes early, reproducing the paper's §I examples).
+#pragma once
+
+#include <vector>
+
+#include "dataset/record.h"
+#include "util/result.h"
+
+namespace epserve::dataset {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 20160930;  // dataset cut: 2016Q3
+  /// Relative per-level jitter applied to the analytic curve.
+  double curve_jitter_sd = 0.004;
+  /// Relative spread of absolute peak power around the form-factor estimate.
+  double power_spread = 0.08;
+};
+
+/// Generates the full population. Fails only if the calibration plan is
+/// internally inconsistent (which the tests also assert directly).
+epserve::Result<std::vector<ServerRecord>> generate_population(
+    const GeneratorConfig& config = {});
+
+}  // namespace epserve::dataset

@@ -1,0 +1,161 @@
+#include "dataset/io.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace epserve::dataset {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kFormFactorNames = {
+    "1U", "2U", "4U", "Tower", "Blade", "MultiNode"};
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+Result<double> parse_double(const std::string& s, const char* field) {
+  double out = 0.0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    return Error::parse(std::string("bad double in field ") + field + ": '" +
+                        s + "'");
+  }
+  return out;
+}
+
+Result<int> parse_int(const std::string& s, const char* field) {
+  int out = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    return Error::parse(std::string("bad int in field ") + field + ": '" + s +
+                        "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+CsvDocument to_csv_document(const std::vector<ServerRecord>& records) {
+  CsvDocument doc;
+  doc.header = {"id",      "vendor",      "model",    "form_factor",
+                "nodes",   "chips",       "cores_per_chip",
+                "codename", "memory_gb",  "hw_year",  "pub_year",
+                "watt_idle"};
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    doc.header.push_back("watt_" +
+                         std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
+  }
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    doc.header.push_back("ops_" +
+                         std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
+  }
+  for (const auto& r : records) {
+    std::vector<std::string> row = {
+        std::to_string(r.id),
+        r.vendor,
+        r.model,
+        std::string(form_factor_name(r.form_factor)),
+        std::to_string(r.nodes),
+        std::to_string(r.chips),
+        std::to_string(r.cores_per_chip),
+        r.cpu_codename,
+        fmt(r.memory_gb),
+        std::to_string(r.hw_year),
+        std::to_string(r.pub_year),
+        fmt(r.curve.idle_watts())};
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      row.push_back(fmt(r.curve.watts_at_level(i)));
+    }
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      row.push_back(fmt(r.curve.ops_at_level(i)));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+Result<std::vector<ServerRecord>> from_csv_document(const CsvDocument& doc) {
+  const std::size_t expected_width = 12 + 2 * metrics::kNumLoadLevels;
+  if (doc.header.size() != expected_width) {
+    return Error::parse("unexpected column count for a population CSV");
+  }
+  std::vector<ServerRecord> records;
+  records.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    ServerRecord r;
+    auto id = parse_int(row[0], "id");
+    if (!id.ok()) return id.error();
+    r.id = id.value();
+    r.vendor = row[1];
+    r.model = row[2];
+    bool ff_found = false;
+    for (std::size_t i = 0; i < kFormFactorNames.size(); ++i) {
+      if (row[3] == kFormFactorNames[i]) {
+        r.form_factor = static_cast<FormFactor>(i);
+        ff_found = true;
+      }
+    }
+    if (!ff_found) return Error::parse("unknown form factor: " + row[3]);
+    auto nodes = parse_int(row[4], "nodes");
+    auto chips = parse_int(row[5], "chips");
+    auto cpc = parse_int(row[6], "cores_per_chip");
+    if (!nodes.ok()) return nodes.error();
+    if (!chips.ok()) return chips.error();
+    if (!cpc.ok()) return cpc.error();
+    r.nodes = nodes.value();
+    r.chips = chips.value();
+    r.cores_per_chip = cpc.value();
+    r.cpu_codename = row[7];
+    auto mem = parse_double(row[8], "memory_gb");
+    if (!mem.ok()) return mem.error();
+    r.memory_gb = mem.value();
+    auto hw = parse_int(row[9], "hw_year");
+    auto pub = parse_int(row[10], "pub_year");
+    if (!hw.ok()) return hw.error();
+    if (!pub.ok()) return pub.error();
+    r.hw_year = hw.value();
+    r.pub_year = pub.value();
+
+    auto idle = parse_double(row[11], "watt_idle");
+    if (!idle.ok()) return idle.error();
+    std::array<double, metrics::kNumLoadLevels> watts{};
+    std::array<double, metrics::kNumLoadLevels> ops{};
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      auto w = parse_double(row[12 + i], "watt");
+      if (!w.ok()) return w.error();
+      watts[i] = w.value();
+    }
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      auto o = parse_double(row[12 + metrics::kNumLoadLevels + i], "ops");
+      if (!o.ok()) return o.error();
+      ops[i] = o.value();
+    }
+    r.curve = metrics::PowerCurve(watts, ops, idle.value());
+    if (auto valid = r.curve.validate(); !valid.ok()) return valid.error();
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<bool> save_population(const std::string& path,
+                             const std::vector<ServerRecord>& records) {
+  return write_csv_file(path, to_csv_document(records));
+}
+
+Result<std::vector<ServerRecord>> load_population(const std::string& path) {
+  auto doc = read_csv_file(path);
+  if (!doc.ok()) return doc.error();
+  return from_csv_document(doc.value());
+}
+
+}  // namespace epserve::dataset

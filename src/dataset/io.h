@@ -1,0 +1,29 @@
+// CSV import/export of a population — the on-disk interchange format for
+// examples and downstream analysis outside this library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/record.h"
+#include "util/csv.h"
+#include "util/result.h"
+
+namespace epserve::dataset {
+
+/// Serialises records to a CSV document (one row per server; the 11-point
+/// measurement sheet flattens into watt_idle, watt_10 .. watt_100,
+/// ops_10 .. ops_100 columns).
+epserve::CsvDocument to_csv_document(const std::vector<ServerRecord>& records);
+
+/// Parses a document produced by to_csv_document(). Validates every curve.
+epserve::Result<std::vector<ServerRecord>> from_csv_document(
+    const epserve::CsvDocument& doc);
+
+/// File convenience wrappers.
+epserve::Result<bool> save_population(const std::string& path,
+                                      const std::vector<ServerRecord>& records);
+epserve::Result<std::vector<ServerRecord>> load_population(
+    const std::string& path);
+
+}  // namespace epserve::dataset

@@ -1,0 +1,17 @@
+#include "dataset/record.h"
+
+namespace epserve::dataset {
+
+std::string_view form_factor_name(FormFactor ff) {
+  switch (ff) {
+    case FormFactor::k1U: return "1U";
+    case FormFactor::k2U: return "2U";
+    case FormFactor::k4U: return "4U";
+    case FormFactor::kTower: return "Tower";
+    case FormFactor::kBlade: return "Blade";
+    case FormFactor::kMultiNode: return "MultiNode";
+  }
+  return "unknown";
+}
+
+}  // namespace epserve::dataset

@@ -1,0 +1,123 @@
+#include "dataset/repository.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "util/contracts.h"
+
+namespace epserve::dataset {
+
+ResultRepository::ResultRepository(std::vector<ServerRecord> records)
+    : records_(std::move(records)) {}
+
+RecordView ResultRepository::all() const {
+  RecordView view;
+  view.reserve(records_.size());
+  for (const auto& r : records_) view.push_back(&r);
+  return view;
+}
+
+RecordView ResultRepository::where(
+    const std::function<bool(const ServerRecord&)>& pred) const {
+  RecordView view;
+  for (const auto& r : records_) {
+    if (pred(r)) view.push_back(&r);
+  }
+  return view;
+}
+
+std::map<int, RecordView> ResultRepository::by_year(YearKey key) const {
+  std::map<int, RecordView> groups;
+  for (const auto& r : records_) {
+    const int year =
+        key == YearKey::kHardwareAvailability ? r.hw_year : r.pub_year;
+    groups[year].push_back(&r);
+  }
+  return groups;
+}
+
+std::map<power::UarchFamily, RecordView> ResultRepository::by_family() const {
+  std::map<power::UarchFamily, RecordView> groups;
+  for (const auto& r : records_) {
+    const auto* info = power::find_uarch(r.cpu_codename);
+    EPSERVE_ENSURES(info != nullptr);
+    groups[info->family].push_back(&r);
+  }
+  return groups;
+}
+
+std::map<std::string, RecordView> ResultRepository::by_codename() const {
+  std::map<std::string, RecordView> groups;
+  for (const auto& r : records_) groups[r.cpu_codename].push_back(&r);
+  return groups;
+}
+
+std::map<int, RecordView> ResultRepository::by_nodes() const {
+  std::map<int, RecordView> groups;
+  for (const auto& r : records_) groups[r.nodes].push_back(&r);
+  return groups;
+}
+
+std::map<int, RecordView> ResultRepository::single_node_by_chips() const {
+  std::map<int, RecordView> groups;
+  for (const auto& r : records_) {
+    if (r.nodes == 1) groups[r.chips].push_back(&r);
+  }
+  return groups;
+}
+
+std::map<double, RecordView> ResultRepository::by_memory_per_core() const {
+  std::map<double, RecordView> groups;
+  for (const auto& r : records_) {
+    const double mpc = std::round(r.memory_per_core() * 100.0) / 100.0;
+    groups[mpc].push_back(&r);
+  }
+  return groups;
+}
+
+std::vector<double> ResultRepository::metric(
+    const RecordView& view,
+    const std::function<double(const ServerRecord&)>& fn) {
+  std::vector<double> out;
+  out.reserve(view.size());
+  for (const auto* r : view) out.push_back(fn(*r));
+  return out;
+}
+
+std::vector<double> ResultRepository::ep_values(const RecordView& view) {
+  return metric(view, [](const ServerRecord& r) {
+    return metrics::energy_proportionality(r.curve);
+  });
+}
+
+std::vector<double> ResultRepository::score_values(const RecordView& view) {
+  return metric(view, [](const ServerRecord& r) {
+    return metrics::overall_score(r.curve);
+  });
+}
+
+std::vector<double> ResultRepository::idle_fraction_values(
+    const RecordView& view) {
+  return metric(view,
+                [](const ServerRecord& r) { return r.curve.idle_fraction(); });
+}
+
+RecordView ResultRepository::top_decile(
+    const std::function<double(const ServerRecord&)>& fn) const {
+  RecordView view = all();
+  const auto cutoff =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(view.size()) * 0.1));
+  std::sort(view.begin(), view.end(),
+            [&](const ServerRecord* a, const ServerRecord* b) {
+              const double fa = fn(*a);
+              const double fb = fn(*b);
+              if (fa != fb) return fa > fb;
+              return a->id < b->id;
+            });
+  view.resize(std::min(cutoff, view.size()));
+  return view;
+}
+
+}  // namespace epserve::dataset

@@ -1,0 +1,74 @@
+// ResultRepository: query layer over a generated (or imported) population.
+// Provides the slicing/grouping operations the paper's analyses repeat:
+// by hardware-availability year, by published year, by microarchitecture
+// family/codename, by topology, plus metric extraction and top-decile sets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dataset/record.h"
+#include "power/uarch.h"
+
+namespace epserve::dataset {
+
+/// Non-owning view over a subset of records.
+using RecordView = std::vector<const ServerRecord*>;
+
+/// Which date key to organise by — the paper's central re-keying choice.
+enum class YearKey { kHardwareAvailability, kPublished };
+
+class ResultRepository {
+ public:
+  explicit ResultRepository(std::vector<ServerRecord> records);
+
+  [[nodiscard]] const std::vector<ServerRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// All records as a view.
+  [[nodiscard]] RecordView all() const;
+
+  /// Records matching a predicate.
+  [[nodiscard]] RecordView where(
+      const std::function<bool(const ServerRecord&)>& pred) const;
+
+  /// Grouped by year under the chosen key (ascending year order).
+  [[nodiscard]] std::map<int, RecordView> by_year(
+      YearKey key = YearKey::kHardwareAvailability) const;
+
+  /// Grouped by microarchitecture family.
+  [[nodiscard]] std::map<power::UarchFamily, RecordView> by_family() const;
+
+  /// Grouped by codename.
+  [[nodiscard]] std::map<std::string, RecordView> by_codename() const;
+
+  /// Grouped by node count / by chips (single-node only for chips).
+  [[nodiscard]] std::map<int, RecordView> by_nodes() const;
+  [[nodiscard]] std::map<int, RecordView> single_node_by_chips() const;
+
+  /// Grouped by memory-per-core ratio (rounded to 2 decimals).
+  [[nodiscard]] std::map<double, RecordView> by_memory_per_core() const;
+
+  /// Metric vector over a view (EP, overall score, idle fraction, ...).
+  static std::vector<double> metric(
+      const RecordView& view,
+      const std::function<double(const ServerRecord&)>& fn);
+
+  /// Convenience metric extractors.
+  static std::vector<double> ep_values(const RecordView& view);
+  static std::vector<double> score_values(const RecordView& view);
+  static std::vector<double> idle_fraction_values(const RecordView& view);
+
+  /// The ceil(10%) records with the highest value of `fn` (ties broken by
+  /// record id for determinism).
+  [[nodiscard]] RecordView top_decile(
+      const std::function<double(const ServerRecord&)>& fn) const;
+
+ private:
+  std::vector<ServerRecord> records_;
+};
+
+}  // namespace epserve::dataset

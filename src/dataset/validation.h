@@ -1,0 +1,28 @@
+// Population-level structural validation for imported datasets. The CSV
+// importer checks each record's curve; this validator checks fleet-level
+// invariants so external data can be vetted before analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/record.h"
+
+namespace epserve::dataset {
+
+struct ValidationIssue {
+  int record_id = 0;       // 0 = population-level issue
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+};
+
+/// Checks every record (valid curve, resolvable codename, sane topology and
+/// years, plausible memory) plus population-level invariants (unique ids,
+/// non-empty).
+ValidationReport validate_population(const std::vector<ServerRecord>& records);
+
+}  // namespace epserve::dataset

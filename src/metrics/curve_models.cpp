@@ -1,0 +1,83 @@
+#include "metrics/curve_models.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+
+double QuadraticPowerModel::power(double u) const {
+  EPSERVE_EXPECTS(u >= 0.0 && u <= 1.0);
+  return idle + a() * u + b * u * u;
+}
+
+double QuadraticPowerModel::peak_ee_utilization() const {
+  if (b <= idle) return 1.0;  // includes b <= 0: EE rises through full load
+  return std::sqrt(idle / b);
+}
+
+bool QuadraticPowerModel::monotone() const {
+  // p'(u) = a + 2bu; minimum of p' on [0,1] is at u=0 for b >= 0, u=1 else.
+  if (b >= 0.0) return a() >= 0.0;
+  return a() + 2.0 * b >= 0.0;
+}
+
+QuadraticPowerModel QuadraticPowerModel::from_ep_and_idle(double target_ep,
+                                                          double idle) {
+  EPSERVE_EXPECTS(idle > 0.0 && idle < 1.0);
+  EPSERVE_EXPECTS(target_ep >= 0.0 && target_ep < 2.0);
+  QuadraticPowerModel m;
+  m.idle = idle;
+  m.b = 3.0 * (target_ep - 1.0 + idle);
+  return m;
+}
+
+double TwoSegmentPowerModel::power(double u) const {
+  EPSERVE_EXPECTS(u >= 0.0 && u <= 1.0);
+  if (u <= tau) return idle + s1 * u;
+  return idle + s1 * tau + s2 * (u - tau);
+}
+
+double TwoSegmentPowerModel::area() const {
+  return idle + s1 * tau / 2.0 + (1.0 - idle) * (1.0 - tau) / 2.0;
+}
+
+double TwoSegmentPowerModel::peak_ee_utilization() const {
+  // EE' sign on segment 2 is the constant p(tau) - tau * s2.
+  const double boundary = idle + s1 * tau - tau * s2;
+  return boundary < 0.0 ? tau : 1.0;
+}
+
+Result<TwoSegmentPowerModel> TwoSegmentPowerModel::solve(double target_ep,
+                                                         double idle,
+                                                         double tau) {
+  if (!(idle > 0.0 && idle < 1.0)) {
+    return Error::invalid_argument("idle must be in (0, 1)");
+  }
+  if (!(tau > 0.0 && tau < 1.0)) {
+    return Error::invalid_argument("tau must be in (0, 1)");
+  }
+  const double lo = min_ep(idle, tau);
+  const double hi = max_ep(idle, tau);
+  if (target_ep < lo || target_ep > hi) {
+    std::ostringstream oss;
+    oss << "EP " << target_ep << " infeasible at idle=" << idle
+        << " tau=" << tau << " (range [" << lo << ", " << hi << "])";
+    return Error::out_of_range(oss.str());
+  }
+  TwoSegmentPowerModel m;
+  m.idle = idle;
+  m.tau = tau;
+  const double target_area = 1.0 - target_ep / 2.0;
+  m.s1 = (2.0 / tau) *
+         (target_area - idle - (1.0 - idle) * (1.0 - tau) / 2.0);
+  m.s2 = (1.0 - idle - m.s1 * tau) / (1.0 - tau);
+  // Guard tiny fp undershoot at the feasibility edges.
+  if (m.s1 < 0.0 && m.s1 > -1e-12) m.s1 = 0.0;
+  if (m.s2 < 0.0 && m.s2 > -1e-12) m.s2 = 0.0;
+  EPSERVE_ENSURES(m.monotone());
+  return m;
+}
+
+}  // namespace epserve::metrics

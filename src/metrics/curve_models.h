@@ -1,0 +1,100 @@
+// Analytic power-curve families with closed-form EP and peak-EE location.
+//
+// These are the models behind the synthetic population generator and several
+// property tests. Normalised power p(u) satisfies p(1) = 1, p(0) = idle.
+//
+// 1. QuadraticPowerModel:  p(u) = idle + a*u + b*u^2,  a = 1 - idle - b.
+//    Closed forms (exact integrals):
+//       EP            = 1 - idle + b/3
+//       peak-EE util  = sqrt(idle / b)  when b > idle, else 100%
+//    (peak location from d/du [u / p(u)] = 0 ⇒ idle - b*u^2 = 0).
+//
+// 2. TwoSegmentPowerModel ("kinked"): piecewise linear with slopes s1 on
+//    [0, tau] and s2 on [tau, 1]. Since trapezoid integration is exact for
+//    piecewise-linear curves whose kink lies on a measured level, EP targets
+//    are hit *exactly* by the discretised PowerCurve. On segment 1 EE is
+//    strictly increasing (EE' sign = p - u*s1 = idle > 0); on segment 2 the
+//    sign of EE' is the constant p(tau) - tau*s2, so the peak-EE location is
+//    exactly tau when s2 > s1 + idle/tau and exactly 100% when
+//    s2 < s1 + idle/tau. This gives independent control of (idle, EP,
+//    peak-EE utilisation) — the three quantities the paper's population
+//    statistics constrain.
+//
+//    Closed form: area under p = idle + s1*tau/2 + (1-idle)*(1-tau)/2, and
+//    EP = 2 - 2*area, so for a target EP the unique slope is
+//       s1 = (2/tau) * [(1 - EP/2) - idle - (1-idle)(1-tau)/2],
+//    feasible iff EP ∈ [(1-idle)*tau, (1-idle)*(1+tau)].
+#pragma once
+
+#include "metrics/power_curve.h"
+#include "util/result.h"
+
+namespace epserve::metrics {
+
+/// p(u) = idle + a*u + b*u^2 with p(1) = 1.
+struct QuadraticPowerModel {
+  double idle = 0.5;  // normalised idle power, in (0, 1)
+  double b = 0.0;     // curvature; > 0 superlinear at high load
+
+  [[nodiscard]] double a() const { return 1.0 - idle - b; }
+  [[nodiscard]] double power(double u) const;
+
+  /// Exact EP (continuous integral, not the trapezoid approximation).
+  [[nodiscard]] double ep() const { return 1.0 - idle + b / 3.0; }
+
+  /// Exact utilisation of maximal EE (1.0 when the curve peaks at full load).
+  [[nodiscard]] double peak_ee_utilization() const;
+
+  /// Power non-decreasing on [0, 1].
+  [[nodiscard]] bool monotone() const;
+
+  /// Chooses b to hit a target EP at the given idle fraction.
+  static QuadraticPowerModel from_ep_and_idle(double target_ep, double idle);
+};
+
+/// Piecewise-linear normalised power curve with one kink at tau.
+struct TwoSegmentPowerModel {
+  double idle = 0.5;
+  double tau = 0.5;  // kink utilisation; must be a measured level for
+                     // trapezoid-exact EP
+  double s1 = 0.0;   // slope on [0, tau]
+  double s2 = 0.0;   // slope on [tau, 1]
+
+  [[nodiscard]] double power(double u) const;
+  [[nodiscard]] double area() const;
+
+  /// Exact EP (== trapezoid EP when tau is a measured level).
+  [[nodiscard]] double ep() const { return 2.0 - 2.0 * area(); }
+
+  /// Exact peak-EE utilisation: tau or 1.0 (see header comment).
+  [[nodiscard]] double peak_ee_utilization() const;
+
+  [[nodiscard]] bool monotone() const { return s1 >= 0.0 && s2 >= 0.0; }
+
+  /// Smallest / largest EP representable at (idle, tau) with monotone slopes.
+  static double min_ep(double idle, double tau) { return (1.0 - idle) * tau; }
+  static double max_ep(double idle, double tau) {
+    return (1.0 - idle) * (1.0 + tau);
+  }
+
+  /// Solves for the slopes hitting `target_ep` exactly. Fails when the
+  /// target is outside [min_ep, max_ep] or parameters are out of range.
+  static epserve::Result<TwoSegmentPowerModel> solve(double target_ep,
+                                                     double idle, double tau);
+};
+
+/// Samples an analytic model into a measurement sheet. Throughput is linear
+/// in target load (SPECpower's graduated-load definition): ops = peak_ops*u.
+template <typename Model>
+PowerCurve to_power_curve(const Model& model, double peak_watts,
+                          double peak_ops) {
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    watts[i] = peak_watts * model.power(kLoadLevels[i]);
+    ops[i] = peak_ops * kLoadLevels[i];
+  }
+  return PowerCurve(watts, ops, peak_watts * model.power(0.0));
+}
+
+}  // namespace epserve::metrics

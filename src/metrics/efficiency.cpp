@@ -1,0 +1,76 @@
+#include "metrics/efficiency.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+
+double ee_at_level(const PowerCurve& curve, std::size_t level) {
+  EPSERVE_EXPECTS(level < kNumLoadLevels);
+  return curve.ops_at_level(level) / curve.watts_at_level(level);
+}
+
+double overall_score(const PowerCurve& curve) {
+  double ops_sum = 0.0;
+  double watts_sum = curve.idle_watts();
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    ops_sum += curve.ops_at_level(i);
+    watts_sum += curve.watts_at_level(i);
+  }
+  EPSERVE_ENSURES(watts_sum > 0.0);
+  return ops_sum / watts_sum;
+}
+
+PeakEe peak_ee(const PowerCurve& curve, double tie_tolerance) {
+  EPSERVE_EXPECTS(tie_tolerance >= 0.0);
+  PeakEe result;
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    result.value = std::max(result.value, ee_at_level(curve, i));
+  }
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    if (ee_at_level(curve, i) >= result.value * (1.0 - tie_tolerance)) {
+      result.levels.push_back(i);
+    }
+  }
+  EPSERVE_ENSURES(!result.levels.empty());
+  return result;
+}
+
+double peak_ee_utilization(const PowerCurve& curve) {
+  return kLoadLevels[peak_ee(curve).levels.front()];
+}
+
+double peak_to_full_ratio(const PowerCurve& curve) {
+  return peak_ee(curve).value / ee_at_level(curve, kNumLoadLevels - 1);
+}
+
+double peak_ee_offset(const PowerCurve& curve) {
+  return 1.0 - peak_ee_utilization(curve);
+}
+
+double normalized_ee(const PowerCurve& curve, std::size_t level) {
+  return ee_at_level(curve, level) / ee_at_level(curve, kNumLoadLevels - 1);
+}
+
+double utilization_reaching_normalized_ee(const PowerCurve& curve,
+                                          double threshold) {
+  EPSERVE_EXPECTS(threshold > 0.0);
+  // Normalised EE as a piecewise-linear function through (0, 0) and the ten
+  // measured levels.
+  double prev_u = 0.0;
+  double prev_ee = 0.0;
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    const double u = kLoadLevels[i];
+    const double ee = normalized_ee(curve, i);
+    if (ee >= threshold) {
+      const double frac = (threshold - prev_ee) / (ee - prev_ee);
+      return prev_u + frac * (u - prev_u);
+    }
+    prev_u = u;
+    prev_ee = ee;
+  }
+  return 2.0;  // sentinel: never reaches the threshold
+}
+
+}  // namespace epserve::metrics

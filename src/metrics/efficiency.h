@@ -1,0 +1,49 @@
+// Energy-efficiency metrics over a PowerCurve: per-level EE (performance to
+// power ratio, ssj_ops/W), the server overall score (SPECpower's
+// "overall ssj_ops/watt"), peak-EE location, and the normalised EE curve
+// analysed in the paper's almond chart (Fig.11/12).
+#pragma once
+
+#include <vector>
+
+#include "metrics/power_curve.h"
+
+namespace epserve::metrics {
+
+/// EE at one measured level: ops / watts (ssj_ops per watt).
+double ee_at_level(const PowerCurve& curve, std::size_t level);
+
+/// SPECpower overall score: sum of ssj_ops over the ten levels divided by the
+/// sum of power over the ten levels plus active idle.
+double overall_score(const PowerCurve& curve);
+
+/// Peak EE across levels: its value and every level index achieving it
+/// (within a relative tie tolerance — the paper notes one 2011 server peaking
+/// at both 80% and 90%, counted as two utilisation spots).
+struct PeakEe {
+  double value = 0.0;
+  std::vector<std::size_t> levels;  // ascending level indices at the max
+};
+PeakEe peak_ee(const PowerCurve& curve, double tie_tolerance = 1e-9);
+
+/// Utilisation of the (lowest) peak-EE level.
+double peak_ee_utilization(const PowerCurve& curve);
+
+/// Paper §II: ratio of peak EE over EE at 100% utilisation (>= 1).
+double peak_to_full_ratio(const PowerCurve& curve);
+
+/// Paper §II "peak energy efficiency offset": distance of the peak-EE
+/// utilisation from 100%, i.e. 1 - u_peak. Zero when the server peaks at
+/// full load.
+double peak_ee_offset(const PowerCurve& curve);
+
+/// EE at a level normalised to EE at 100% load (the almond chart's y-axis).
+double normalized_ee(const PowerCurve& curve, std::size_t level);
+
+/// Lowest utilisation at which normalised EE reaches `threshold`
+/// (linear interpolation between levels; 0 ops at utilisation 0).
+/// Returns 1.0 + epsilon-free sentinel 2.0 if never reached.
+double utilization_reaching_normalized_ee(const PowerCurve& curve,
+                                          double threshold);
+
+}  // namespace epserve::metrics

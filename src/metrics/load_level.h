@@ -1,0 +1,26 @@
+// SPECpower_ssj2008 graduated load levels: 100% down to 10% in 10-point
+// steps, plus active idle. Everything in the toolkit indexes levels the same
+// way: index 0 = 10% ... index 9 = 100%.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace epserve::metrics {
+
+/// Number of non-idle measurement levels in a SPECpower run.
+inline constexpr std::size_t kNumLoadLevels = 10;
+
+/// Target utilisations, ascending: 0.1, 0.2, ..., 1.0.
+inline constexpr std::array<double, kNumLoadLevels> kLoadLevels = {
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+/// Utilisation of a level index (0-based, ascending).
+constexpr double utilization_of_level(std::size_t index) {
+  return kLoadLevels[index];
+}
+
+/// Level index of a utilisation (must be one of the ten levels ±1e-9).
+std::size_t level_of_utilization(double utilization);
+
+}  // namespace epserve::metrics

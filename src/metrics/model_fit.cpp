@@ -1,0 +1,83 @@
+#include "metrics/model_fit.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+
+namespace {
+
+/// RMSE of a candidate model against the measured normalised points.
+double rmse_of(const TwoSegmentPowerModel& model, const PowerCurve& curve) {
+  double ss = 0.0;
+  const double idle_err = model.power(0.0) - curve.idle_fraction();
+  ss += idle_err * idle_err;
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    const double measured = curve.watts_at_level(i) / curve.peak_watts();
+    const double err = model.power(kLoadLevels[i]) - measured;
+    ss += err * err;
+  }
+  return std::sqrt(ss / (kNumLoadLevels + 1));
+}
+
+/// For a fixed kink tau, the least-squares slope s1 given the anchors
+/// p(0) = idle and p(1) = 1 (s2 follows from the endpoint constraint).
+/// Minimising over the measured points on each segment:
+///   segment 1 residuals: idle + s1*u - y_i          (u_i <= tau)
+///   segment 2 residuals: idle + s1*tau + s2*(u-tau) - y_i, with
+///   s2 = (1 - idle - s1*tau)/(1 - tau), linear in s1 -> closed form.
+TwoSegmentPowerModel solve_for_tau(const PowerCurve& curve, double tau) {
+  const double idle = curve.idle_fraction();
+  double a_sum = 0.0;  // sum of coeff^2
+  double b_sum = 0.0;  // sum of coeff * gap
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    const double u = kLoadLevels[i];
+    const double y = curve.watts_at_level(i) / curve.peak_watts();
+    double coeff;
+    double offset;
+    if (u <= tau + 1e-9) {
+      coeff = u;
+      offset = idle;
+    } else {
+      // p(u) = idle + s1*tau + (1-idle-s1*tau)*(u-tau)/(1-tau)
+      //      = idle + (1-idle)*(u-tau)/(1-tau) + s1*tau*(1 - (u-tau)/(1-tau))
+      const double w = (u - tau) / (1.0 - tau);
+      coeff = tau * (1.0 - w);
+      offset = idle + (1.0 - idle) * w;
+    }
+    a_sum += coeff * coeff;
+    b_sum += coeff * (y - offset);
+  }
+  TwoSegmentPowerModel model;
+  model.idle = idle;
+  model.tau = tau;
+  model.s1 = a_sum > 0.0 ? std::max(0.0, b_sum / a_sum) : 0.0;
+  model.s2 = (1.0 - idle - model.s1 * tau) / (1.0 - tau);
+  if (model.s2 < 0.0) {
+    // Clamp to the monotone boundary: flat second segment.
+    model.s1 = (1.0 - idle) / tau;
+    model.s2 = 0.0;
+  }
+  return model;
+}
+
+}  // namespace
+
+TwoSegmentFit fit_two_segment(const PowerCurve& curve) {
+  EPSERVE_EXPECTS(curve.validate().ok());
+  TwoSegmentFit best;
+  for (std::size_t k = 1; k + 1 < kNumLoadLevels; ++k) {  // tau in 0.2..0.9
+    const double tau = kLoadLevels[k];
+    const TwoSegmentPowerModel candidate = solve_for_tau(curve, tau);
+    const double rmse = rmse_of(candidate, curve);
+    if (rmse < best.rmse) {
+      best.model = candidate;
+      best.rmse = rmse;
+    }
+  }
+  EPSERVE_ENSURES(best.model.monotone());
+  return best;
+}
+
+}  // namespace epserve::metrics

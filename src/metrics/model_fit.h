@@ -1,0 +1,26 @@
+// Fitting the analytic two-segment model to a measured PowerCurve — the
+// inverse of the generator's synthesis step. Lets users characterise any
+// published result (or any machine they benchmarked) in the closed-form
+// terms the rest of the toolkit speaks: idle fraction, kink location, the
+// two slopes, and the residual of the fit.
+#pragma once
+
+#include "metrics/curve_models.h"
+#include "metrics/power_curve.h"
+
+namespace epserve::metrics {
+
+struct TwoSegmentFit {
+  TwoSegmentPowerModel model;
+  /// Root-mean-square residual between the measured normalised powers
+  /// (eleven points including idle) and the fitted model.
+  double rmse = 1.0;
+};
+
+/// Least-squares fit over the kink position (searched on the measured
+/// levels 0.2..0.9) with slopes solved in closed form per candidate kink.
+/// The fitted curve is anchored at the measured idle fraction and at 1.0
+/// for full load.
+TwoSegmentFit fit_two_segment(const PowerCurve& curve);
+
+}  // namespace epserve::metrics

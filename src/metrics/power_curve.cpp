@@ -1,0 +1,75 @@
+#include "metrics/power_curve.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+
+std::size_t level_of_utilization(double utilization) {
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    if (std::abs(kLoadLevels[i] - utilization) < 1e-9) return i;
+  }
+  throw ContractViolation("utilization is not a graduated load level");
+}
+
+PowerCurve::PowerCurve(std::array<double, kNumLoadLevels> watts,
+                       std::array<double, kNumLoadLevels> ops,
+                       double idle_watts)
+    : watts_(watts), ops_(ops), idle_watts_(idle_watts) {}
+
+double PowerCurve::normalized_power(double utilization) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  const double peak = peak_watts();
+  if (utilization <= kLoadLevels.front()) {
+    // Interpolate between active idle (treated as utilisation 0) and 10%.
+    const double frac = utilization / kLoadLevels.front();
+    return (idle_watts_ + frac * (watts_.front() - idle_watts_)) / peak;
+  }
+  for (std::size_t i = 1; i < kNumLoadLevels; ++i) {
+    if (utilization <= kLoadLevels[i]) {
+      const double span = kLoadLevels[i] - kLoadLevels[i - 1];
+      const double frac = (utilization - kLoadLevels[i - 1]) / span;
+      return (watts_[i - 1] + frac * (watts_[i] - watts_[i - 1])) / peak;
+    }
+  }
+  return 1.0;  // utilization == 1.0 exactly
+}
+
+Result<bool> PowerCurve::validate() const {
+  const auto fail = [](const std::string& why) -> Result<bool> {
+    return Error::failed_precondition("invalid PowerCurve: " + why);
+  };
+  if (!(idle_watts_ > 0.0)) return fail("idle power must be > 0");
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    if (!(watts_[i] > 0.0) || !std::isfinite(watts_[i])) {
+      std::ostringstream oss;
+      oss << "power at level " << i << " must be finite and > 0";
+      return fail(oss.str());
+    }
+    if (ops_[i] < 0.0 || !std::isfinite(ops_[i])) {
+      std::ostringstream oss;
+      oss << "ops at level " << i << " must be finite and >= 0";
+      return fail(oss.str());
+    }
+    if (i > 0 && ops_[i] < ops_[i - 1]) {
+      std::ostringstream oss;
+      oss << "ops must be non-decreasing with load (level " << i << ")";
+      return fail(oss.str());
+    }
+  }
+  if (idle_watts_ > watts_.back()) return fail("idle power exceeds peak power");
+  if (!(ops_.back() > 0.0)) return fail("ops at 100% load must be > 0");
+  return true;
+}
+
+bool PowerCurve::power_monotone() const {
+  if (idle_watts_ > watts_.front()) return false;
+  for (std::size_t i = 1; i < kNumLoadLevels; ++i) {
+    if (watts_[i] < watts_[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace epserve::metrics

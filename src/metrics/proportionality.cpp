@@ -1,0 +1,84 @@
+#include "metrics/proportionality.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+
+double normalized_power_area(const PowerCurve& curve) {
+  // Ten trapezoids: [0, 0.1] uses idle power at u = 0, then level-to-level.
+  const double peak = curve.peak_watts();
+  double prev_u = 0.0;
+  double prev_p = curve.idle_watts() / peak;
+  double area = 0.0;
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    const double u = kLoadLevels[i];
+    const double p = curve.watts_at_level(i) / peak;
+    area += 0.5 * (prev_p + p) * (u - prev_u);
+    prev_u = u;
+    prev_p = p;
+  }
+  return area;
+}
+
+double energy_proportionality(const PowerCurve& curve) {
+  constexpr double kIdealArea = 0.5;
+  const double actual = normalized_power_area(curve);
+  const double ep = 1.0 - (actual - kIdealArea) / kIdealArea;
+  EPSERVE_ENSURES(ep >= 0.0 && ep < 2.0);
+  return ep;
+}
+
+double idle_power_ratio(const PowerCurve& curve) {
+  return curve.idle_fraction();
+}
+
+double dynamic_range(const PowerCurve& curve) {
+  return 1.0 - idle_power_ratio(curve);
+}
+
+double linear_deviation(const PowerCurve& curve) {
+  const double idle = curve.idle_fraction();
+  // Area under the line from (0, idle) to (1, 1).
+  const double linear_area = 0.5 * (idle + 1.0);
+  const double actual = normalized_power_area(curve);
+  return (actual - linear_area) / linear_area;
+}
+
+double proportionality_gap(const PowerCurve& curve, std::size_t level) {
+  EPSERVE_EXPECTS(level < kNumLoadLevels);
+  const double u = kLoadLevels[level];
+  return curve.watts_at_level(level) / curve.peak_watts() - u;
+}
+
+double max_proportionality_gap(const PowerCurve& curve) {
+  double worst = curve.idle_fraction();  // gap at utilisation 0
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    worst = std::max(worst, std::abs(proportionality_gap(curve, i)));
+  }
+  return worst;
+}
+
+std::vector<double> ideal_intersections(const PowerCurve& curve) {
+  std::vector<double> crossings;
+  const double peak = curve.peak_watts();
+  double prev_u = 0.0;
+  double prev_gap = curve.idle_watts() / peak;  // p(0) - 0
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    const double u = kLoadLevels[i];
+    const double gap = curve.watts_at_level(i) / peak - u;
+    if ((prev_gap > 0.0 && gap < 0.0) || (prev_gap < 0.0 && gap > 0.0)) {
+      // Linear interpolation of the sign change inside (prev_u, u).
+      const double frac = prev_gap / (prev_gap - gap);
+      crossings.push_back(prev_u + frac * (u - prev_u));
+    } else if (gap == 0.0 && u < 1.0) {
+      crossings.push_back(u);
+    }
+    prev_u = u;
+    prev_gap = gap;
+  }
+  return crossings;
+}
+
+}  // namespace epserve::metrics

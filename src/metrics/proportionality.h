@@ -1,0 +1,54 @@
+// Energy-proportionality metrics over a PowerCurve.
+//
+// The headline metric is the paper's Eq.1 (due to Ryckbosch et al. [14]):
+//
+//   EP = 1 - (A_actual - A_ideal) / A_ideal,     A_ideal = 1/2,
+//
+// where A_actual is the area under the power-utilisation curve normalised to
+// power at 100% load, approximated — exactly as in the paper — by the sum of
+// ten trapezoids over the utilisation intervals [0,10%], [10%,20%], ...,
+// [90%,100%], with active-idle power standing in for utilisation 0.
+// EP in [0, 2): 1.0 is ideal proportionality, 0 is a flat (constant-power)
+// curve, values > 1 indicate sublinear (better-than-proportional) curves.
+//
+// The companion metrics (LD, IPR, DR, proportionality gap) follow Hsu & Poole
+// [16] and Wong & Annavaram [17], which the paper compares against.
+#pragma once
+
+#include <vector>
+
+#include "metrics/power_curve.h"
+
+namespace epserve::metrics {
+
+/// Eq.1 EP via the ten-trapezoid approximation. Range [0, 2).
+double energy_proportionality(const PowerCurve& curve);
+
+/// Area under the normalised power curve (trapezoid, utilisation 0 -> idle).
+double normalized_power_area(const PowerCurve& curve);
+
+/// Idle-to-peak power ratio ("idle power percentage" in the paper).
+double idle_power_ratio(const PowerCurve& curve);
+
+/// Dynamic range: (peak - idle) / peak = 1 - IPR.
+double dynamic_range(const PowerCurve& curve);
+
+/// Area-relative linear deviation: (A_actual - A_linear) / A_linear where
+/// A_linear is the area under the straight line from (0, idle) to (1, 1).
+/// Negative LD = curve runs below its own linear interpolation (sublinear).
+double linear_deviation(const PowerCurve& curve);
+
+/// Largest |normalized_power(u) - u| over the measured levels plus idle:
+/// Wong & Annavaram's per-level proportionality gap, reduced to its maximum.
+double max_proportionality_gap(const PowerCurve& curve);
+
+/// Signed proportionality gap at one measured level: p_norm(u) - u.
+double proportionality_gap(const PowerCurve& curve, std::size_t level);
+
+/// Utilisations in (0, 1) where the normalised power curve crosses the ideal
+/// line p = u (piecewise-linear exact crossings, ascending order). The paper
+/// studies these intersections in Fig.10: higher-EP servers cross farther
+/// from 100% utilisation.
+std::vector<double> ideal_intersections(const PowerCurve& curve);
+
+}  // namespace epserve::metrics

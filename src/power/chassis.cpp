@@ -1,0 +1,88 @@
+#include "power/chassis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+Result<MultiNodeChassis> MultiNodeChassis::create(const Config& config) {
+  if (config.nodes < 1) {
+    return Error::invalid_argument("MultiNodeChassis: nodes must be >= 1");
+  }
+  if (config.chassis_base_watts < 0.0) {
+    return Error::invalid_argument(
+        "MultiNodeChassis: chassis base watts must be >= 0");
+  }
+  // Node model with a pass-through PSU and no node-level fan/platform: the
+  // chassis supplies the shared infrastructure, so the node contributes only
+  // its board-level (CPU+DRAM+storage) DC power.
+  ServerPowerModel::Config node = config.node;
+  node.fan = FanModel::Params{0.0, 0.0};
+  node.platform.base_watts = 12.0;  // node-local VRM/BMC remnant
+  node.psu.rating_watts = 1e6;      // effectively no node PSU losses here
+  node.psu.peak_efficiency = 0.999;
+  node.psu.efficiency_at_10pct = 0.998;
+  node.psu.efficiency_at_100pct = 0.998;
+  auto node_model = ServerPowerModel::create(node);
+  if (!node_model.ok()) return node_model.error();
+
+  auto fan = FanModel::create(config.fan);
+  if (!fan.ok()) return fan.error();
+  auto psu = PsuModel::create(config.psu);
+  if (!psu.ok()) return psu.error();
+
+  return MultiNodeChassis(config, std::move(node_model).take(),
+                          std::move(fan).take(), std::move(psu).take());
+}
+
+MultiNodeChassis::MultiNodeChassis(Config config, ServerPowerModel node_model,
+                                   FanModel fan, PsuModel psu)
+    : config_(std::move(config)),
+      node_model_(std::move(node_model)),
+      fan_(std::move(fan)),
+      psu_(std::move(psu)) {}
+
+double MultiNodeChassis::wall_power(double utilization,
+                                    double freq_ghz) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  // Node boards' DC power: the node model's "wall" power is ~DC because its
+  // PSU was made a pass-through in create().
+  double dc = config_.nodes * node_model_.wall_power(utilization, freq_ghz);
+  dc += fan_.power(utilization);
+  dc += config_.chassis_base_watts;
+  dc = std::min(dc, psu_.params().rating_watts);
+  return psu_.wall_power(dc);
+}
+
+metrics::PowerCurve MultiNodeChassis::measure(double peak_ops_per_node) const {
+  const double freq = node_model_.cpu().params().max_freq_ghz;
+  std::array<double, metrics::kNumLoadLevels> watts{};
+  std::array<double, metrics::kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    const double u = metrics::kLoadLevels[i];
+    watts[i] = wall_power(u, freq);
+    ops[i] = peak_ops_per_node * config_.nodes * u;
+  }
+  return metrics::PowerCurve(watts, ops, wall_power(0.0, freq));
+}
+
+Result<MultiNodeChassis> make_chassis(const ServerPowerModel::Config& node,
+                                      int nodes) {
+  MultiNodeChassis::Config config;
+  config.node = node;
+  config.nodes = nodes;
+  // Shared fan wall: grows ~sqrt with node count (bigger fans move air more
+  // efficiently than N small ones).
+  config.fan.base_watts = 6.0 + 4.0 * std::sqrt(static_cast<double>(nodes));
+  config.fan.max_extra_watts = 12.0 * std::sqrt(static_cast<double>(nodes));
+  config.chassis_base_watts = 25.0 + 6.0 * nodes;
+  // PSU bank sized for the peak draw with headroom; shared PSUs also run
+  // closer to their sweet spot.
+  const double node_peak = node.cpu.tdp_watts * node.sockets * 1.6 + 80.0;
+  config.psu.rating_watts = std::max(500.0, node_peak * nodes * 1.25);
+  return MultiNodeChassis::create(config);
+}
+
+}  // namespace epserve::power

@@ -1,0 +1,59 @@
+// Multi-node chassis power model — the *mechanism* behind the paper's
+// Fig.13 economies of scale. A multi-node system (blade/twin chassis) shares
+// one PSU bank, one fan wall, and one management plane across N node boards;
+// each node sheds its private PSU, fans, and part of its platform floor.
+// The shared fixed costs amortise across nodes, the idle fraction falls, and
+// EP rises with node count — without any per-node silicon change.
+#pragma once
+
+#include <vector>
+
+#include "metrics/power_curve.h"
+#include "power/server_power_model.h"
+#include "util/result.h"
+
+namespace epserve::power {
+
+class MultiNodeChassis {
+ public:
+  struct Config {
+    /// Per-node configuration (CPU + DRAM + storage). The node-level fan,
+    /// platform, and PSU entries are IGNORED — the chassis supplies those.
+    ServerPowerModel::Config node;
+    int nodes = 2;
+    /// Shared chassis fan wall (scales sublinearly with node count).
+    FanModel::Params fan;
+    /// Chassis management/backplane floor.
+    double chassis_base_watts = 40.0;
+    /// Shared PSU bank, sized by the factory function when zero.
+    PsuModel::Params psu;
+  };
+
+  static epserve::Result<MultiNodeChassis> create(const Config& config);
+
+  /// Wall power with every node at `utilization` and `freq_ghz` (the
+  /// SPECpower multi-node protocol runs all nodes at the same target load).
+  [[nodiscard]] double wall_power(double utilization, double freq_ghz) const;
+
+  [[nodiscard]] int nodes() const { return config_.nodes; }
+
+  /// Measurement sheet at the eleven SPECpower points (ops scale linearly
+  /// with node count).
+  [[nodiscard]] metrics::PowerCurve measure(double peak_ops_per_node) const;
+
+ private:
+  MultiNodeChassis(Config config, ServerPowerModel node_model, FanModel fan,
+                   PsuModel psu);
+
+  Config config_;
+  ServerPowerModel node_model_;  // per-node, PSU bypassed (see .cpp)
+  FanModel fan_;
+  PsuModel psu_;
+};
+
+/// Builds a chassis around `nodes` copies of the given node board, sizing
+/// the shared fan wall and PSU bank from the node count.
+epserve::Result<MultiNodeChassis> make_chassis(
+    const ServerPowerModel::Config& node, int nodes);
+
+}  // namespace epserve::power

@@ -1,0 +1,96 @@
+#include "power/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+Result<CpuModel> CpuModel::create(const Params& params) {
+  const auto fail = [](const char* why) -> Result<CpuModel> {
+    return Error::invalid_argument(std::string("CpuModel: ") + why);
+  };
+  if (!(params.tdp_watts > 0.0)) return fail("TDP must be positive");
+  if (params.cores <= 0) return fail("core count must be positive");
+  if (!(params.min_freq_ghz > 0.0) ||
+      !(params.max_freq_ghz >= params.min_freq_ghz)) {
+    return fail("frequency range must satisfy 0 < min <= max");
+  }
+  if (!(params.min_voltage > 0.0) ||
+      !(params.max_voltage >= params.min_voltage)) {
+    return fail("voltage range must satisfy 0 < min <= max");
+  }
+  if (params.uncore_fraction < 0.0 || params.static_fraction < 0.0 ||
+      params.uncore_fraction + params.static_fraction >= 1.0) {
+    return fail("uncore + static fractions must be in [0, 1)");
+  }
+  if (params.c_state_residency < 0.0 || params.c_state_residency > 1.0) {
+    return fail("C-state residency must be in [0, 1]");
+  }
+  if (params.num_pstates < 2) return fail("need at least two P-states");
+  return CpuModel(params);
+}
+
+CpuModel::CpuModel(const Params& params) : params_(params) {
+  pstates_.reserve(static_cast<std::size_t>(params_.num_pstates));
+  for (int i = 0; i < params_.num_pstates; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(params_.num_pstates - 1);
+    PState p;
+    p.freq_ghz =
+        params_.min_freq_ghz + t * (params_.max_freq_ghz - params_.min_freq_ghz);
+    p.voltage = voltage_at(p.freq_ghz);
+    pstates_.push_back(p);
+  }
+}
+
+double CpuModel::voltage_at(double freq_ghz) const {
+  const double f =
+      std::clamp(freq_ghz, params_.min_freq_ghz, params_.max_freq_ghz);
+  if (params_.max_freq_ghz == params_.min_freq_ghz) return params_.max_voltage;
+  const double t = (f - params_.min_freq_ghz) /
+                   (params_.max_freq_ghz - params_.min_freq_ghz);
+  return params_.min_voltage + t * (params_.max_voltage - params_.min_voltage);
+}
+
+double CpuModel::power(double utilization, double freq_ghz) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  const double f =
+      std::clamp(freq_ghz, params_.min_freq_ghz, params_.max_freq_ghz);
+  const double v = voltage_at(f);
+  const double v_ratio = v / params_.max_voltage;
+  const double f_ratio = f / params_.max_freq_ghz;
+
+  const double uncore = params_.tdp_watts * params_.uncore_fraction;
+  // Leakage scales roughly with V^2 at fixed temperature.
+  double core_static =
+      params_.tdp_watts * params_.static_fraction * v_ratio * v_ratio;
+  if (utilization == 0.0) {
+    core_static *= params_.c_state_residency;  // deep C-state on idle cores
+  }
+  const double dynamic_share =
+      1.0 - params_.uncore_fraction - params_.static_fraction;
+  const double dynamic = params_.tdp_watts * dynamic_share * utilization *
+                         f_ratio * v_ratio * v_ratio;
+  return uncore + core_static + dynamic;
+}
+
+double CpuModel::peak_power() const {
+  return power(1.0, params_.max_freq_ghz);
+}
+
+double CpuModel::quantize_frequency(double freq_ghz) const {
+  const PState* best = &pstates_.front();
+  double best_dist = std::abs(best->freq_ghz - freq_ghz);
+  for (const auto& p : pstates_) {
+    const double d = std::abs(p.freq_ghz - freq_ghz);
+    if (d < best_dist) {
+      best = &p;
+      best_dist = d;
+    }
+  }
+  return best->freq_ghz;
+}
+
+}  // namespace epserve::power

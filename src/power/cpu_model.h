@@ -1,0 +1,71 @@
+// CPU power model with P-states (DVFS) and C-state idle savings.
+//
+// Power split follows the classic CMOS decomposition:
+//   P = P_uncore + P_static(V) + P_dynamic(util, f, V)
+// with P_dynamic proportional to a*C*V^2*f and voltage scaling linearly with
+// frequency between the minimum and maximum P-state. The model is calibrated
+// so that power at (util=1, f=f_max) equals the configured TDP share.
+#pragma once
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace epserve::power {
+
+/// One DVFS operating point.
+struct PState {
+  double freq_ghz = 0.0;
+  double voltage = 0.0;  // volts
+};
+
+/// Per-socket CPU power model.
+class CpuModel {
+ public:
+  struct Params {
+    double tdp_watts = 95.0;   // package power at util=1, f=max
+    int cores = 8;
+    double min_freq_ghz = 1.2;
+    double max_freq_ghz = 2.4;
+    double min_voltage = 0.8;
+    double max_voltage = 1.1;
+    /// Fraction of TDP that is uncore/interconnect (frequency-insensitive).
+    double uncore_fraction = 0.15;
+    /// Fraction of TDP that is core leakage at max voltage.
+    double static_fraction = 0.20;
+    /// Residual active-idle power fraction after C-state entry (applied to
+    /// the core-static share when util == 0). Newer parts idle deeper.
+    double c_state_residency = 0.25;
+    /// Number of discrete P-states exposed by the driver (>= 2).
+    int num_pstates = 11;
+  };
+
+  /// Validates parameters; fails on non-physical configurations.
+  static epserve::Result<CpuModel> create(const Params& params);
+
+  /// Discrete P-state table, ascending frequency.
+  [[nodiscard]] const std::vector<PState>& pstates() const { return pstates_; }
+
+  /// Voltage at a frequency (linear V-f interpolation, clamped).
+  [[nodiscard]] double voltage_at(double freq_ghz) const;
+
+  /// Package power in watts at a utilisation in [0,1] and frequency. A zero
+  /// utilisation engages C-states (deep idle on the core-static share).
+  [[nodiscard]] double power(double utilization, double freq_ghz) const;
+
+  /// Power at full load and maximum frequency (== TDP by calibration).
+  [[nodiscard]] double peak_power() const;
+
+  /// Clamps a requested frequency onto the nearest discrete P-state.
+  [[nodiscard]] double quantize_frequency(double freq_ghz) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  explicit CpuModel(const Params& params);
+
+  Params params_;
+  std::vector<PState> pstates_;
+};
+
+}  // namespace epserve::power

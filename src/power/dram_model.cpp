@@ -1,0 +1,46 @@
+#include "power/dram_model.h"
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+double default_background_w_per_gb(DramGeneration generation) {
+  switch (generation) {
+    case DramGeneration::kDdr3: return 0.35;
+    case DramGeneration::kDdr4: return 0.12;
+  }
+  return 0.25;
+}
+
+Result<DramModel> DramModel::create(const Params& params) {
+  const auto fail = [](const char* why) -> Result<DramModel> {
+    return Error::invalid_argument(std::string("DramModel: ") + why);
+  };
+  if (!(params.dimm_capacity_gb > 0.0)) return fail("DIMM capacity must be > 0");
+  if (params.dimm_count <= 0) return fail("DIMM count must be > 0");
+  if (params.background_w_per_gb < 0.0) return fail("background W/GB < 0");
+  if (params.per_dimm_overhead_w < 0.0) return fail("per-DIMM overhead < 0");
+  if (params.active_w_per_dimm < 0.0) return fail("active W/DIMM < 0");
+  Params resolved = params;
+  if (resolved.background_w_per_gb == 0.0) {
+    resolved.background_w_per_gb =
+        default_background_w_per_gb(resolved.generation);
+  }
+  return DramModel(resolved);
+}
+
+double DramModel::total_capacity_gb() const {
+  return params_.dimm_capacity_gb * params_.dimm_count;
+}
+
+double DramModel::power(double utilization) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  const double background =
+      total_capacity_gb() * params_.background_w_per_gb +
+      params_.dimm_count * params_.per_dimm_overhead_w;
+  const double active =
+      params_.dimm_count * params_.active_w_per_dimm * utilization;
+  return background + active;
+}
+
+}  // namespace epserve::power

@@ -1,0 +1,54 @@
+// DRAM power model per installed DIMM.
+//
+// Memory power has a background component that scales with installed
+// capacity (refresh, peripheral circuitry, registered-DIMM overhead) and an
+// access component that scales with utilisation. This is what makes
+// memory-per-core a first-order energy-efficiency knob in the paper's §V.A:
+// past the capacity the workload can use, every added gigabyte contributes
+// background watts with no throughput in return.
+#pragma once
+
+#include "util/result.h"
+
+namespace epserve::power {
+
+enum class DramGeneration { kDdr3, kDdr4 };
+
+/// Power model for one memory configuration (all DIMMs of one kind).
+class DramModel {
+ public:
+  struct Params {
+    DramGeneration generation = DramGeneration::kDdr4;
+    double dimm_capacity_gb = 16.0;
+    int dimm_count = 8;
+    /// Background (idle) watts per gigabyte; DDR4 is roughly half of DDR3.
+    /// Defaults follow vendor power calculators (about 0.35 W/GB DDR3 at
+    /// 1600 MT/s, 0.12 W/GB DDR4 at 2133 MT/s).
+    double background_w_per_gb = 0.0;  // 0 -> pick the generation default
+    /// Extra watts per DIMM for the register/buffer and SPD logic.
+    double per_dimm_overhead_w = 0.8;
+    /// Activate/precharge + IO watts per DIMM at 100% access utilisation.
+    double active_w_per_dimm = 2.5;
+  };
+
+  static epserve::Result<DramModel> create(const Params& params);
+
+  [[nodiscard]] double total_capacity_gb() const;
+
+  /// Total memory subsystem power at an access utilisation in [0, 1].
+  [[nodiscard]] double power(double utilization) const;
+
+  /// Background-only power (utilisation 0).
+  [[nodiscard]] double idle_power() const { return power(0.0); }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  explicit DramModel(const Params& params) : params_(params) {}
+  Params params_;
+};
+
+/// Generation default background watts per GB.
+double default_background_w_per_gb(DramGeneration generation);
+
+}  // namespace epserve::power

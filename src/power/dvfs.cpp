@@ -1,0 +1,43 @@
+#include "power/dvfs.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace epserve::power {
+
+std::string FixedGovernor::name() const {
+  return "fixed@" + format_fixed(freq_ghz_, 1) + "GHz";
+}
+
+OndemandGovernor::OndemandGovernor(double up_threshold)
+    : up_threshold_(up_threshold) {
+  EPSERVE_EXPECTS(up_threshold > 0.0 && up_threshold <= 1.0);
+}
+
+double OndemandGovernor::frequency_for(double load,
+                                       const CpuModel& cpu) const {
+  EPSERVE_EXPECTS(load >= 0.0 && load <= 1.0);
+  const auto& p = cpu.params();
+  if (load >= up_threshold_) return p.max_freq_ghz;
+  // Scale so that at the chosen frequency the busy fraction approaches the
+  // threshold: f = f_max * load / threshold, floored at f_min.
+  const double f = p.max_freq_ghz * load / up_threshold_;
+  return cpu.quantize_frequency(std::clamp(f, p.min_freq_ghz, p.max_freq_ghz));
+}
+
+std::unique_ptr<DvfsGovernor> make_performance_governor() {
+  return std::make_unique<PerformanceGovernor>();
+}
+std::unique_ptr<DvfsGovernor> make_powersave_governor() {
+  return std::make_unique<PowersaveGovernor>();
+}
+std::unique_ptr<DvfsGovernor> make_fixed_governor(double freq_ghz) {
+  return std::make_unique<FixedGovernor>(freq_ghz);
+}
+std::unique_ptr<DvfsGovernor> make_ondemand_governor(double up_threshold) {
+  return std::make_unique<OndemandGovernor>(up_threshold);
+}
+
+}  // namespace epserve::power

@@ -1,0 +1,77 @@
+// DVFS governors (paper §V.B): fixed ("userspace"), performance, powersave,
+// and a cpufreq-style ondemand policy. A governor maps observed load to the
+// core frequency the next measurement interval will run at.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "power/cpu_model.h"
+
+namespace epserve::power {
+
+/// Frequency selection policy.
+class DvfsGovernor {
+ public:
+  virtual ~DvfsGovernor() = default;
+
+  /// Frequency for the next interval given the load of the previous one.
+  [[nodiscard]] virtual double frequency_for(double load,
+                                             const CpuModel& cpu) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Always the maximum frequency.
+class PerformanceGovernor final : public DvfsGovernor {
+ public:
+  [[nodiscard]] double frequency_for(double, const CpuModel& cpu) const override {
+    return cpu.params().max_freq_ghz;
+  }
+  [[nodiscard]] std::string name() const override { return "performance"; }
+};
+
+/// Always the minimum frequency.
+class PowersaveGovernor final : public DvfsGovernor {
+ public:
+  [[nodiscard]] double frequency_for(double, const CpuModel& cpu) const override {
+    return cpu.params().min_freq_ghz;
+  }
+  [[nodiscard]] std::string name() const override { return "powersave"; }
+};
+
+/// Pinned to one frequency (cpufreq "userspace"). The frequency is quantised
+/// onto the CPU's P-state table.
+class FixedGovernor final : public DvfsGovernor {
+ public:
+  explicit FixedGovernor(double freq_ghz) : freq_ghz_(freq_ghz) {}
+  [[nodiscard]] double frequency_for(double, const CpuModel& cpu) const override {
+    return cpu.quantize_frequency(freq_ghz_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double freq_ghz_;
+};
+
+/// Linux-ondemand-style policy: jump to max frequency above the up-threshold,
+/// otherwise scale frequency proportionally to load so the busy fraction
+/// stays near the threshold.
+class OndemandGovernor final : public DvfsGovernor {
+ public:
+  explicit OndemandGovernor(double up_threshold = 0.80);
+  [[nodiscard]] double frequency_for(double load,
+                                     const CpuModel& cpu) const override;
+  [[nodiscard]] std::string name() const override { return "ondemand"; }
+
+ private:
+  double up_threshold_;
+};
+
+/// Factory helpers.
+std::unique_ptr<DvfsGovernor> make_performance_governor();
+std::unique_ptr<DvfsGovernor> make_powersave_governor();
+std::unique_ptr<DvfsGovernor> make_fixed_governor(double freq_ghz);
+std::unique_ptr<DvfsGovernor> make_ondemand_governor(double up_threshold = 0.80);
+
+}  // namespace epserve::power

@@ -1,0 +1,41 @@
+#include "power/peripherals.h"
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+double StorageDevice::idle_power() const {
+  switch (kind) {
+    case StorageKind::kHdd10k: return 5.5;
+    case StorageKind::kHdd15k: return 7.5;
+    case StorageKind::kSsd: return 1.2;
+  }
+  return 1.2;
+}
+
+double StorageDevice::power(double utilization) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  double active_delta = 0.0;
+  switch (kind) {
+    case StorageKind::kHdd10k: active_delta = 2.5; break;
+    case StorageKind::kHdd15k: active_delta = 3.5; break;
+    case StorageKind::kSsd: active_delta = 1.8; break;
+  }
+  return idle_power() + active_delta * utilization;
+}
+
+Result<FanModel> FanModel::create(const Params& params) {
+  if (params.base_watts < 0.0 || params.max_extra_watts < 0.0) {
+    return Error::invalid_argument("FanModel: watts must be non-negative");
+  }
+  return FanModel(params);
+}
+
+double FanModel::power(double utilization) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  // Cubic fan law against a utilisation-driven speed target.
+  const double speed = 0.4 + 0.6 * utilization;  // fans never fully stop
+  return params_.base_watts + params_.max_extra_watts * speed * speed * speed;
+}
+
+}  // namespace epserve::power

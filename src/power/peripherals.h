@@ -1,0 +1,47 @@
+// Storage, fan, and motherboard power models — the smaller consumers that
+// nevertheless set the idle floor a server cannot duck under. SPECpower
+// submissions use minimal disk configurations precisely to shave this floor
+// (paper §V.A), so the models must make that trade-off visible.
+#pragma once
+
+#include "util/result.h"
+
+namespace epserve::power {
+
+enum class StorageKind { kHdd10k, kHdd15k, kSsd };
+
+/// One storage device.
+struct StorageDevice {
+  StorageKind kind = StorageKind::kSsd;
+
+  /// Idle watts for the device kind.
+  [[nodiscard]] double idle_power() const;
+  /// Watts at an I/O utilisation in [0, 1].
+  [[nodiscard]] double power(double utilization) const;
+};
+
+/// Chassis fan bank. Fan power grows with the cube of speed, and speed is
+/// driven by dissipated heat, approximated here by compute utilisation.
+class FanModel {
+ public:
+  struct Params {
+    double base_watts = 6.0;    // minimum-speed floor
+    double max_extra_watts = 18.0;  // additional watts at full speed
+  };
+
+  static epserve::Result<FanModel> create(const Params& params);
+
+  [[nodiscard]] double power(double utilization) const;
+
+ private:
+  explicit FanModel(const Params& params) : params_(params) {}
+  Params params_;
+};
+
+/// Motherboard / VRM / NIC floor power (constant).
+struct PlatformModel {
+  double base_watts = 25.0;
+  [[nodiscard]] double power() const { return base_watts; }
+};
+
+}  // namespace epserve::power

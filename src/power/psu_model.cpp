@@ -1,0 +1,50 @@
+#include "power/psu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+Result<PsuModel> PsuModel::create(const Params& params) {
+  const auto fail = [](const char* why) -> Result<PsuModel> {
+    return Error::invalid_argument(std::string("PsuModel: ") + why);
+  };
+  if (!(params.rating_watts > 0.0)) return fail("rating must be positive");
+  for (const double e : {params.peak_efficiency, params.efficiency_at_10pct,
+                         params.efficiency_at_100pct}) {
+    if (!(e > 0.0 && e < 1.0)) return fail("efficiencies must be in (0, 1)");
+  }
+  if (params.peak_efficiency < params.efficiency_at_10pct ||
+      params.peak_efficiency < params.efficiency_at_100pct) {
+    return fail("peak efficiency must dominate the endpoints");
+  }
+  return PsuModel(params);
+}
+
+double PsuModel::efficiency(double load_fraction) const {
+  EPSERVE_EXPECTS(load_fraction > 0.0 && load_fraction <= 1.0);
+  // Piecewise-quadratic through (0.1, e10), (0.5, peak), (1.0, e100): a
+  // parabola on each side of the 50% sweet spot, clamped below 10% load.
+  constexpr double kPeakLoad = 0.5;
+  const double l = std::max(load_fraction, 0.02);
+  if (l <= kPeakLoad) {
+    const double t = (kPeakLoad - l) / (kPeakLoad - 0.1);
+    return params_.peak_efficiency -
+           (params_.peak_efficiency - params_.efficiency_at_10pct) * t * t;
+  }
+  const double t = (l - kPeakLoad) / (1.0 - kPeakLoad);
+  return params_.peak_efficiency -
+         (params_.peak_efficiency - params_.efficiency_at_100pct) * t * t;
+}
+
+double PsuModel::wall_power(double dc_watts) const {
+  EPSERVE_EXPECTS(dc_watts >= 0.0);
+  EPSERVE_EXPECTS(dc_watts <= params_.rating_watts);
+  if (dc_watts == 0.0) return 0.0;
+  const double fraction = dc_watts / params_.rating_watts;
+  return dc_watts / efficiency(fraction);
+}
+
+}  // namespace epserve::power

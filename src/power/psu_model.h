@@ -1,0 +1,37 @@
+// Power supply efficiency model (80 PLUS-style curve).
+//
+// Wall power = DC power / efficiency(load fraction). Efficiency peaks near
+// 50% of the PSU rating and degrades toward both ends — one more reason
+// real servers burn a disproportionate share of energy at low utilisation.
+#pragma once
+
+#include "util/result.h"
+
+namespace epserve::power {
+
+class PsuModel {
+ public:
+  struct Params {
+    double rating_watts = 750.0;  // nameplate DC capacity
+    double peak_efficiency = 0.92;
+    double efficiency_at_10pct = 0.80;
+    double efficiency_at_100pct = 0.88;
+  };
+
+  static epserve::Result<PsuModel> create(const Params& params);
+
+  /// Conversion efficiency at a DC load fraction in (0, 1].
+  [[nodiscard]] double efficiency(double load_fraction) const;
+
+  /// AC (wall) power drawn to supply `dc_watts`. Requires dc_watts >= 0 and
+  /// within the PSU rating.
+  [[nodiscard]] double wall_power(double dc_watts) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  explicit PsuModel(const Params& params) : params_(params) {}
+  Params params_;
+};
+
+}  // namespace epserve::power

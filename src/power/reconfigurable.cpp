@@ -1,0 +1,86 @@
+#include "power/reconfigurable.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+Result<ReconfigurableServer> ReconfigurableServer::create(
+    ServerPowerModel base, const Policy& policy) {
+  const auto fail = [](const char* why) -> Result<ReconfigurableServer> {
+    return Error::invalid_argument(std::string("ReconfigurableServer: ") + why);
+  };
+  if (policy.max_parked_socket_fraction < 0.0 ||
+      policy.max_parked_socket_fraction >= 1.0) {
+    return fail("parked socket fraction must be in [0, 1)");
+  }
+  if (policy.max_self_refresh_fraction < 0.0 ||
+      policy.max_self_refresh_fraction > 1.0) {
+    return fail("self-refresh fraction must be in [0, 1]");
+  }
+  for (const double residual :
+       {policy.parked_socket_residual, policy.self_refresh_residual}) {
+    if (residual < 0.0 || residual > 1.0) {
+      return fail("residuals must be in [0, 1]");
+    }
+  }
+  if (policy.gating_threshold <= 0.0 || policy.gating_threshold > 1.0) {
+    return fail("gating threshold must be in (0, 1]");
+  }
+  return ReconfigurableServer(std::move(base), policy);
+}
+
+double ReconfigurableServer::wall_power(double utilization,
+                                        double freq_ghz) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  const double ungated = base_.wall_power(utilization, freq_ghz);
+  if (utilization >= policy_.gating_threshold) return ungated;
+
+  // How deeply resources are gated scales with the distance below the
+  // threshold (1 at idle, 0 at the threshold).
+  const double depth = 1.0 - utilization / policy_.gating_threshold;
+
+  // Socket parking: below the threshold, work consolidates onto fewer
+  // sockets. Estimate the parked share and the power it sheds. The shed
+  // power is the *idle-ish* cost of the parked sockets (their dynamic share
+  // already scales with utilisation in the base model).
+  const double parked_fraction =
+      policy_.max_parked_socket_fraction * depth;
+  const int sockets = base_.config().sockets;
+  const double parked_sockets =
+      std::floor(parked_fraction * sockets + 1e-9);
+  const double socket_idle_power = base_.cpu().power(0.0, freq_ghz);
+  const double socket_saving = parked_sockets * socket_idle_power *
+                               (1.0 - policy_.parked_socket_residual);
+
+  // DIMM self-refresh: sheds the background share of the gated DIMMs.
+  const double refresh_fraction = policy_.max_self_refresh_fraction * depth;
+  const double dram_background = base_.dram().idle_power();
+  const double dram_saving = dram_background * refresh_fraction *
+                             (1.0 - policy_.self_refresh_residual);
+
+  // Savings occur on the DC side; approximate the AC effect with the same
+  // marginal efficiency the base point sees.
+  const double gated = std::max(ungated * 0.15,
+                                ungated - socket_saving - dram_saving);
+  return gated;
+}
+
+metrics::PowerCurve ReconfigurableServer::measure(double peak_ops,
+                                                  bool gated) const {
+  const double freq = base_.cpu().params().max_freq_ghz;
+  std::array<double, metrics::kNumLoadLevels> watts{};
+  std::array<double, metrics::kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    const double u = metrics::kLoadLevels[i];
+    watts[i] = gated ? wall_power(u, freq) : base_.wall_power(u, freq);
+    ops[i] = peak_ops * u;
+  }
+  const double idle =
+      gated ? wall_power(0.0, freq) : base_.wall_power(0.0, freq);
+  return metrics::PowerCurve(watts, ops, idle);
+}
+
+}  // namespace epserve::power

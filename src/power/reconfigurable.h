@@ -1,0 +1,59 @@
+// Energy-proportionality-reconfigurable server (paper §VII future work:
+// "build servers with better than linear energy proportionality or energy
+// proportionality reconfigurable servers").
+//
+// Wraps a base ServerPowerModel with utilisation-tracking resource gating:
+// below a utilisation threshold, idle sockets are parked in a package
+// C-state and unused DIMM ranks enter self-refresh, so the low-load power
+// floor collapses. The resulting power-utilisation curve is sublinear
+// (EP > 1 - idle) without touching peak performance — the paper's
+// "better than linear" regime.
+#pragma once
+
+#include "metrics/power_curve.h"
+#include "power/server_power_model.h"
+#include "util/result.h"
+
+namespace epserve::power {
+
+class ReconfigurableServer {
+ public:
+  struct Policy {
+    /// Fraction of sockets that may be parked (the last socket always
+    /// stays online).
+    double max_parked_socket_fraction = 0.5;
+    /// Residual power fraction of a parked socket (package C6-like).
+    double parked_socket_residual = 0.10;
+    /// Fraction of DIMMs eligible for self-refresh at idle.
+    double max_self_refresh_fraction = 0.75;
+    /// Residual power fraction of a self-refreshing DIMM.
+    double self_refresh_residual = 0.25;
+    /// Reconfiguration reacts below this utilisation (above it everything
+    /// is online for headroom).
+    double gating_threshold = 0.7;
+  };
+
+  static epserve::Result<ReconfigurableServer> create(
+      ServerPowerModel base, const Policy& policy);
+
+  /// Wall power with gating active. At util >= gating_threshold this equals
+  /// the base model; below, parked resources shed their share of power.
+  [[nodiscard]] double wall_power(double utilization, double freq_ghz) const;
+
+  /// The base (non-reconfigurable) model.
+  [[nodiscard]] const ServerPowerModel& base() const { return base_; }
+
+  /// Measurement sheets at the eleven SPECpower points for the gated and
+  /// ungated server (same throughput; power differs), for EP comparison.
+  [[nodiscard]] metrics::PowerCurve measure(double peak_ops,
+                                            bool gated = true) const;
+
+ private:
+  ReconfigurableServer(ServerPowerModel base, const Policy& policy)
+      : base_(std::move(base)), policy_(policy) {}
+
+  ServerPowerModel base_;
+  Policy policy_;
+};
+
+}  // namespace epserve::power

@@ -1,0 +1,69 @@
+#include "power/server_power_model.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+Result<ServerPowerModel> ServerPowerModel::create(const Config& config) {
+  if (config.sockets <= 0) {
+    return Error::invalid_argument("ServerPowerModel: sockets must be > 0");
+  }
+  if (config.memory_intensity < 0.0 || config.memory_intensity > 1.0 ||
+      config.storage_intensity < 0.0 || config.storage_intensity > 1.0) {
+    return Error::invalid_argument(
+        "ServerPowerModel: intensities must be in [0, 1]");
+  }
+  auto cpu = CpuModel::create(config.cpu);
+  if (!cpu.ok()) return cpu.error();
+  auto dram = DramModel::create(config.dram);
+  if (!dram.ok()) return dram.error();
+  auto fan = FanModel::create(config.fan);
+  if (!fan.ok()) return fan.error();
+  auto psu = PsuModel::create(config.psu);
+  if (!psu.ok()) return psu.error();
+
+  ServerPowerModel model(config, std::move(cpu).take(), std::move(dram).take(),
+                         std::move(fan).take(), std::move(psu).take());
+  // The PSU must be able to carry the peak DC draw; surface miswiring early.
+  const double peak_dc =
+      model.psu_.params().rating_watts;  // checked inside wall_power too
+  if (model.peak_wall_power() <= 0.0 || peak_dc <= 0.0) {
+    return Error::invalid_argument("ServerPowerModel: inconsistent PSU");
+  }
+  return model;
+}
+
+ServerPowerModel::ServerPowerModel(const Config& config, CpuModel cpu,
+                                   DramModel dram, FanModel fan, PsuModel psu)
+    : config_(config),
+      cpu_(std::move(cpu)),
+      dram_(std::move(dram)),
+      fan_(std::move(fan)),
+      psu_(std::move(psu)) {}
+
+double ServerPowerModel::wall_power(double utilization,
+                                    double freq_ghz) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  double dc = 0.0;
+  dc += static_cast<double>(config_.sockets) * cpu_.power(utilization, freq_ghz);
+  dc += dram_.power(std::min(1.0, utilization * config_.memory_intensity));
+  for (const auto& device : config_.storage) {
+    dc += device.power(std::min(1.0, utilization * config_.storage_intensity));
+  }
+  dc += fan_.power(utilization);
+  dc += config_.platform.power();
+  dc = std::min(dc, psu_.params().rating_watts);  // PSU clamps at nameplate
+  return psu_.wall_power(dc);
+}
+
+double ServerPowerModel::idle_wall_power() const {
+  return wall_power(0.0, cpu_.params().min_freq_ghz);
+}
+
+double ServerPowerModel::peak_wall_power() const {
+  return wall_power(1.0, cpu_.params().max_freq_ghz);
+}
+
+}  // namespace epserve::power

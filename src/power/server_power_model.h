@@ -1,0 +1,63 @@
+// Whole-server power model: sockets + DRAM + storage + fans + platform,
+// behind a PSU efficiency curve. This is the simulated hardware the
+// SPECpower workload simulator drives, and the substrate for the paper's
+// Table II testbed experiments.
+#pragma once
+
+#include <vector>
+
+#include "power/cpu_model.h"
+#include "power/dram_model.h"
+#include "power/peripherals.h"
+#include "power/psu_model.h"
+#include "util/result.h"
+
+namespace epserve::power {
+
+/// Composed server. All sockets share one CpuModel (homogeneous boards).
+class ServerPowerModel {
+ public:
+  struct Config {
+    CpuModel::Params cpu;
+    int sockets = 2;
+    DramModel::Params dram;
+    std::vector<StorageDevice> storage;
+    FanModel::Params fan;
+    PlatformModel platform;
+    PsuModel::Params psu;
+    /// Memory access intensity relative to CPU load (SSJ is moderately
+    /// memory-hungry; storage stays nearly idle by benchmark design).
+    double memory_intensity = 0.7;
+    double storage_intensity = 0.05;
+  };
+
+  static epserve::Result<ServerPowerModel> create(const Config& config);
+
+  /// AC wall power at a compute utilisation in [0, 1] and core frequency.
+  [[nodiscard]] double wall_power(double utilization, double freq_ghz) const;
+
+  /// Wall power at active idle (utilisation 0, lowest P-state).
+  [[nodiscard]] double idle_wall_power() const;
+
+  /// Wall power at full load and maximum frequency.
+  [[nodiscard]] double peak_wall_power() const;
+
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+  [[nodiscard]] const DramModel& dram() const { return dram_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] int total_cores() const {
+    return config_.sockets * config_.cpu.cores;
+  }
+
+ private:
+  ServerPowerModel(const Config& config, CpuModel cpu, DramModel dram,
+                   FanModel fan, PsuModel psu);
+
+  Config config_;
+  CpuModel cpu_;
+  DramModel dram_;
+  FanModel fan_;
+  PsuModel psu_;
+};
+
+}  // namespace epserve::power

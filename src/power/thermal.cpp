@@ -1,0 +1,73 @@
+#include "power/thermal.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::power {
+
+Result<ThermalCpuModel> ThermalCpuModel::create(CpuModel base,
+                                                const Params& params) {
+  const auto fail = [](const char* why) -> Result<ThermalCpuModel> {
+    return Error::invalid_argument(std::string("ThermalCpuModel: ") + why);
+  };
+  if (params.ambient_celsius < -20.0 || params.ambient_celsius > 60.0) {
+    return fail("ambient temperature outside a sane data-center range");
+  }
+  if (!(params.thermal_resistance > 0.0)) {
+    return fail("thermal resistance must be positive");
+  }
+  if (!(params.leakage_doubling_k > 1.0)) {
+    return fail("leakage doubling constant must exceed 1 K");
+  }
+  if (params.iterations < 1) return fail("need at least one iteration");
+  // Stability: the loop gain (dP_static/dT * R_th) must stay below 1 at the
+  // hottest plausible point or the fixed point runs away (thermal runaway).
+  const double static_watts =
+      base.params().tdp_watts * base.params().static_fraction;
+  const double max_gain = static_watts * 4.0 * (std::log(2.0) /
+                          params.leakage_doubling_k) *
+                          params.thermal_resistance;
+  if (max_gain >= 1.0) {
+    return fail("thermal runaway: loop gain >= 1 for these parameters");
+  }
+  return ThermalCpuModel(std::move(base), params);
+}
+
+std::pair<double, double> ThermalCpuModel::solve(double utilization,
+                                                 double freq_ghz) const {
+  EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
+  // Split the base model's power into a temperature-insensitive part and the
+  // static (leakage) part evaluated at the reference temperature.
+  const double base_total = base_.power(utilization, freq_ghz);
+  const double v_ratio =
+      base_.voltage_at(freq_ghz) / base_.params().max_voltage;
+  double static_ref =
+      base_.params().tdp_watts * base_.params().static_fraction * v_ratio *
+      v_ratio;
+  if (utilization == 0.0) static_ref *= base_.params().c_state_residency;
+  const double insensitive = base_total - static_ref;
+
+  const double k = std::log(2.0) / params_.leakage_doubling_k;
+  double temperature = params_.reference_celsius;
+  double power_now = base_total;
+  for (int i = 0; i < params_.iterations; ++i) {
+    const double leakage =
+        static_ref * std::exp(k * (temperature - params_.reference_celsius));
+    power_now = insensitive + leakage;
+    temperature =
+        params_.ambient_celsius + params_.thermal_resistance * power_now;
+  }
+  return {power_now, temperature};
+}
+
+double ThermalCpuModel::power(double utilization, double freq_ghz) const {
+  return solve(utilization, freq_ghz).first;
+}
+
+double ThermalCpuModel::temperature(double utilization,
+                                    double freq_ghz) const {
+  return solve(utilization, freq_ghz).second;
+}
+
+}  // namespace epserve::power

@@ -1,0 +1,100 @@
+#include "power/uarch.h"
+
+#include <array>
+
+namespace epserve::power {
+
+namespace {
+
+// typical_ep values are the per-codename mean EPs the paper reports in Fig.7;
+// typical_idle_fraction is back-solved from those EPs via the linear-curve
+// relation EP ~= 1 - idle (then adjusted for the sublinear curves of the
+// post-2012 generations whose peak EE sits below 100% utilisation).
+constexpr std::array<UarchInfo, 19> kCatalog = {{
+    // Intel ---------------------------------------------------------------
+    {"Netburst", UarchFamily::kNetburst, Vendor::kIntel, 90, 2004, true, 0.72,
+     0.29},
+    {"Core", UarchFamily::kCore, Vendor::kIntel, 65, 2006, true, 0.70, 0.30},
+    {"Penryn", UarchFamily::kCore, Vendor::kIntel, 45, 2008, false, 0.66,
+     0.35},
+    {"Yorkfield", UarchFamily::kCore, Vendor::kIntel, 45, 2008, false, 0.58,
+     0.43},
+    {"Nehalem EP", UarchFamily::kNehalem, Vendor::kIntel, 45, 2009, true, 0.42,
+     0.59},
+    {"Nehalem EX", UarchFamily::kNehalem, Vendor::kIntel, 45, 2010, true, 0.57,
+     0.44},
+    {"Lynnfield", UarchFamily::kNehalem, Vendor::kIntel, 45, 2009, true, 0.27,
+     0.74},
+    {"Westmere-EP", UarchFamily::kNehalem, Vendor::kIntel, 32, 2010, false,
+     0.36, 0.65},
+    {"Westmere", UarchFamily::kNehalem, Vendor::kIntel, 32, 2011, false, 0.47,
+     0.54},
+    {"Sandy Bridge", UarchFamily::kSandyBridge, Vendor::kIntel, 32, 2012, true,
+     0.26, 0.75},
+    {"Sandy Bridge EP", UarchFamily::kSandyBridge, Vendor::kIntel, 32, 2012,
+     true, 0.17, 0.84},
+    {"Sandy Bridge EN", UarchFamily::kSandyBridge, Vendor::kIntel, 32, 2012,
+     true, 0.11, 0.90},
+    {"Ivy Bridge", UarchFamily::kIvyBridge, Vendor::kIntel, 22, 2013, false,
+     0.30, 0.71},
+    {"Ivy Bridge EP", UarchFamily::kIvyBridge, Vendor::kIntel, 22, 2013, false,
+     0.26, 0.75},
+    {"Haswell", UarchFamily::kHaswell, Vendor::kIntel, 22, 2014, true, 0.20,
+     0.81},
+    {"Broadwell", UarchFamily::kBroadwell, Vendor::kIntel, 14, 2015, false,
+     0.14, 0.87},
+    {"Skylake", UarchFamily::kSkylake, Vendor::kIntel, 14, 2016, true, 0.25,
+     0.76},
+    // AMD -----------------------------------------------------------------
+    {"Interlagos", UarchFamily::kBulldozer, Vendor::kAmd, 32, 2011, true, 0.36,
+     0.65},
+    {"Abu Dhabi", UarchFamily::kBulldozer, Vendor::kAmd, 32, 2012, false, 0.33,
+     0.68},
+}};
+
+// "Seoul" shares the Abu Dhabi silicon (Piledriver) but is a separate Fig.7
+// bar; appended here so the catalog covers every codename the paper lists.
+constexpr UarchInfo kSeoul = {"Seoul", UarchFamily::kBulldozer, Vendor::kAmd,
+                              32, 2012, false, 0.39, 0.62};
+
+constexpr std::array<UarchInfo, 20> build_full_catalog() {
+  std::array<UarchInfo, 20> all{};
+  for (std::size_t i = 0; i < kCatalog.size(); ++i) all[i] = kCatalog[i];
+  all[19] = kSeoul;
+  return all;
+}
+
+constexpr std::array<UarchInfo, 20> kFullCatalog = build_full_catalog();
+
+}  // namespace
+
+std::span<const UarchInfo> uarch_catalog() { return kFullCatalog; }
+
+const UarchInfo* find_uarch(std::string_view codename) {
+  for (const auto& info : kFullCatalog) {
+    if (info.codename == codename) return &info;
+  }
+  return nullptr;
+}
+
+std::string_view family_name(UarchFamily family) {
+  switch (family) {
+    case UarchFamily::kNetburst: return "Netburst";
+    case UarchFamily::kCore: return "Core";
+    case UarchFamily::kNehalem: return "Nehalem";
+    case UarchFamily::kSandyBridge: return "Sandy Bridge";
+    case UarchFamily::kIvyBridge: return "Ivy Bridge";
+    case UarchFamily::kHaswell: return "Haswell";
+    case UarchFamily::kBroadwell: return "Broadwell";
+    case UarchFamily::kSkylake: return "Skylake";
+    case UarchFamily::kAmd10h: return "AMD 10h";
+    case UarchFamily::kBulldozer: return "AMD Bulldozer";
+  }
+  return "unknown";
+}
+
+std::string_view vendor_name(Vendor vendor) {
+  return vendor == Vendor::kIntel ? "Intel" : "AMD";
+}
+
+}  // namespace epserve::power

@@ -1,0 +1,59 @@
+// Processor microarchitecture catalog.
+//
+// The paper groups the 477 published servers by microarchitecture (Fig.6),
+// subdivides by codename (Fig.7), and ties the 2008->2009 and 2011->2012 EP
+// jumps to the Core->Nehalem and Westmere->Sandy Bridge "tock" transitions in
+// Intel's tick-tock model. This catalog carries the hardware facts those
+// analyses need: vendor, family, codename, lithography, introduction year and
+// tick/tock designation, plus the power-model hints (typical idle fraction of
+// full-load power) each generation exhibits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace epserve::power {
+
+enum class Vendor : std::uint8_t { kIntel, kAmd };
+
+/// Microarchitecture family (the paper's Fig.6 grouping).
+enum class UarchFamily : std::uint8_t {
+  kNetburst,
+  kCore,
+  kNehalem,
+  kSandyBridge,
+  kIvyBridge,   // the paper folds Ivy Bridge into the Sandy Bridge family
+                // count; we keep it addressable for the Fig.7 sub-analysis
+  kHaswell,
+  kBroadwell,
+  kSkylake,
+  kAmd10h,      // pre-Bulldozer AMD (Barcelona/Shanghai era)
+  kBulldozer,   // Interlagos / Abu Dhabi / Seoul
+};
+
+/// One codename row (the paper's Fig.7 subdomains).
+struct UarchInfo {
+  std::string_view codename;     // e.g. "Sandy Bridge EN"
+  UarchFamily family = UarchFamily::kCore;
+  Vendor vendor = Vendor::kIntel;
+  int process_nm = 32;           // lithography node
+  int intro_year = 2010;         // first hardware availability year
+  bool is_tock = false;          // new microarchitecture (Intel tick-tock)
+  double typical_idle_fraction = 0.4;  // idle power / full-load power
+  double typical_ep = 0.6;       // paper Fig.7 mean EP of this codename
+};
+
+/// Full catalog, ordered by introduction year.
+std::span<const UarchInfo> uarch_catalog();
+
+/// Lookup by codename; nullptr when unknown.
+const UarchInfo* find_uarch(std::string_view codename);
+
+/// Display name of a family (matches the paper's Fig.6 labels).
+std::string_view family_name(UarchFamily family);
+
+/// Display name of a vendor.
+std::string_view vendor_name(Vendor vendor);
+
+}  // namespace epserve::power

@@ -1,0 +1,44 @@
+#include "specpower/sheet.h"
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace epserve::specpower {
+
+std::string render_sheet(const SpecPowerResult& result,
+                         const std::string& title) {
+  std::string out = title + "\n";
+
+  TextTable sheet;
+  sheet.columns({"target load", "ssj_ops/sec", "avg power (W)",
+                 "ssj_ops/watt", "avg freq (GHz)", "sojourn (ms)"});
+  for (auto it = result.levels.rbegin(); it != result.levels.rend(); ++it) {
+    sheet.row({format_percent(it->target_load, 0),
+               format_fixed(it->achieved_ops_per_sec, 0),
+               format_fixed(it->avg_watts, 1),
+               format_fixed(it->achieved_ops_per_sec / it->avg_watts, 1),
+               format_fixed(it->avg_freq_ghz, 2),
+               format_fixed(it->avg_sojourn_seconds * 1000.0, 2)});
+  }
+  sheet.row({"active idle", "0", format_fixed(result.active_idle_watts, 1),
+             "-", "-", "-"});
+  out += sheet.render();
+
+  auto curve = result.to_power_curve();
+  if (curve.ok()) {
+    out += "\noverall ssj_ops/watt  : " +
+           format_fixed(metrics::overall_score(curve.value()), 1);
+    out += "\nenergy proportionality: " +
+           format_fixed(metrics::energy_proportionality(curve.value()), 3);
+    out += "\npeak EE utilisation   : " +
+           format_percent(metrics::peak_ee_utilization(curve.value()), 0);
+    out += "\nidle power ratio      : " +
+           format_percent(curve.value().idle_fraction(), 1);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace epserve::specpower

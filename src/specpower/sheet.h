@@ -1,0 +1,16 @@
+// Human-readable rendering of a SpecPowerResult in the layout of a published
+// SPECpower_ssj2008 sheet (descending target loads, active idle last,
+// performance-to-power column), plus the paper's derived metrics.
+#pragma once
+
+#include <string>
+
+#include "specpower/simulator.h"
+
+namespace epserve::specpower {
+
+/// The result sheet as fixed-width text. `title` heads the sheet.
+std::string render_sheet(const SpecPowerResult& result,
+                         const std::string& title);
+
+}  // namespace epserve::specpower

@@ -1,0 +1,224 @@
+#include "specpower/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "specpower/ssj_workload.h"
+#include "util/contracts.h"
+
+namespace epserve::specpower {
+
+Result<metrics::PowerCurve> SpecPowerResult::to_power_curve() const {
+  if (levels.size() != metrics::kNumLoadLevels) {
+    return Error::failed_precondition(
+        "SpecPowerResult: expected ten graduated levels");
+  }
+  std::array<double, metrics::kNumLoadLevels> watts{};
+  std::array<double, metrics::kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    watts[i] = levels[i].avg_watts;
+    ops[i] = levels[i].achieved_ops_per_sec;
+  }
+  const metrics::PowerCurve curve(watts, ops, active_idle_watts);
+  if (auto valid = curve.validate(); !valid.ok()) return valid.error();
+  return curve;
+}
+
+SpecPowerSimulator::SpecPowerSimulator(const power::ServerPowerModel& server,
+                                       const ThroughputModel& throughput,
+                                       const power::DvfsGovernor& governor,
+                                       SimConfig config)
+    : server_(server),
+      throughput_(throughput),
+      governor_(governor),
+      config_(config) {
+  EPSERVE_EXPECTS(config.interval_seconds > 0.0);
+  EPSERVE_EXPECTS(config.calibration_seconds > 0.0);
+  EPSERVE_EXPECTS(config.power_noise_sd >= 0.0);
+  EPSERVE_EXPECTS(config.target_events_per_second > 0.0);
+}
+
+SpecPowerSimulator::IntervalStats SpecPowerSimulator::simulate_interval(
+    double arrival_tx_per_sec, double ops_per_event, double memory_per_core_gb,
+    Rng& rng) const {
+  const int cores = server_.total_cores();
+  const double seconds = config_.interval_seconds;
+  const auto& cpu = server_.cpu();
+
+  // Per-core service rate in "work units"/sec at a given frequency: the
+  // throughput model gives system ops/sec; one transaction of relative work
+  // w occupies a core for w * mean_work_normalised service time.
+  const auto core_tx_rate = [&](double freq_ghz) {
+    const double sys_ops =
+        throughput_.max_ops_per_sec(freq_ghz, memory_per_core_gb);
+    return sys_ops / ops_per_event / static_cast<double>(cores);
+  };
+
+  // Per-core earliest-free times (k-server queue).
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int i = 0; i < cores; ++i) free_at.push(0.0);
+
+  double freq = governor_.frequency_for(arrival_tx_per_sec > 0.0 ? 0.5 : 0.0,
+                                        cpu);  // warm-up guess
+  double busy_time = 0.0;
+  double completed = 0.0;
+  double watts_sum = 0.0;
+  double freq_sum = 0.0;
+  double sojourn_sum = 0.0;
+  double sojourn_count = 0.0;
+  int ticks = 0;
+
+  const bool saturated = arrival_tx_per_sec <= 0.0;
+  double next_arrival = 0.0;
+  double tick_end = 1.0;
+  double tick_busy = 0.0;
+  double t = 0.0;
+
+  // Saturated mode: keep every core perpetually fed.
+  while (t < seconds) {
+    // Advance to the next event: arrival or tick boundary.
+    if (saturated) {
+      // Feed the earliest-free core immediately.
+      const double start = std::max(free_at.top(), t);
+      if (start >= tick_end) {
+        t = start;
+      } else {
+        free_at.pop();
+        const double work = transaction_work(sample_transaction(rng)) /
+                            mean_transaction_work();
+        const double service = work / core_tx_rate(freq);
+        free_at.push(start + service);
+        if (start + service <= seconds) completed += 1.0;
+        busy_time += service;
+        tick_busy += service;
+        sojourn_sum += service;  // saturated mode: no external arrival queue
+        sojourn_count += 1.0;
+        t = start;
+      }
+    } else {
+      next_arrival += rng.exponential(arrival_tx_per_sec);
+      if (next_arrival >= seconds) {
+        t = seconds;
+      } else {
+        const double start = std::max(free_at.top(), next_arrival);
+        free_at.pop();
+        const double work = transaction_work(sample_transaction(rng)) /
+                            mean_transaction_work();
+        const double service = work / core_tx_rate(freq);
+        free_at.push(start + service);
+        completed += 1.0;
+        busy_time += service;
+        tick_busy += service;
+        sojourn_sum += (start - next_arrival) + service;
+        sojourn_count += 1.0;
+        t = next_arrival;
+      }
+    }
+
+    // Close out any elapsed ticks: sample power, let the governor react.
+    while (t >= tick_end && ticks < static_cast<int>(seconds)) {
+      const double util = std::clamp(tick_busy / cores, 0.0, 1.0);
+      const double noise = 1.0 + rng.normal(0.0, config_.power_noise_sd);
+      watts_sum += server_.wall_power(util, freq) * std::max(0.5, noise);
+      freq_sum += freq;
+      ++ticks;
+      freq = governor_.frequency_for(util, cpu);
+      tick_busy = 0.0;
+      tick_end += 1.0;
+    }
+  }
+  // Flush remaining ticks (e.g. when arrivals ran dry early).
+  while (ticks < static_cast<int>(seconds)) {
+    const double util = std::clamp(tick_busy / cores, 0.0, 1.0);
+    const double noise = 1.0 + rng.normal(0.0, config_.power_noise_sd);
+    watts_sum += server_.wall_power(util, freq) * std::max(0.5, noise);
+    freq_sum += freq;
+    ++ticks;
+    freq = governor_.frequency_for(util, cpu);
+    tick_busy = 0.0;
+    tick_end += 1.0;
+  }
+
+  IntervalStats stats;
+  stats.completed_ops = completed * ops_per_event;
+  stats.busy_fraction =
+      std::clamp(busy_time / (seconds * cores), 0.0, 1.0);
+  stats.avg_watts = watts_sum / ticks;
+  stats.avg_freq_ghz = freq_sum / ticks;
+  stats.avg_sojourn_seconds =
+      sojourn_count > 0.0 ? sojourn_sum / sojourn_count : 0.0;
+  return stats;
+}
+
+Result<SpecPowerResult> SpecPowerSimulator::run(
+    double memory_per_core_gb) const {
+  if (!(memory_per_core_gb > 0.0)) {
+    return Error::invalid_argument("memory per core must be positive");
+  }
+  Rng rng(config_.seed);
+
+  // Batch size: keep the event count tractable independent of server size.
+  const double model_max = throughput_.max_ops_per_sec(
+      server_.cpu().params().max_freq_ghz, memory_per_core_gb);
+  const double ops_per_event =
+      std::max(1.0, model_max / config_.target_events_per_second);
+
+  SpecPowerResult result;
+
+  // --- Calibration: saturation run under the active governor. -------------
+  {
+    const IntervalStats calib =
+        simulate_interval(0.0, ops_per_event, memory_per_core_gb, rng);
+    result.calibrated_max_ops_per_sec =
+        calib.completed_ops / config_.interval_seconds;
+    if (result.calibrated_max_ops_per_sec <= 0.0) {
+      return Error::failed_precondition("calibration produced zero ops");
+    }
+  }
+
+  // --- Graduated levels, 10% .. 100% ascending. ----------------------------
+  const double calibrated_tx_rate =
+      result.calibrated_max_ops_per_sec / ops_per_event;
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    const double target = metrics::kLoadLevels[i];
+    const double arrival_rate = target >= 1.0
+                                    ? 0.0  // 100% level: saturation
+                                    : calibrated_tx_rate * target;
+    const IntervalStats stats =
+        simulate_interval(arrival_rate, ops_per_event, memory_per_core_gb, rng);
+    LevelMeasurement level;
+    level.target_load = target;
+    level.achieved_ops_per_sec = stats.completed_ops / config_.interval_seconds;
+    level.avg_watts = stats.avg_watts;
+    level.avg_utilization = stats.busy_fraction;
+    level.avg_freq_ghz = stats.avg_freq_ghz;
+    level.avg_sojourn_seconds = stats.avg_sojourn_seconds;
+    result.levels.push_back(level);
+  }
+
+  // Enforce the physical invariant the real benchmark reports satisfy: ops
+  // must be non-decreasing in target load (Poisson noise can produce sub-1%
+  // inversions between adjacent levels).
+  for (std::size_t i = 1; i < result.levels.size(); ++i) {
+    result.levels[i].achieved_ops_per_sec =
+        std::max(result.levels[i].achieved_ops_per_sec,
+                 result.levels[i - 1].achieved_ops_per_sec);
+  }
+
+  // --- Active idle. ---------------------------------------------------------
+  {
+    const double idle_freq = governor_.frequency_for(0.0, server_.cpu());
+    double watts_sum = 0.0;
+    const int samples = static_cast<int>(config_.interval_seconds);
+    for (int s = 0; s < samples; ++s) {
+      const double noise = 1.0 + rng.normal(0.0, config_.power_noise_sd);
+      watts_sum += server_.wall_power(0.0, idle_freq) * std::max(0.5, noise);
+    }
+    result.active_idle_watts = watts_sum / samples;
+  }
+
+  return result;
+}
+
+}  // namespace epserve::specpower

@@ -1,0 +1,94 @@
+// Discrete-event SPECpower_ssj2008 run simulator.
+//
+// Reproduces the benchmark's control loop against a simulated server:
+//   1. Calibration: saturate the system to find the maximum transaction
+//      rate under the active DVFS governor.
+//   2. Graduated measurement: for each target load (100% down to 10%),
+//      drive a Poisson arrival stream at target * calibrated rate through a
+//      k-server queue (k = cores), with per-transaction service demands from
+//      the SSJ mix. Per-second ticks observe utilisation, let the governor
+//      re-pick the frequency, and sample wall power from the server model.
+//   3. Active idle: measure power with no arrivals.
+//
+// Transactions are batched (one simulated event = `ops_per_event` ssj_ops)
+// so a run finishes in milliseconds while preserving the queueing behaviour.
+#pragma once
+
+#include <vector>
+
+#include "metrics/power_curve.h"
+#include "power/dvfs.h"
+#include "power/server_power_model.h"
+#include "specpower/throughput_model.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace epserve::specpower {
+
+/// Measurement row for one graduated load level.
+struct LevelMeasurement {
+  double target_load = 0.0;        // fraction of calibrated maximum
+  double achieved_ops_per_sec = 0.0;
+  double avg_watts = 0.0;
+  double avg_utilization = 0.0;    // mean busy fraction over the interval
+  double avg_freq_ghz = 0.0;       // mean governor-selected frequency
+  /// Mean transaction sojourn (arrival to completion) in seconds — queueing
+  /// delay plus service. Not part of a SPECpower sheet, but exposed because
+  /// the discrete-event core computes it for free and placement studies
+  /// (e.g. "run at 70%") need the latency cost of high utilisation.
+  double avg_sojourn_seconds = 0.0;
+};
+
+/// Full result sheet of one run.
+struct SpecPowerResult {
+  double calibrated_max_ops_per_sec = 0.0;
+  std::vector<LevelMeasurement> levels;  // ascending target load, 10%..100%
+  double active_idle_watts = 0.0;
+
+  /// Converts to the metrics sheet (ops/sec and average watts per level).
+  [[nodiscard]] epserve::Result<metrics::PowerCurve> to_power_curve() const;
+};
+
+/// Tunables of the simulated benchmark harness.
+struct SimConfig {
+  double interval_seconds = 30.0;      // per-level measurement interval
+  double calibration_seconds = 30.0;   // saturation window
+  double power_noise_sd = 0.003;       // relative meter noise per sample
+  double target_events_per_second = 2000.0;  // batching granularity
+  std::uint64_t seed = 1;
+};
+
+/// One benchmark run against a simulated server.
+class SpecPowerSimulator {
+ public:
+  SpecPowerSimulator(const power::ServerPowerModel& server,
+                     const ThroughputModel& throughput,
+                     const power::DvfsGovernor& governor, SimConfig config);
+
+  /// Executes calibration + graduated levels + active idle.
+  [[nodiscard]] epserve::Result<SpecPowerResult> run(
+      double memory_per_core_gb) const;
+
+ private:
+  struct IntervalStats {
+    double completed_ops = 0.0;
+    double busy_fraction = 0.0;
+    double avg_watts = 0.0;
+    double avg_freq_ghz = 0.0;
+    double avg_sojourn_seconds = 0.0;
+  };
+
+  /// Simulates one measurement interval at the given arrival rate
+  /// (transactions/sec; <= 0 means saturation: a core never waits for work).
+  IntervalStats simulate_interval(double arrival_tx_per_sec,
+                                  double ops_per_event,
+                                  double memory_per_core_gb,
+                                  epserve::Rng& rng) const;
+
+  const power::ServerPowerModel& server_;
+  const ThroughputModel& throughput_;
+  const power::DvfsGovernor& governor_;
+  SimConfig config_;
+};
+
+}  // namespace epserve::specpower

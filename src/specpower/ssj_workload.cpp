@@ -1,0 +1,53 @@
+#include "specpower/ssj_workload.h"
+
+#include "util/contracts.h"
+
+namespace epserve::specpower {
+
+namespace {
+constexpr std::array<TransactionSpec, kNumTransactionTypes> kMix = {{
+    {TransactionType::kNewOrder, "NewOrder", 0.305, 1.00},
+    {TransactionType::kPayment, "Payment", 0.305, 0.55},
+    {TransactionType::kOrderStatus, "OrderStatus", 0.03, 0.35},
+    {TransactionType::kDelivery, "Delivery", 0.03, 1.40},
+    {TransactionType::kStockLevel, "StockLevel", 0.03, 1.20},
+    {TransactionType::kCustomerReport, "CustomerReport", 0.30, 0.75},
+}};
+
+constexpr double kMeanWork = [] {
+  double sum = 0.0;
+  for (const auto& spec : kMix) sum += spec.mix_probability * spec.relative_work;
+  return sum;
+}();
+}  // namespace
+
+std::array<TransactionSpec, kNumTransactionTypes> transaction_mix() {
+  return kMix;
+}
+
+TransactionType sample_transaction(epserve::Rng& rng) {
+  double target = rng.uniform();
+  for (const auto& spec : kMix) {
+    target -= spec.mix_probability;
+    if (target < 0.0) return spec.type;
+  }
+  return kMix.back().type;
+}
+
+double transaction_work(TransactionType type) {
+  for (const auto& spec : kMix) {
+    if (spec.type == type) return spec.relative_work;
+  }
+  throw ContractViolation("unknown transaction type");
+}
+
+double mean_transaction_work() { return kMeanWork; }
+
+std::string_view transaction_name(TransactionType type) {
+  for (const auto& spec : kMix) {
+    if (spec.type == type) return spec.name;
+  }
+  return "unknown";
+}
+
+}  // namespace epserve::specpower

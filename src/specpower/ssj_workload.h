@@ -1,0 +1,53 @@
+// SSJ transaction mix.
+//
+// SPECpower_ssj2008's workload simulates warehouse business transactions
+// (derived from SPECjbb): six transaction types with a fixed probability mix
+// and differing work amounts. We reproduce the mix so per-transaction service
+// demand is heterogeneous the way the real benchmark's is, which matters for
+// the queueing behaviour at graduated target loads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace epserve::specpower {
+
+enum class TransactionType : std::uint8_t {
+  kNewOrder,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+  kCustomerReport,
+};
+
+inline constexpr std::size_t kNumTransactionTypes = 6;
+
+/// Static description of one transaction type.
+struct TransactionSpec {
+  TransactionType type;
+  std::string_view name;
+  double mix_probability;   // selection probability; mix sums to 1
+  double relative_work;     // service demand relative to New Order
+};
+
+/// The SSJ mix (probabilities follow the SPECjbb-derived design).
+std::array<TransactionSpec, kNumTransactionTypes> transaction_mix();
+
+/// Samples a transaction type according to the mix.
+TransactionType sample_transaction(epserve::Rng& rng);
+
+/// Work units of a transaction type (relative service demand).
+double transaction_work(TransactionType type);
+
+/// Mean work units across the mix (used to convert ops/sec into a per-
+/// transaction service rate).
+double mean_transaction_work();
+
+/// Display name.
+std::string_view transaction_name(TransactionType type);
+
+}  // namespace epserve::specpower

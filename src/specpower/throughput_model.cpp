@@ -1,0 +1,42 @@
+#include "specpower/throughput_model.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::specpower {
+
+Result<ThroughputModel> ThroughputModel::create(const Params& params) {
+  const auto fail = [](const char* why) -> Result<ThroughputModel> {
+    return Error::invalid_argument(std::string("ThroughputModel: ") + why);
+  };
+  if (params.total_cores <= 0) return fail("cores must be > 0");
+  if (!(params.ops_per_core_ghz > 0.0)) return fail("ops/core/GHz must be > 0");
+  if (!(params.ipc_factor > 0.0)) return fail("IPC factor must be > 0");
+  if (!(params.mpc_sweet_spot_gb > 0.0)) return fail("sweet spot must be > 0");
+  if (params.starvation_exponent < 0.0 || params.starvation_exponent > 2.0) {
+    return fail("starvation exponent must be in [0, 2]");
+  }
+  if (params.smp_exponent <= 0.0 || params.smp_exponent > 1.0) {
+    return fail("SMP exponent must be in (0, 1]");
+  }
+  return ThroughputModel(params);
+}
+
+double ThroughputModel::memory_factor(double memory_per_core_gb) const {
+  EPSERVE_EXPECTS(memory_per_core_gb > 0.0);
+  if (memory_per_core_gb >= params_.mpc_sweet_spot_gb) return 1.0;
+  return std::pow(memory_per_core_gb / params_.mpc_sweet_spot_gb,
+                  params_.starvation_exponent);
+}
+
+double ThroughputModel::max_ops_per_sec(double freq_ghz,
+                                        double memory_per_core_gb) const {
+  EPSERVE_EXPECTS(freq_ghz > 0.0);
+  const double core_scaling =
+      std::pow(static_cast<double>(params_.total_cores), params_.smp_exponent);
+  return params_.ops_per_core_ghz * params_.ipc_factor * core_scaling *
+         freq_ghz * memory_factor(memory_per_core_gb);
+}
+
+}  // namespace epserve::specpower

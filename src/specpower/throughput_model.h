@@ -1,0 +1,48 @@
+// Server throughput model for the SSJ workload.
+//
+// Peak throughput scales with core count and frequency, modulated by a
+// per-generation IPC factor and a memory-capacity factor. The memory factor
+// captures the paper's §V.A mechanism: SSJ is a Java workload whose warehouse
+// heaps need a certain number of GB per core; below that sweet spot the JVM
+// garbage collector steals cycles (throughput penalty), while above it extra
+// capacity buys nothing (the penalty then comes from DRAM background power,
+// modelled in power/dram_model.h).
+#pragma once
+
+#include "util/result.h"
+
+namespace epserve::specpower {
+
+class ThroughputModel {
+ public:
+  struct Params {
+    int total_cores = 16;
+    /// ssj_ops per core per GHz at the sweet-spot memory configuration.
+    double ops_per_core_ghz = 12000.0;
+    /// Relative IPC of the generation (Nehalem = 1.0 reference).
+    double ipc_factor = 1.0;
+    /// GB per core at which the workload stops being memory-starved.
+    double mpc_sweet_spot_gb = 2.0;
+    /// Exponent of the starvation penalty below the sweet spot.
+    double starvation_exponent = 0.35;
+    /// Mild SMP scaling loss: throughput ~ cores^smp_exponent.
+    double smp_exponent = 0.97;
+  };
+
+  static epserve::Result<ThroughputModel> create(const Params& params);
+
+  /// Maximum ssj_ops/sec at the given frequency and memory-per-core (GB).
+  [[nodiscard]] double max_ops_per_sec(double freq_ghz,
+                                       double memory_per_core_gb) const;
+
+  /// The memory factor in [~0.3, 1.0] (1.0 at or above the sweet spot).
+  [[nodiscard]] double memory_factor(double memory_per_core_gb) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  explicit ThroughputModel(const Params& params) : params_(params) {}
+  Params params_;
+};
+
+}  // namespace epserve::specpower

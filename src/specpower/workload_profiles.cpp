@@ -1,0 +1,31 @@
+#include "specpower/workload_profiles.h"
+
+#include <array>
+
+namespace epserve::specpower {
+
+namespace {
+constexpr std::array<WorkloadProfile, 5> kProfiles = {{
+    // SPECpower's SSJ: CPU-centric, moderate memory, storage untouched.
+    {"ssj", 0.70, 0.05, 1.00, 2.0},
+    // Compute kernel (HPC-like): saturates cores, light memory traffic.
+    {"cpu-bound", 0.35, 0.02, 1.15, 1.0},
+    // Analytics / caching tier: memory bandwidth and capacity dominate.
+    {"memory-bound", 1.00, 0.05, 0.85, 4.0},
+    // Storage-heavy OLTP: disks active, CPU partially stalled on I/O.
+    {"io-bound", 0.55, 0.80, 0.70, 2.0},
+    // Front-end web serving: bursty CPU, modest memory, light I/O.
+    {"web-serving", 0.60, 0.15, 0.90, 1.5},
+}};
+}  // namespace
+
+std::span<const WorkloadProfile> workload_profiles() { return kProfiles; }
+
+const WorkloadProfile* find_profile(std::string_view name) {
+  for (const auto& profile : kProfiles) {
+    if (profile.name == name) return &profile;
+  }
+  return nullptr;
+}
+
+}  // namespace epserve::specpower

@@ -1,0 +1,38 @@
+// Alternative workload profiles (paper §VII future work: "characterize the
+// energy proportionality and energy efficiency variations ... under
+// different workloads ..., including processor, memory, I/O and networks").
+//
+// A profile re-weights how a unit of offered load exercises each subsystem.
+// SPECpower's SSJ profile is CPU-centric with moderate memory pressure and
+// nearly idle storage; the alternates below stress other components, which
+// reshapes the power-utilisation curve and therefore EP/EE — the paper's
+// §V.C point that placement must be re-characterised per workload.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace epserve::specpower {
+
+struct WorkloadProfile {
+  std::string_view name;
+  /// Memory access intensity per unit compute load (ServerPowerModel's
+  /// memory_intensity).
+  double memory_intensity = 0.7;
+  /// Storage utilisation per unit compute load.
+  double storage_intensity = 0.05;
+  /// Relative CPU work per operation (1.0 = SSJ); higher = fewer ops/sec at
+  /// the same core throughput.
+  double cpu_work_factor = 1.0;
+  /// GB/core at which this workload stops being memory-starved.
+  double mpc_sweet_spot_gb = 2.0;
+};
+
+/// The built-in profiles: ssj (SPECpower's), cpu-bound, memory-bound,
+/// io-bound, and a web-serving mix.
+std::span<const WorkloadProfile> workload_profiles();
+
+/// Lookup by name; nullptr if unknown.
+const WorkloadProfile* find_profile(std::string_view name);
+
+}  // namespace epserve::specpower

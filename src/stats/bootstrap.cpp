@@ -1,0 +1,41 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+
+namespace epserve::stats {
+
+BootstrapInterval bootstrap_paired(
+    std::span<const double> x, std::span<const double> y,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    Rng& rng, std::size_t resamples, double confidence) {
+  EPSERVE_EXPECTS(x.size() == y.size());
+  EPSERVE_EXPECTS(x.size() >= 2);
+  EPSERVE_EXPECTS(resamples >= 10);
+  EPSERVE_EXPECTS(confidence > 0.0 && confidence < 1.0);
+
+  BootstrapInterval interval;
+  interval.point = statistic(x, y);
+  interval.resamples = resamples;
+
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  std::vector<double> rx(x.size()), ry(y.size());
+  for (std::size_t b = 0; b < resamples; ++b) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_index(x.size()));
+      rx[i] = x[pick];
+      ry[i] = y[pick];
+    }
+    estimates.push_back(statistic(rx, ry));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.lo = percentile(estimates, alpha * 100.0);
+  interval.hi = percentile(estimates, (1.0 - alpha) * 100.0);
+  return interval;
+}
+
+}  // namespace epserve::stats

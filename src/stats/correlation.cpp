@@ -1,0 +1,65 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace epserve::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  EPSERVE_EXPECTS(x.size() == y.size());
+  EPSERVE_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  EPSERVE_EXPECTS(sxx > 0.0 && syy > 0.0);
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Fractional ranks with ties averaged.
+std::vector<double> ranks(std::span<const double> v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  EPSERVE_EXPECTS(x.size() == y.size());
+  EPSERVE_EXPECTS(x.size() >= 2);
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace epserve::stats

@@ -1,0 +1,17 @@
+// Correlation coefficients. The paper quantifies EP↔EE (r = 0.741) and
+// EP↔idle-power-percentage (r = −0.92) with Pearson correlation.
+#pragma once
+
+#include <span>
+
+namespace epserve::stats {
+
+/// Pearson product-moment correlation. Requires equal sizes, n >= 2, and a
+/// non-zero variance in both samples.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over fractional ranks, with ties
+/// averaged). Same requirements as pearson().
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace epserve::stats

@@ -1,0 +1,60 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace epserve::stats {
+
+double mean(std::span<const double> values) {
+  EPSERVE_EXPECTS(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) {
+  EPSERVE_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double stddev(std::span<const double> values) {
+  EPSERVE_EXPECTS(!values.empty());
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double percentile(std::span<const double> values, double p) {
+  EPSERVE_EXPECTS(!values.empty());
+  EPSERVE_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> values) {
+  EPSERVE_EXPECTS(!values.empty());
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.median = median(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.stddev = stddev(values);
+  return s;
+}
+
+}  // namespace epserve::stats

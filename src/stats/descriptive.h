@@ -1,0 +1,34 @@
+// Descriptive statistics over double samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace epserve::stats {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1); 0 for n < 2
+};
+
+/// Computes the summary; requires a non-empty sample.
+Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean; requires non-empty.
+double mean(std::span<const double> values);
+
+/// Median (average of middle two for even n); requires non-empty.
+double median(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]; requires non-empty.
+double percentile(std::span<const double> values, double p);
+
+}  // namespace epserve::stats

@@ -1,0 +1,50 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace epserve::stats {
+
+std::vector<Bin> histogram(std::span<const double> values, double lo,
+                           double hi, std::size_t bins) {
+  EPSERVE_EXPECTS(bins > 0);
+  EPSERVE_EXPECTS(lo < hi);
+  EPSERVE_EXPECTS(!values.empty());
+  std::vector<Bin> out(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b].lo = lo + static_cast<double>(b) * width;
+    out[b].hi = lo + static_cast<double>(b + 1) * width;
+  }
+  for (const double v : values) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++out[static_cast<std::size_t>(idx)].count;
+  }
+  for (auto& bin : out) {
+    bin.share = static_cast<double>(bin.count) / static_cast<double>(values.size());
+  }
+  return out;
+}
+
+double cdf_at(std::span<const double> values, double threshold) {
+  EPSERVE_EXPECTS(!values.empty());
+  const auto n = static_cast<double>(values.size());
+  const auto below = std::count_if(values.begin(), values.end(),
+                                   [&](double v) { return v <= threshold; });
+  return static_cast<double>(below) / n;
+}
+
+double share_in(std::span<const double> values, double lo, double hi) {
+  EPSERVE_EXPECTS(!values.empty());
+  EPSERVE_EXPECTS(lo <= hi);
+  const auto n = static_cast<double>(values.size());
+  const auto inside = std::count_if(values.begin(), values.end(), [&](double v) {
+    return v >= lo && v < hi;
+  });
+  return static_cast<double>(inside) / n;
+}
+
+}  // namespace epserve::stats

@@ -1,0 +1,29 @@
+// Histograms and empirical CDFs (used for the paper's Fig.5 EP CDF and the
+// Table I memory-per-core histogram).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace epserve::stats {
+
+/// One histogram bucket [lo, hi) — the final bucket is closed on both ends.
+struct Bin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+  double share = 0.0;  // count / total
+};
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets.
+/// Values outside the range are clamped into the edge buckets.
+std::vector<Bin> histogram(std::span<const double> values, double lo,
+                           double hi, std::size_t bins);
+
+/// Empirical CDF: fraction of values <= threshold.
+double cdf_at(std::span<const double> values, double threshold);
+
+/// Fraction of values within [lo, hi).
+double share_in(std::span<const double> values, double lo, double hi);
+
+}  // namespace epserve::stats

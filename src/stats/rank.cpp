@@ -1,0 +1,28 @@
+#include "stats/rank.h"
+
+#include "util/contracts.h"
+
+namespace epserve::stats {
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  EPSERVE_EXPECTS(x.size() == y.size());
+  EPSERVE_EXPECTS(x.size() >= 2);
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = i + 1; j < x.size(); ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double product = dx * dy;
+      if (product > 0.0) ++concordant;
+      else if (product < 0.0) ++discordant;
+      // ties contribute to neither (tau-a denominator keeps all pairs)
+    }
+  }
+  const auto n = static_cast<long long>(x.size());
+  const auto pairs = n * (n - 1) / 2;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(pairs);
+}
+
+}  // namespace epserve::stats

@@ -1,0 +1,14 @@
+// Rank agreement statistics. Used by the related-work comparison (§VI):
+// does the paper's EP metric rank servers the same way as the alternative
+// proportionality metrics (LD, IPR, DR) from Hsu & Poole?
+#pragma once
+
+#include <span>
+
+namespace epserve::stats {
+
+/// Kendall's tau-a rank correlation: (concordant - discordant) / C(n,2).
+/// Requires equal sizes and n >= 2. O(n^2); fine for n ~ 10^3.
+double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+}  // namespace epserve::stats

@@ -1,0 +1,72 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+
+namespace epserve::stats {
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted) {
+  EPSERVE_EXPECTS(observed.size() == predicted.size());
+  EPSERVE_EXPECTS(observed.size() >= 2);
+  const double m = mean(observed);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - m) * (observed[i] - m);
+  }
+  EPSERVE_EXPECTS(ss_tot > 0.0);
+  return 1.0 - ss_res / ss_tot;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  EPSERVE_EXPECTS(x.size() == y.size());
+  EPSERVE_EXPECTS(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  EPSERVE_EXPECTS(sxx > 0.0);
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) predicted[i] = fit.predict(x[i]);
+  fit.r_squared = r_squared(y, predicted);
+  return fit;
+}
+
+double ExponentialFit::predict(double x) const {
+  return alpha * std::exp(beta * x);
+}
+
+ExponentialFit fit_exponential(std::span<const double> x,
+                               std::span<const double> y) {
+  EPSERVE_EXPECTS(x.size() == y.size());
+  EPSERVE_EXPECTS(x.size() >= 2);
+  std::vector<double> log_y(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EPSERVE_EXPECTS(y[i] > 0.0);
+    log_y[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(x, log_y);
+
+  ExponentialFit fit;
+  fit.alpha = std::exp(lin.intercept);
+  fit.beta = lin.slope;
+
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) predicted[i] = fit.predict(x[i]);
+  fit.r_squared = r_squared(y, predicted);
+  return fit;
+}
+
+}  // namespace epserve::stats

@@ -1,0 +1,40 @@
+// Least-squares regression. The paper's Eq.2 fits EP = alpha * exp(beta *
+// idle) over 477 servers (R^2 = 0.892); we provide the log-linear estimator
+// used for that class of model plus plain OLS.
+#pragma once
+
+#include <span>
+
+namespace epserve::stats {
+
+/// y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double predict(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares. Requires equal sizes, n >= 2, non-constant x.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// y = alpha * exp(beta * x).
+struct ExponentialFit {
+  double alpha = 0.0;
+  double beta = 0.0;
+  /// R^2 of the fit measured in the original (not log) space.
+  double r_squared = 0.0;
+
+  [[nodiscard]] double predict(double x) const;
+};
+
+/// Log-linear estimator: OLS on ln(y) vs x. Requires all y > 0.
+ExponentialFit fit_exponential(std::span<const double> x,
+                               std::span<const double> y);
+
+/// Coefficient of determination of arbitrary predictions vs observations.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+}  // namespace epserve::stats

@@ -1,0 +1,153 @@
+#include "testbed/config.h"
+
+#include <cmath>
+
+namespace epserve::testbed {
+
+namespace {
+
+std::vector<TestbedServer> build_servers() {
+  std::vector<TestbedServer> servers(4);
+
+  // #1 Sugon A620r-G (2012): 2x AMD Opteron 6272, 32 cores total, 115 W TDP,
+  // 64 GB DDR3-1600, 4x SAS 10k RAID10. Frequency ladder 1.4-2.1 GHz.
+  // Paper: best MPC 1.75 GB/core (Fig.18).
+  servers[0].id = 1;
+  servers[0].name = "Sugon A620r-G";
+  servers[0].hw_year = 2012;
+  servers[0].cpu_model = "2*AMD Opteron 6272";
+  servers[0].sockets = 2;
+  servers[0].cores_per_socket = 16;
+  servers[0].tdp_watts = 115.0;
+  servers[0].min_freq_ghz = 1.4;
+  servers[0].max_freq_ghz = 2.1;
+  servers[0].base_memory_gb = 64.0;
+  servers[0].dimm_capacity_gb = 8.0;
+  servers[0].dram_generation = power::DramGeneration::kDdr3;
+  servers[0].storage = {power::StorageDevice{power::StorageKind::kHdd10k},
+                        power::StorageDevice{power::StorageKind::kHdd10k},
+                        power::StorageDevice{power::StorageKind::kHdd10k},
+                        power::StorageDevice{power::StorageKind::kHdd10k}};
+  servers[0].mpc_sweet_spot_gb = 1.75;
+  // Bulldozer-era module cores: modest per-core throughput (Fig.18's EE axis
+  // sits around 20-40 ssj_ops/W -> low absolute scale).
+  servers[0].ops_per_core_ghz = 190.0;
+  servers[0].ipc_factor = 1.0;
+
+  // #2 Sugon I620-G10 (2013): 1x Xeon E5-2603 (4 cores, 1.8 GHz, 80 W),
+  // 32 GB DDR3, 1x SAS disk. Paper: best MPC 4 GB/core; EE drops 10.6% at 8.
+  servers[1].id = 2;
+  servers[1].name = "Sugon I620-G10";
+  servers[1].hw_year = 2013;
+  servers[1].cpu_model = "1*Intel Xeon E5-2603";
+  servers[1].sockets = 1;
+  servers[1].cores_per_socket = 4;
+  servers[1].tdp_watts = 80.0;
+  servers[1].min_freq_ghz = 1.2;
+  servers[1].max_freq_ghz = 1.8;
+  servers[1].base_memory_gb = 32.0;
+  servers[1].dimm_capacity_gb = 4.0;
+  servers[1].dram_generation = power::DramGeneration::kDdr3;
+  servers[1].storage = {power::StorageDevice{power::StorageKind::kHdd10k}};
+  servers[1].mpc_sweet_spot_gb = 4.0;
+  // Fig.19's EE axis: roughly 800-1300 ssj_ops/W overall.
+  servers[1].ops_per_core_ghz = 32000.0;
+  servers[1].ipc_factor = 1.0;
+
+  // #3 ThinkServer RD640 (2014): 2x E5-2620 v2 (6 cores, 2.1 GHz, 80 W),
+  // 160 GB DDR4... (Table II lists DDR4-2133 on RD450; RD640 ships
+  // DDR3-1600 per Table II). 1x SSD.
+  servers[2].id = 3;
+  servers[2].name = "ThinkServer RD640";
+  servers[2].hw_year = 2014;
+  servers[2].cpu_model = "2*Intel Xeon E5-2620 v2";
+  servers[2].sockets = 2;
+  servers[2].cores_per_socket = 6;
+  servers[2].tdp_watts = 80.0;
+  servers[2].min_freq_ghz = 1.2;
+  servers[2].max_freq_ghz = 2.1;
+  servers[2].base_memory_gb = 160.0;
+  servers[2].dimm_capacity_gb = 16.0;
+  servers[2].dram_generation = power::DramGeneration::kDdr4;
+  servers[2].storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  servers[2].mpc_sweet_spot_gb = 2.67;
+  servers[2].ops_per_core_ghz = 9000.0;
+  servers[2].ipc_factor = 1.1;
+
+  // #4 ThinkServer RD450 (2015): 2x E5-2620 v3 (6 cores, 2.4 GHz, 85 W),
+  // 192 GB DDR4-2133, 1x SSD. Paper: best MPC 2.67; EE -4.6% at 8 and
+  // -11.1% at 16 GB/core; Fig.21's EE axis ~100-400, power 100-300 W.
+  servers[3].id = 4;
+  servers[3].name = "ThinkServer RD450";
+  servers[3].hw_year = 2015;
+  servers[3].cpu_model = "2*Intel Xeon E5-2620 v3";
+  servers[3].sockets = 2;
+  servers[3].cores_per_socket = 6;
+  servers[3].tdp_watts = 85.0;
+  servers[3].min_freq_ghz = 1.2;
+  servers[3].max_freq_ghz = 2.4;
+  servers[3].base_memory_gb = 192.0;
+  servers[3].dimm_capacity_gb = 16.0;
+  servers[3].dram_generation = power::DramGeneration::kDdr4;
+  servers[3].storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  servers[3].mpc_sweet_spot_gb = 2.67;
+  servers[3].ops_per_core_ghz = 2800.0;
+  servers[3].ipc_factor = 1.15;
+
+  return servers;
+}
+
+}  // namespace
+
+std::vector<double> TestbedServer::frequency_ladder() const {
+  std::vector<double> ladder;
+  // 0.1 GHz steps as exposed by acpi-cpufreq on the paper's machines.
+  for (double f = min_freq_ghz; f <= max_freq_ghz + 1e-9; f += 0.1) {
+    ladder.push_back(std::round(f * 10.0) / 10.0);
+  }
+  return ladder;
+}
+
+Result<power::ServerPowerModel> TestbedServer::power_model(
+    double memory_gb) const {
+  power::ServerPowerModel::Config config;
+  config.cpu.tdp_watts = tdp_watts;
+  config.cpu.cores = cores_per_socket;
+  config.cpu.min_freq_ghz = min_freq_ghz;
+  config.cpu.max_freq_ghz = max_freq_ghz;
+  config.cpu.num_pstates =
+      static_cast<int>(frequency_ladder().size());
+  config.sockets = sockets;
+  config.dram.generation = dram_generation;
+  config.dram.dimm_capacity_gb = dimm_capacity_gb;
+  config.dram.dimm_count = std::max(
+      1, static_cast<int>(std::ceil(memory_gb / dimm_capacity_gb)));
+  config.storage = storage;
+  config.psu.rating_watts =
+      std::max(500.0, sockets * tdp_watts * 2.5 + memory_gb * 0.5);
+  return power::ServerPowerModel::create(config);
+}
+
+Result<specpower::ThroughputModel> TestbedServer::throughput_model() const {
+  specpower::ThroughputModel::Params params;
+  params.total_cores = total_cores();
+  params.ops_per_core_ghz = ops_per_core_ghz;
+  params.ipc_factor = ipc_factor;
+  params.mpc_sweet_spot_gb = mpc_sweet_spot_gb;
+  params.starvation_exponent = 0.30;
+  return specpower::ThroughputModel::create(params);
+}
+
+const std::vector<TestbedServer>& table2_servers() {
+  static const std::vector<TestbedServer> servers = build_servers();
+  return servers;
+}
+
+const TestbedServer* find_server(int id) {
+  for (const auto& s : table2_servers()) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace epserve::testbed

@@ -1,0 +1,58 @@
+// The paper's Table II testbed: four 2U rack servers, reconstructed as
+// simulated hardware (ServerPowerModel + ThroughputModel). The physical
+// machines are not available, so each row of Table II is translated into
+// component-model parameters; the §V.A/§V.B experiments then run the
+// SPECpower simulator against these models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/server_power_model.h"
+#include "specpower/throughput_model.h"
+#include "util/result.h"
+
+namespace epserve::testbed {
+
+/// One Table II row plus the model parameters derived from it.
+struct TestbedServer {
+  int id = 0;                  // 1..4 as in the paper
+  std::string name;            // e.g. "Sugon A620r-G"
+  int hw_year = 2012;
+  std::string cpu_model;       // e.g. "2*AMD Opteron 6272"
+  int sockets = 2;
+  int cores_per_socket = 8;
+  double tdp_watts = 95.0;
+  double min_freq_ghz = 1.2;
+  double max_freq_ghz = 2.4;
+  double base_memory_gb = 64.0;   // as shipped (Table II)
+  double dimm_capacity_gb = 8.0;
+  power::DramGeneration dram_generation = power::DramGeneration::kDdr4;
+  std::vector<power::StorageDevice> storage;
+  /// GB/core at which SSJ stops being memory-starved on this machine (the
+  /// paper's measured best MPC: 1.75 for #1, 4 for #2, 2.67 for #4).
+  double mpc_sweet_spot_gb = 2.0;
+  double ops_per_core_ghz = 10000.0;  // absolute throughput scale
+  double ipc_factor = 1.0;
+
+  [[nodiscard]] int total_cores() const { return sockets * cores_per_socket; }
+
+  /// The DVFS frequency ladder the paper sweeps on this machine.
+  [[nodiscard]] std::vector<double> frequency_ladder() const;
+
+  /// Materialise the component power model for a given installed memory.
+  [[nodiscard]] epserve::Result<power::ServerPowerModel> power_model(
+      double memory_gb) const;
+
+  /// Materialise the throughput model.
+  [[nodiscard]] epserve::Result<specpower::ThroughputModel> throughput_model()
+      const;
+};
+
+/// All four Table II servers (ids 1..4).
+const std::vector<TestbedServer>& table2_servers();
+
+/// Lookup by paper id (1..4); nullptr when out of range.
+const TestbedServer* find_server(int id);
+
+}  // namespace epserve::testbed

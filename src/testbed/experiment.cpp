@@ -1,0 +1,136 @@
+#include "testbed/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/efficiency.h"
+#include "specpower/simulator.h"
+#include "util/contracts.h"
+
+namespace epserve::testbed {
+
+double SweepResult::best_mpc() const {
+  double best_mpc_value = 0.0;
+  double best_ee = -1.0;
+  for (const auto& cell : cells) {
+    if (cell.governor != "ondemand") continue;
+    if (cell.overall_ee > best_ee) {
+      best_ee = cell.overall_ee;
+      best_mpc_value = cell.memory_per_core_gb;
+    }
+  }
+  return best_mpc_value;
+}
+
+double SweepResult::ee_change(double mpc_a, double mpc_b) const {
+  const CellResult* a = find(mpc_a, "ondemand");
+  const CellResult* b = find(mpc_b, "ondemand");
+  EPSERVE_EXPECTS(a != nullptr && b != nullptr);
+  return b->overall_ee / a->overall_ee - 1.0;
+}
+
+const CellResult* SweepResult::find(double mpc,
+                                    const std::string& governor) const {
+  const CellResult* best = nullptr;
+  double best_dist = 1e18;
+  for (const auto& cell : cells) {
+    if (cell.governor != governor) continue;
+    const double dist = std::abs(cell.memory_per_core_gb - mpc);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &cell;
+    }
+  }
+  return best_dist < 0.05 ? best : nullptr;
+}
+
+Result<SweepResult> run_sweep(const TestbedServer& server,
+                              const SweepConfig& config) {
+  if (config.memory_per_core_gb.empty()) {
+    return Error::invalid_argument("sweep needs at least one MPC value");
+  }
+  SweepResult result;
+  result.server_id = server.id;
+  result.server_name = server.name;
+
+  auto throughput = server.throughput_model();
+  if (!throughput.ok()) return throughput.error();
+
+  std::vector<double> frequencies = config.fixed_frequencies;
+  if (frequencies.empty()) frequencies = server.frequency_ladder();
+
+  for (const double mpc : config.memory_per_core_gb) {
+    const double memory_gb = mpc * server.total_cores();
+    auto model = server.power_model(memory_gb);
+    if (!model.ok()) return model.error();
+
+    specpower::SimConfig sim_config;
+    sim_config.interval_seconds = config.interval_seconds;
+    sim_config.calibration_seconds = config.interval_seconds;
+    sim_config.seed = config.seed;
+
+    const auto run_cell =
+        [&](const power::DvfsGovernor& governor,
+            double fixed_freq) -> epserve::Result<CellResult> {
+      const specpower::SpecPowerSimulator sim(model.value(),
+                                              throughput.value(), governor,
+                                              sim_config);
+      auto run = sim.run(mpc);
+      if (!run.ok()) return run.error();
+      auto curve = run.value().to_power_curve();
+      if (!curve.ok()) return curve.error();
+      CellResult cell;
+      cell.memory_per_core_gb = mpc;
+      cell.governor = governor.name();
+      cell.fixed_freq_ghz = fixed_freq;
+      cell.overall_ee = metrics::overall_score(curve.value());
+      cell.peak_power_watts = run.value().levels.back().avg_watts;
+      cell.peak_ee_utilization = metrics::peak_ee_utilization(curve.value());
+      cell.calibrated_ops = run.value().calibrated_max_ops_per_sec;
+      return cell;
+    };
+
+    for (const double freq : frequencies) {
+      const power::FixedGovernor governor(freq);
+      auto cell = run_cell(governor, freq);
+      if (!cell.ok()) return cell.error();
+      result.cells.push_back(std::move(cell).take());
+    }
+    if (config.include_ondemand) {
+      const power::OndemandGovernor governor(0.80);
+      auto cell = run_cell(governor, 0.0);
+      if (!cell.ok()) return cell.error();
+      cell.value().governor = "ondemand";  // normalise the display name
+      result.cells.push_back(std::move(cell).take());
+    }
+  }
+  return result;
+}
+
+SweepConfig paper_sweep_config(int server_id) {
+  SweepConfig config;
+  switch (server_id) {
+    case 1:  // Fig.18
+      config.memory_per_core_gb = {1.25, 1.75, 2.0};
+      config.fixed_frequencies = {1.4, 1.5, 1.7, 1.9, 2.1};
+      break;
+    case 2:  // Fig.19
+      config.memory_per_core_gb = {2.0, 4.0, 8.0};
+      config.fixed_frequencies = {1.2, 1.3, 1.4, 1.6, 1.7, 1.8};
+      break;
+    case 3:  // not charted in the paper (space), same protocol as #4
+      config.memory_per_core_gb = {1.33, 2.67, 8.0};
+      config.fixed_frequencies = {1.2, 1.5, 1.8, 2.1};
+      break;
+    case 4:  // Fig.20/21
+      config.memory_per_core_gb = {1.33, 2.67, 8.0, 16.0};
+      config.fixed_frequencies = {1.2, 1.3, 1.4, 1.5, 1.6, 1.7,
+                                  1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4};
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+}  // namespace epserve::testbed

@@ -1,0 +1,59 @@
+// The §V.A/§V.B experiment runner: sweeps memory-per-core installations and
+// DVFS governors (fixed frequencies + ondemand) on a Table II server, running
+// a full simulated SPECpower benchmark per cell and reporting the overall
+// energy efficiency and peak power grids behind Fig.18-21.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testbed/config.h"
+#include "util/result.h"
+
+namespace epserve::testbed {
+
+/// One (memory-per-core, governor) grid cell.
+struct CellResult {
+  double memory_per_core_gb = 0.0;
+  std::string governor;          // "fixed@X.XGHz" or "ondemand"
+  double fixed_freq_ghz = 0.0;   // 0 for ondemand
+  double overall_ee = 0.0;       // SPECpower overall score (ssj_ops/W)
+  double peak_power_watts = 0.0; // average power at the 100% level
+  double peak_ee_utilization = 1.0;
+  double calibrated_ops = 0.0;
+};
+
+struct SweepResult {
+  int server_id = 0;
+  std::string server_name;
+  std::vector<CellResult> cells;
+
+  /// Best memory-per-core by overall EE under the ondemand governor.
+  [[nodiscard]] double best_mpc() const;
+
+  /// Relative EE change moving from MPC `a` to MPC `b` (ondemand cells).
+  [[nodiscard]] double ee_change(double mpc_a, double mpc_b) const;
+
+  /// Cell lookup (nearest match on MPC, exact on governor name).
+  [[nodiscard]] const CellResult* find(double mpc,
+                                       const std::string& governor) const;
+};
+
+struct SweepConfig {
+  std::vector<double> memory_per_core_gb;  // MPC values to install
+  bool include_ondemand = true;
+  /// Fixed frequencies to pin; empty = the server's full ladder.
+  std::vector<double> fixed_frequencies;
+  double interval_seconds = 8.0;  // simulated seconds per load level
+  std::uint64_t seed = 42;
+};
+
+/// Runs the full grid on one server. Each cell is an entire SPECpower run
+/// (calibration + ten levels + active idle) under that cell's governor.
+epserve::Result<SweepResult> run_sweep(const TestbedServer& server,
+                                       const SweepConfig& config);
+
+/// The paper's default sweep for each server (Fig.18/19/20 axes).
+SweepConfig paper_sweep_config(int server_id);
+
+}  // namespace epserve::testbed

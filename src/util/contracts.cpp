@@ -1,0 +1,14 @@
+#include "util/contracts.h"
+
+#include <sstream>
+
+namespace epserve::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line) {
+  std::ostringstream oss;
+  oss << kind << " failed: `" << expr << "` at " << file << ":" << line;
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace epserve::detail

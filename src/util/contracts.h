@@ -1,0 +1,40 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", GSL Expects/Ensures).
+//
+// Violations throw ContractViolation rather than aborting so that tests can
+// assert on misuse and callers embedding the library do not lose the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace epserve {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line);
+}  // namespace detail
+
+}  // namespace epserve
+
+/// Precondition: check on function entry.
+#define EPSERVE_EXPECTS(expr)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::epserve::detail::contract_fail("precondition", #expr, __FILE__,    \
+                                       __LINE__);                          \
+  } while (false)
+
+/// Postcondition / invariant: check before returning or mid-algorithm.
+#define EPSERVE_ENSURES(expr)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::epserve::detail::contract_fail("postcondition", #expr, __FILE__,   \
+                                       __LINE__);                          \
+  } while (false)

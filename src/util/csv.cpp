@@ -1,0 +1,141 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace epserve {
+
+std::size_t CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+namespace {
+
+/// True if the field must be quoted when serialised.
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void append_field(std::string& out, std::string_view field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<CsvDocument> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) return Error::parse("quote inside unquoted field");
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // the next field exists even if empty
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Error::parse("unterminated quoted field");
+  if (field_started || !field.empty() || !record.empty()) end_record();
+
+  if (records.empty()) return Error::parse("empty CSV document");
+
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  const std::size_t width = doc.header.size();
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      std::ostringstream oss;
+      oss << "ragged row " << r << ": expected " << width << " fields, got "
+          << records[r].size();
+      return Error::parse(oss.str());
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+std::string to_csv(const CsvDocument& doc) {
+  std::string out;
+  const auto append_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      append_field(out, row[i]);
+    }
+    out += '\n';
+  };
+  append_row(doc.header);
+  for (const auto& row : doc.rows) append_row(row);
+  return out;
+}
+
+Result<CsvDocument> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::io("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+Result<bool> write_csv_file(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error::io("cannot open for writing: " + path);
+  out << to_csv(doc);
+  if (!out) return Error::io("write failed: " + path);
+  return true;
+}
+
+}  // namespace epserve

@@ -1,0 +1,35 @@
+// Minimal CSV reading/writing (RFC-4180-ish: quoted fields, embedded commas
+// and quotes). Used to export generated populations and experiment grids.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace epserve {
+
+/// In-memory CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or npos.
+  [[nodiscard]] std::size_t column(std::string_view name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Parses CSV text. Fails on ragged rows or unterminated quotes.
+Result<CsvDocument> parse_csv(std::string_view text);
+
+/// Serialises a document; quotes fields when needed.
+std::string to_csv(const CsvDocument& doc);
+
+/// Reads and parses a CSV file.
+Result<CsvDocument> read_csv_file(const std::string& path);
+
+/// Writes a document to a file.
+Result<bool> write_csv_file(const std::string& path, const CsvDocument& doc);
+
+}  // namespace epserve

@@ -1,0 +1,146 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace epserve {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already emitted "name":
+  }
+  EPSERVE_EXPECTS(stack_.empty() || stack_.back() == Frame::kArray ||
+                  out_.empty());
+  if (need_comma_) out_ += ',';
+}
+
+void JsonWriter::raw(const std::string& text) { out_ += text; }
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  EPSERVE_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject);
+  EPSERVE_EXPECTS(!key_pending_);
+  stack_.pop_back();
+  raw("}");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  EPSERVE_EXPECTS(!stack_.empty() && stack_.back() == Frame::kArray);
+  stack_.pop_back();
+  raw("]");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  EPSERVE_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject);
+  EPSERVE_EXPECTS(!key_pending_);
+  if (need_comma_) out_ += ',';
+  raw("\"" + json_escape(name) + "\":");
+  key_pending_ = true;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  before_value();
+  raw("\"" + json_escape(text) + "\"");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    raw("null");  // JSON has no NaN/Inf
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", number);
+    raw(buf);
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  before_value();
+  raw(std::to_string(number));
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t number) {
+  before_value();
+  raw(std::to_string(number));
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  raw(flag ? "true" : "false");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  EPSERVE_EXPECTS(stack_.empty());
+  EPSERVE_EXPECTS(!key_pending_);
+  return out_;
+}
+
+}  // namespace epserve

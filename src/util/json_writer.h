@@ -1,0 +1,52 @@
+// Minimal JSON writer (objects, arrays, scalars, proper string escaping).
+// Used to emit machine-readable analysis reports; deliberately write-only —
+// this library consumes CSV, not JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epserve {
+
+/// Stream-style JSON builder. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("ep").value(0.82);
+///   json.key("years").begin_array().value(2012).value(2013).end_array();
+///   json.end_object();
+///   std::string out = json.str();
+/// Misuse (e.g. a key outside an object) throws ContractViolation.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(int number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The finished document. Requires all containers closed.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void before_value();
+  void raw(const std::string& text);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool key_pending_ = false;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& text);
+
+}  // namespace epserve

@@ -1,0 +1,80 @@
+// Minimal expected-like result type for recoverable errors (parsing, I/O).
+// Programming errors use contracts (see contracts.h); recoverable conditions
+// that a caller is expected to handle travel through Result<T>.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace epserve {
+
+/// Error payload carried by Result<T>: a category plus a human message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kParse,
+    kIo,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+  };
+
+  Code code = Code::kInvalidArgument;
+  std::string message;
+
+  static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Error parse(std::string msg) { return {Code::kParse, std::move(msg)}; }
+  static Error io(std::string msg) { return {Code::kIo, std::move(msg)}; }
+  static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Error out_of_range(std::string msg) {
+    return {Code::kOutOfRange, std::move(msg)};
+  }
+  static Error failed_precondition(std::string msg) {
+    return {Code::kFailedPrecondition, std::move(msg)};
+  }
+};
+
+/// Returned by fallible operations; holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value; throws if this holds an error (use ok() first).
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+    return std::move(std::get<T>(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace epserve

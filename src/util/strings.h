@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epserve {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string format_fixed(double value, int precision);
+
+/// Formats a fraction (0..1) as a percent string, e.g. 0.1372 -> "13.72%".
+std::string format_percent(double fraction, int precision = 2);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace epserve

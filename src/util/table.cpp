@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace epserve {
+
+TextTable& TextTable::columns(std::vector<std::string> names,
+                              std::vector<Align> aligns) {
+  EPSERVE_EXPECTS(!names.empty());
+  EPSERVE_EXPECTS(aligns.empty() || aligns.size() == names.size());
+  header_ = std::move(names);
+  if (aligns.empty()) {
+    aligns_.assign(header_.size(), Align::kRight);
+    aligns_.front() = Align::kLeft;
+  } else {
+    aligns_ = std::move(aligns);
+  }
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cells) {
+  EPSERVE_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::render() const {
+  EPSERVE_EXPECTS(!header_.empty());
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& cell, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - cell.size();
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += cell;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += " | ";
+      out += pad(row[c], c);
+    }
+    out += '\n';
+  };
+
+  append_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string section_banner(const std::string& title) {
+  std::string out;
+  out += '\n';
+  out.append(title.size() + 4, '=');
+  out += "\n= " + title + " =\n";
+  out.append(title.size() + 4, '=');
+  out += '\n';
+  return out;
+}
+
+}  // namespace epserve

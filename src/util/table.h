@@ -1,0 +1,37 @@
+// Fixed-width ASCII table rendering. Every figure/table-reproduction bench
+// prints its rows through this so output stays uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epserve {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Builder for a monospace table with a header row and separator rule.
+class TextTable {
+ public:
+  /// Defines the columns; call once before adding rows.
+  TextTable& columns(std::vector<std::string> names,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a row of pre-formatted cells; must match the column count.
+  TextTable& row(std::vector<std::string> cells);
+
+  /// Renders with single-space-padded ` | ` separators and a dashed rule.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: renders a titled section header used by bench binaries.
+std::string section_banner(const std::string& title);
+
+}  // namespace epserve

@@ -1,0 +1,36 @@
+#include "core/epserve.h"
+
+#include <gtest/gtest.h>
+
+namespace epserve {
+namespace {
+
+TEST(Core, VersionIsSemver) {
+  const std::string v = version();
+  EXPECT_EQ(std::count(v.begin(), v.end(), '.'), 2);
+}
+
+TEST(Core, PopulationStudyRunsEndToEnd) {
+  const auto study = run_population_study();
+  ASSERT_TRUE(study.ok()) << study.error().message;
+  EXPECT_EQ(study.value().repository->size(), 477u);
+  EXPECT_EQ(study.value().report.population, 477u);
+  EXPECT_LT(study.value().report.idle.ep_idle_correlation, -0.8);
+  const std::string text = analysis::render_report(study.value().report);
+  EXPECT_GT(text.size(), 1000u);
+}
+
+TEST(Core, TestbedSweepByIdWorks) {
+  const auto sweep = run_testbed_sweep(2);
+  ASSERT_TRUE(sweep.ok()) << sweep.error().message;
+  EXPECT_EQ(sweep.value().server_id, 2);
+  EXPECT_DOUBLE_EQ(sweep.value().best_mpc(), 4.0);
+}
+
+TEST(Core, TestbedSweepRejectsBadId) {
+  EXPECT_FALSE(run_testbed_sweep(0).ok());
+  EXPECT_FALSE(run_testbed_sweep(9).ok());
+}
+
+}  // namespace
+}  // namespace epserve

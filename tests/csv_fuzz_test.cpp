@@ -1,0 +1,90 @@
+// Robustness fuzzing: randomly mutated CSV inputs must never crash the
+// parser or the population importer — every outcome is either a parsed
+// document or a clean Error.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dataset/generator.h"
+#include "dataset/io.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace epserve {
+namespace {
+
+std::string mutate(std::string text, Rng& rng, int mutations) {
+  static constexpr char kBytes[] = ",\"\n\r\0x;|truefalse-+.eE123";
+  for (int m = 0; m < mutations && !text.empty(); ++m) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_index(text.size()));
+    switch (rng.uniform_index(4)) {
+      case 0:  // replace byte
+        text[pos] = kBytes[rng.uniform_index(sizeof(kBytes) - 1)];
+        break;
+      case 1:  // delete byte
+        text.erase(pos, 1);
+        break;
+      case 2:  // insert byte
+        text.insert(pos, 1, kBytes[rng.uniform_index(sizeof(kBytes) - 1)]);
+        break;
+      case 3:  // duplicate a chunk
+        text.insert(pos, text.substr(pos, std::min<std::size_t>(
+                                              8, text.size() - pos)));
+        break;
+    }
+  }
+  return text;
+}
+
+class CsvFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzz, ParserNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const std::string base =
+      "id,name,value\n1,\"alpha,beta\",3.5\n2,gamma,-7\n3,\"q\"\"q\",0\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string corrupted =
+        mutate(base, rng, 1 + static_cast<int>(rng.uniform_index(12)));
+    const auto result = parse_csv(corrupted);
+    if (result.ok()) {
+      // Whatever parsed must at least be rectangular.
+      const auto& doc = result.value();
+      for (const auto& row : doc.rows) {
+        EXPECT_EQ(row.size(), doc.header.size());
+      }
+    } else {
+      EXPECT_FALSE(result.error().message.empty());
+    }
+  }
+}
+
+TEST_P(CsvFuzz, PopulationImporterNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  // A real exported row as the fuzz base.
+  static const std::string base = [] {
+    auto population = dataset::generate_population();
+    std::vector<dataset::ServerRecord> two(population.value().begin(),
+                                           population.value().begin() + 2);
+    return to_csv(dataset::to_csv_document(two));
+  }();
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string corrupted =
+        mutate(base, rng, 1 + static_cast<int>(rng.uniform_index(10)));
+    const auto doc = parse_csv(corrupted);
+    if (!doc.ok()) continue;
+    const auto records = dataset::from_csv_document(doc.value());
+    if (records.ok()) {
+      // Anything accepted must carry valid curves.
+      for (const auto& r : records.value()) {
+        EXPECT_TRUE(r.curve.validate().ok());
+      }
+    } else {
+      EXPECT_FALSE(records.error().message.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace epserve

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "metrics/proportionality.h"
+#include "power/reconfigurable.h"
+#include "specpower/simulator.h"
+#include "specpower/workload_profiles.h"
+#include "util/contracts.h"
+
+namespace epserve {
+namespace {
+
+power::ServerPowerModel make_base(double memory_dimms = 8) {
+  power::ServerPowerModel::Config config;
+  config.cpu.tdp_watts = 85.0;
+  config.cpu.cores = 6;
+  config.cpu.min_freq_ghz = 1.2;
+  config.cpu.max_freq_ghz = 2.4;
+  config.sockets = 2;
+  config.dram.dimm_capacity_gb = 16.0;
+  config.dram.dimm_count = static_cast<int>(memory_dimms);
+  config.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  auto result = power::ServerPowerModel::create(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).take();
+}
+
+// --- Workload profiles -------------------------------------------------------
+
+TEST(WorkloadProfiles, FiveBuiltInsIncludingSsj) {
+  const auto profiles = specpower::workload_profiles();
+  EXPECT_EQ(profiles.size(), 5u);
+  EXPECT_NE(specpower::find_profile("ssj"), nullptr);
+  EXPECT_NE(specpower::find_profile("cpu-bound"), nullptr);
+  EXPECT_NE(specpower::find_profile("memory-bound"), nullptr);
+  EXPECT_NE(specpower::find_profile("io-bound"), nullptr);
+  EXPECT_NE(specpower::find_profile("web-serving"), nullptr);
+  EXPECT_EQ(specpower::find_profile("quantum"), nullptr);
+}
+
+TEST(WorkloadProfiles, IntensitiesWithinModelRanges) {
+  for (const auto& profile : specpower::workload_profiles()) {
+    EXPECT_GE(profile.memory_intensity, 0.0);
+    EXPECT_LE(profile.memory_intensity, 1.0);
+    EXPECT_GE(profile.storage_intensity, 0.0);
+    EXPECT_LE(profile.storage_intensity, 1.0);
+    EXPECT_GT(profile.cpu_work_factor, 0.0);
+    EXPECT_GT(profile.mpc_sweet_spot_gb, 0.0);
+  }
+}
+
+TEST(WorkloadProfiles, MemoryBoundStressesDramHardest) {
+  const auto* ssj = specpower::find_profile("ssj");
+  const auto* mem = specpower::find_profile("memory-bound");
+  const auto* io = specpower::find_profile("io-bound");
+  ASSERT_NE(ssj, nullptr);
+  ASSERT_NE(mem, nullptr);
+  ASSERT_NE(io, nullptr);
+  EXPECT_GT(mem->memory_intensity, ssj->memory_intensity);
+  EXPECT_GT(io->storage_intensity, ssj->storage_intensity);
+}
+
+TEST(WorkloadProfiles, ProfilesProduceDifferentPowerCurves) {
+  // The §VII point: a server's EP depends on the workload profile.
+  const auto ep_under = [&](const specpower::WorkloadProfile& profile) {
+    power::ServerPowerModel::Config config;
+    config.cpu.tdp_watts = 85.0;
+    config.cpu.cores = 6;
+    config.sockets = 2;
+    config.dram.dimm_count = 8;
+    config.storage = {power::StorageDevice{power::StorageKind::kHdd10k},
+                      power::StorageDevice{power::StorageKind::kHdd10k}};
+    config.memory_intensity = profile.memory_intensity;
+    config.storage_intensity = profile.storage_intensity;
+    auto server = power::ServerPowerModel::create(config);
+    EXPECT_TRUE(server.ok());
+    std::array<double, metrics::kNumLoadLevels> watts{};
+    std::array<double, metrics::kNumLoadLevels> ops{};
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      watts[i] = server.value().wall_power(metrics::kLoadLevels[i], 2.4);
+      ops[i] = 1e6 * metrics::kLoadLevels[i];
+    }
+    return metrics::energy_proportionality(metrics::PowerCurve(
+        watts, ops, server.value().wall_power(0.0, 1.2)));
+  };
+  const double ep_ssj = ep_under(*specpower::find_profile("ssj"));
+  const double ep_cpu = ep_under(*specpower::find_profile("cpu-bound"));
+  const double ep_mem = ep_under(*specpower::find_profile("memory-bound"));
+  EXPECT_NE(ep_ssj, ep_cpu);
+  // Busier subsystems contribute more load-proportional (dynamic) power:
+  // memory-bound work yields a higher EP than a pure compute kernel whose
+  // DRAM sits near its background floor.
+  EXPECT_GT(ep_mem, ep_cpu);
+}
+
+// --- Reconfigurable server ----------------------------------------------------
+
+TEST(Reconfigurable, CreateValidatesPolicy) {
+  power::ReconfigurableServer::Policy policy;
+  policy.max_parked_socket_fraction = 1.0;
+  EXPECT_FALSE(
+      power::ReconfigurableServer::create(make_base(), policy).ok());
+  policy = {};
+  policy.gating_threshold = 0.0;
+  EXPECT_FALSE(
+      power::ReconfigurableServer::create(make_base(), policy).ok());
+  policy = {};
+  policy.self_refresh_residual = 1.5;
+  EXPECT_FALSE(
+      power::ReconfigurableServer::create(make_base(), policy).ok());
+  EXPECT_TRUE(power::ReconfigurableServer::create(make_base(), {}).ok());
+}
+
+TEST(Reconfigurable, MatchesBaseAboveThreshold) {
+  auto server = power::ReconfigurableServer::create(make_base(), {});
+  ASSERT_TRUE(server.ok());
+  for (const double u : {0.7, 0.8, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(server.value().wall_power(u, 2.4),
+                     server.value().base().wall_power(u, 2.4));
+  }
+}
+
+TEST(Reconfigurable, SavesPowerBelowThreshold) {
+  auto server = power::ReconfigurableServer::create(make_base(), {});
+  ASSERT_TRUE(server.ok());
+  for (const double u : {0.0, 0.1, 0.3, 0.5}) {
+    EXPECT_LT(server.value().wall_power(u, 2.4),
+              server.value().base().wall_power(u, 2.4))
+        << "util " << u;
+  }
+}
+
+TEST(Reconfigurable, GatedPowerStaysMonotone) {
+  auto server = power::ReconfigurableServer::create(make_base(), {});
+  ASSERT_TRUE(server.ok());
+  const auto curve = server.value().measure(1e6, /*gated=*/true);
+  EXPECT_TRUE(curve.validate().ok());
+  EXPECT_TRUE(curve.power_monotone());
+}
+
+TEST(Reconfigurable, ImprovesEnergyProportionality) {
+  // §VII: gating pushes the curve toward (or past) the better-than-linear
+  // regime.
+  auto server = power::ReconfigurableServer::create(make_base(), {});
+  ASSERT_TRUE(server.ok());
+  const double ep_gated = metrics::energy_proportionality(
+      server.value().measure(1e6, /*gated=*/true));
+  const double ep_base = metrics::energy_proportionality(
+      server.value().measure(1e6, /*gated=*/false));
+  EXPECT_GT(ep_gated, ep_base + 0.02);
+}
+
+TEST(Reconfigurable, DeeperPolicyGatesMore) {
+  power::ReconfigurableServer::Policy shallow;
+  shallow.max_parked_socket_fraction = 0.0;
+  shallow.max_self_refresh_fraction = 0.2;
+  power::ReconfigurableServer::Policy deep;
+  deep.max_parked_socket_fraction = 0.5;
+  deep.max_self_refresh_fraction = 0.9;
+  deep.self_refresh_residual = 0.1;
+  auto a = power::ReconfigurableServer::create(make_base(), shallow);
+  auto b = power::ReconfigurableServer::create(make_base(), deep);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.value().wall_power(0.1, 2.4), b.value().wall_power(0.1, 2.4));
+}
+
+TEST(Reconfigurable, RejectsOutOfRangeUtilization) {
+  auto server = power::ReconfigurableServer::create(make_base(), {});
+  ASSERT_TRUE(server.ok());
+  EXPECT_THROW(static_cast<void>(server.value().wall_power(1.2, 2.4)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace epserve

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "analysis/report_json.h"
+#include "core/epserve.h"
+#include "dataset/io.h"
+#include "util/contracts.h"
+#include "util/json_writer.h"
+
+namespace epserve {
+namespace {
+
+// --- JsonWriter ------------------------------------------------------------------
+
+TEST(JsonWriter, ScalarsAndContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("s").value("text");
+  json.key("d").value(1.5);
+  json.key("i").value(-3);
+  json.key("u").value(std::size_t{7});
+  json.key("b").value(true);
+  json.key("n").null();
+  json.key("arr").begin_array().value(1).value(2).end_array();
+  json.key("nested").begin_object().key("x").value(0.25).end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"s":"text","d":1.5,"i":-3,"u":7,"b":true,"n":null,)"
+            R"("arr":[1,2],"nested":{"x":0.25}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("quote \" backslash \\ newline \n tab \t");
+  json.end_array();
+  EXPECT_EQ(json.str(),
+            "[\"quote \\\" backslash \\\\ newline \\n tab \\t\"]");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.key("k"), ContractViolation);  // key outside object
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), ContractViolation);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    json.key("k");
+    EXPECT_THROW(static_cast<void>(json.str()), ContractViolation);  // dangling
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(static_cast<void>(json.str()), ContractViolation);  // open
+  }
+}
+
+// --- JSON report -------------------------------------------------------------------
+
+TEST(JsonReport, ContainsStableKeysAndBalancedBraces) {
+  auto study = run_population_study();
+  ASSERT_TRUE(study.ok());
+  const std::string json = analysis::render_report_json(study.value().report);
+  for (const auto* key :
+       {"\"population\":477", "\"trends_by_hw_year\":",
+        "\"codename_ranking\":", "\"idle_analysis\":", "\"eq2_alpha\":",
+        "\"async\":", "\"two_chip\":", "\"rekeying\":",
+        "\"ep_jump_2008_2009\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --- Full pipeline integration ------------------------------------------------------
+
+TEST(Integration, ExportReimportReanalyzeMatches) {
+  auto study = run_population_study();
+  ASSERT_TRUE(study.ok());
+
+  const auto doc =
+      dataset::to_csv_document(study.value().repository->records());
+  auto reimported = dataset::from_csv_document(doc);
+  ASSERT_TRUE(reimported.ok());
+  const dataset::ResultRepository repo2(std::move(reimported).take());
+  const auto report2 = analysis::build_full_report(repo2);
+
+  const auto& report1 = study.value().report;
+  EXPECT_EQ(report1.population, report2.population);
+  // The CSV serialises with %.6g, so reimported metrics agree to ~1e-5.
+  EXPECT_NEAR(report1.idle.ep_idle_correlation,
+              report2.idle.ep_idle_correlation, 1e-4);
+  EXPECT_NEAR(report1.ep_jump_2011_2012, report2.ep_jump_2011_2012, 1e-4);
+  EXPECT_NEAR(report1.share_full_load_2013_2016,
+              report2.share_full_load_2013_2016, 1e-9);
+  ASSERT_EQ(report1.trends_by_hw_year.size(),
+            report2.trends_by_hw_year.size());
+  for (std::size_t i = 0; i < report1.trends_by_hw_year.size(); ++i) {
+    EXPECT_NEAR(report1.trends_by_hw_year[i].ep.mean,
+                report2.trends_by_hw_year[i].ep.mean, 1e-4);
+  }
+}
+
+TEST(Integration, UnchartedTestbedServer3AlsoBehaves) {
+  // The paper omits #3's chart for space; the protocol still applies.
+  auto sweep = run_testbed_sweep(3);
+  ASSERT_TRUE(sweep.ok()) << sweep.error().message;
+  EXPECT_DOUBLE_EQ(sweep.value().best_mpc(), 2.67);
+  for (const auto& cell : sweep.value().cells) {
+    EXPECT_GT(cell.overall_ee, 0.0);
+    EXPECT_DOUBLE_EQ(cell.peak_ee_utilization, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace epserve

@@ -1,0 +1,212 @@
+#include "metrics/curve_models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+namespace {
+
+// --- QuadraticPowerModel -----------------------------------------------------
+
+TEST(QuadraticModel, PowerEndpoints) {
+  const QuadraticPowerModel m{.idle = 0.3, .b = 0.2};
+  EXPECT_NEAR(m.power(0.0), 0.3, 1e-12);
+  EXPECT_NEAR(m.power(1.0), 1.0, 1e-12);
+}
+
+TEST(QuadraticModel, ClosedFormEpMatchesNumericIntegral) {
+  const QuadraticPowerModel m{.idle = 0.25, .b = 0.3};
+  // Numeric area via fine Riemann sum.
+  double area = 0.0;
+  constexpr int kSteps = 200000;
+  for (int i = 0; i < kSteps; ++i) {
+    const double u = (i + 0.5) / kSteps;
+    area += m.power(u) / kSteps;
+  }
+  EXPECT_NEAR(m.ep(), 2.0 - 2.0 * area, 1e-6);
+}
+
+TEST(QuadraticModel, PeakEeClosedFormMatchesNumericArgmax) {
+  const QuadraticPowerModel m{.idle = 0.2, .b = 0.5};
+  ASSERT_GT(m.b, m.idle);
+  const double analytic = m.peak_ee_utilization();
+  EXPECT_NEAR(analytic, std::sqrt(0.2 / 0.5), 1e-12);
+  // Numeric argmax of u / p(u).
+  double best_u = 0.0, best_ee = 0.0;
+  for (int i = 1; i <= 100000; ++i) {
+    const double u = i / 100000.0;
+    const double ee = u / m.power(u);
+    if (ee > best_ee) {
+      best_ee = ee;
+      best_u = u;
+    }
+  }
+  EXPECT_NEAR(best_u, analytic, 1e-4);
+}
+
+TEST(QuadraticModel, PeakAtFullLoadWhenCurvatureBelowIdle) {
+  const QuadraticPowerModel m{.idle = 0.4, .b = 0.2};
+  EXPECT_DOUBLE_EQ(m.peak_ee_utilization(), 1.0);
+  const QuadraticPowerModel concave{.idle = 0.4, .b = -0.2};
+  EXPECT_DOUBLE_EQ(concave.peak_ee_utilization(), 1.0);
+}
+
+TEST(QuadraticModel, FromEpAndIdleRecoversTarget) {
+  for (const double ep : {0.3, 0.6, 0.9, 1.05}) {
+    for (const double idle : {0.1, 0.3, 0.6}) {
+      const auto m = QuadraticPowerModel::from_ep_and_idle(ep, idle);
+      EXPECT_NEAR(m.ep(), ep, 1e-12);
+    }
+  }
+}
+
+TEST(QuadraticModel, MonotonicityConditions) {
+  EXPECT_TRUE((QuadraticPowerModel{.idle = 0.3, .b = 0.5}).monotone());
+  // b > 1 - idle makes a() negative: power dips at low load.
+  EXPECT_FALSE((QuadraticPowerModel{.idle = 0.3, .b = 0.8}).monotone());
+  // Strongly concave: slope at u=1 goes negative.
+  EXPECT_FALSE((QuadraticPowerModel{.idle = 0.1, .b = -1.0}).monotone());
+}
+
+TEST(QuadraticModel, FromEpAndIdleRejectsOutOfRange) {
+  EXPECT_THROW(QuadraticPowerModel::from_ep_and_idle(2.5, 0.5),
+               ContractViolation);
+  EXPECT_THROW(QuadraticPowerModel::from_ep_and_idle(0.5, 0.0),
+               ContractViolation);
+}
+
+// --- TwoSegmentPowerModel ----------------------------------------------------
+
+TEST(TwoSegmentModel, SolveHitsEpExactly) {
+  for (const double ep : {0.2, 0.5, 0.8, 1.0, 1.05}) {
+    const double idle = 0.5 * (2.0 - ep) - 0.4;  // keep inside feasibility
+    const double clamped_idle = std::max(0.05, std::min(0.85, idle));
+    const auto m = TwoSegmentPowerModel::solve(ep, clamped_idle, 0.6);
+    if (!m.ok()) continue;  // some corners are infeasible by design
+    EXPECT_NEAR(m.value().ep(), ep, 1e-12);
+  }
+}
+
+TEST(TwoSegmentModel, PowerContinuousAtKink) {
+  const auto m = TwoSegmentPowerModel::solve(0.8, 0.3, 0.7);
+  ASSERT_TRUE(m.ok());
+  const double below = m.value().power(0.7 - 1e-12);
+  const double above = m.value().power(0.7 + 1e-12);
+  EXPECT_NEAR(below, above, 1e-9);
+  EXPECT_NEAR(m.value().power(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.value().power(0.0), 0.3, 1e-12);
+}
+
+TEST(TwoSegmentModel, FeasibilityWindow) {
+  const double idle = 0.4;
+  const double tau = 0.7;
+  EXPECT_DOUBLE_EQ(TwoSegmentPowerModel::min_ep(idle, tau), 0.6 * 0.7);
+  EXPECT_DOUBLE_EQ(TwoSegmentPowerModel::max_ep(idle, tau), 0.6 * 1.7);
+  EXPECT_TRUE(TwoSegmentPowerModel::solve(0.5, idle, tau).ok());
+  EXPECT_FALSE(TwoSegmentPowerModel::solve(0.41, idle, tau).ok());
+  EXPECT_FALSE(TwoSegmentPowerModel::solve(1.03, idle, tau).ok());
+}
+
+TEST(TwoSegmentModel, SolveRejectsBadParameters) {
+  EXPECT_FALSE(TwoSegmentPowerModel::solve(0.8, 0.0, 0.5).ok());
+  EXPECT_FALSE(TwoSegmentPowerModel::solve(0.8, 1.0, 0.5).ok());
+  EXPECT_FALSE(TwoSegmentPowerModel::solve(0.8, 0.3, 0.0).ok());
+  EXPECT_FALSE(TwoSegmentPowerModel::solve(0.8, 0.3, 1.0).ok());
+}
+
+TEST(TwoSegmentModel, EdgeOfFeasibilitySolvable) {
+  // Exactly at min_ep (s1 at its max, s2 = 0) and max_ep (s1 = 0).
+  const double idle = 0.3, tau = 0.8;
+  const auto lo = TwoSegmentPowerModel::solve(
+      TwoSegmentPowerModel::min_ep(idle, tau), idle, tau);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_NEAR(lo.value().s2, 0.0, 1e-9);
+  const auto hi = TwoSegmentPowerModel::solve(
+      TwoSegmentPowerModel::max_ep(idle, tau), idle, tau);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_NEAR(hi.value().s1, 0.0, 1e-9);
+}
+
+TEST(TwoSegmentModel, PeakLocationSwitchesWithSlopeRatio) {
+  // Steep second segment -> peak EE at the kink.
+  const auto steep = TwoSegmentPowerModel::solve(1.0, 0.1, 0.7);
+  ASSERT_TRUE(steep.ok());
+  EXPECT_DOUBLE_EQ(steep.value().peak_ee_utilization(), 0.7);
+  // Gentle second segment -> peak EE at full load.
+  const auto gentle = TwoSegmentPowerModel::solve(0.55, 0.45, 0.7);
+  ASSERT_TRUE(gentle.ok());
+  EXPECT_DOUBLE_EQ(gentle.value().peak_ee_utilization(), 1.0);
+}
+
+TEST(TwoSegmentModel, DiscretisedPeakMatchesModelPeak) {
+  const auto m = TwoSegmentPowerModel::solve(0.88, 0.28, 0.8);
+  ASSERT_TRUE(m.ok());
+  const PowerCurve c = to_power_curve(m.value(), 400.0, 3e6);
+  EXPECT_DOUBLE_EQ(peak_ee_utilization(c), m.value().peak_ee_utilization());
+}
+
+// --- to_power_curve ----------------------------------------------------------
+
+TEST(ToPowerCurve, ScalesWattsAndOps) {
+  const auto m = TwoSegmentPowerModel::solve(0.75, 0.35, 0.7);
+  ASSERT_TRUE(m.ok());
+  const PowerCurve c = to_power_curve(m.value(), 500.0, 4e6);
+  EXPECT_NEAR(c.peak_watts(), 500.0, 1e-9);
+  EXPECT_NEAR(c.peak_ops(), 4e6, 1e-9);
+  EXPECT_NEAR(c.idle_watts(), 500.0 * 0.35, 1e-9);
+  EXPECT_TRUE(c.validate().ok());
+  EXPECT_TRUE(c.power_monotone());
+}
+
+TEST(ToPowerCurve, OpsLinearInLoad) {
+  const auto m = TwoSegmentPowerModel::solve(0.75, 0.35, 0.7);
+  ASSERT_TRUE(m.ok());
+  const PowerCurve c = to_power_curve(m.value(), 500.0, 4e6);
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    EXPECT_NEAR(c.ops_at_level(i), 4e6 * kLoadLevels[i], 1e-6);
+  }
+}
+
+// --- Parameterised property sweep over the solver's feasible grid ------------
+
+// (idle, tau, fractional position within [min_ep, max_ep])
+using SolveCase = std::tuple<double, double, double>;
+
+class TwoSegmentSolveSweep : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(TwoSegmentSolveSweep, SolvedModelIsConsistent) {
+  const auto [idle, tau, frac] = GetParam();
+  const double lo = TwoSegmentPowerModel::min_ep(idle, tau);
+  const double hi = TwoSegmentPowerModel::max_ep(idle, tau);
+  const double ep = lo + frac * (hi - lo);
+  const auto m = TwoSegmentPowerModel::solve(ep, idle, tau);
+  ASSERT_TRUE(m.ok()) << m.error().message;
+  EXPECT_TRUE(m.value().monotone());
+  EXPECT_NEAR(m.value().ep(), ep, 1e-10);
+  EXPECT_NEAR(m.value().power(1.0), 1.0, 1e-10);
+  // Discretised EP identical (kink on a measured level).
+  const PowerCurve c = to_power_curve(m.value(), 200.0, 1e6);
+  EXPECT_NEAR(energy_proportionality(c), ep, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FeasibleGrid, TwoSegmentSolveSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7),
+                       ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9),
+                       ::testing::Values(0.05, 0.5, 0.95)),
+    [](const ::testing::TestParamInfo<SolveCase>& info) {
+      return "idle" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_tau" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_f" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace epserve::metrics

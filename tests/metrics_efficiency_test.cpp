@@ -1,0 +1,140 @@
+#include "metrics/efficiency.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "metrics/curve_models.h"
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+namespace {
+
+PowerCurve linear_curve(double idle_frac, double peak_watts = 200.0,
+                        double peak_ops = 1e6) {
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    watts[i] = peak_watts * (idle_frac + (1.0 - idle_frac) * kLoadLevels[i]);
+    ops[i] = peak_ops * kLoadLevels[i];
+  }
+  return PowerCurve(watts, ops, peak_watts * idle_frac);
+}
+
+TEST(EeAtLevel, OpsOverWatts) {
+  const PowerCurve c = linear_curve(0.5, 200.0, 1e6);
+  EXPECT_DOUBLE_EQ(ee_at_level(c, 9), 1e6 / 200.0);
+  // At 10% load: ops = 1e5, watts = 200 * 0.55 = 110.
+  EXPECT_DOUBLE_EQ(ee_at_level(c, 0), 1e5 / 110.0);
+}
+
+TEST(EeAtLevel, LevelOutOfRangeThrows) {
+  EXPECT_THROW(ee_at_level(linear_curve(0.5), kNumLoadLevels),
+               ContractViolation);
+}
+
+TEST(OverallScore, MatchesManualComputation) {
+  const PowerCurve c = linear_curve(0.5, 100.0, 1e6);
+  // ops sum = 1e6 * 5.5; watts sum = 100 * (0.5*10 + 0.5*5.5) + idle 50.
+  double ops_sum = 0.0, watts_sum = 50.0;
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    ops_sum += 1e6 * kLoadLevels[i];
+    watts_sum += 100.0 * (0.5 + 0.5 * kLoadLevels[i]);
+  }
+  EXPECT_NEAR(overall_score(c), ops_sum / watts_sum, 1e-9);
+}
+
+TEST(OverallScore, ImprovesWhenIdleDrops) {
+  EXPECT_GT(overall_score(linear_curve(0.1)), overall_score(linear_curve(0.6)));
+}
+
+TEST(PeakEe, LinearCurvePeaksAtFullLoad) {
+  const auto peak = peak_ee(linear_curve(0.4));
+  ASSERT_EQ(peak.levels.size(), 1u);
+  EXPECT_EQ(peak.levels.front(), kNumLoadLevels - 1);
+  EXPECT_DOUBLE_EQ(peak_ee_utilization(linear_curve(0.4)), 1.0);
+}
+
+TEST(PeakEe, KinkedCurvePeaksAtKink) {
+  const auto model = TwoSegmentPowerModel::solve(0.85, 0.3, 0.7);
+  ASSERT_TRUE(model.ok());
+  ASSERT_DOUBLE_EQ(model.value().peak_ee_utilization(), 0.7);
+  const PowerCurve c = to_power_curve(model.value(), 300.0, 2e6);
+  EXPECT_DOUBLE_EQ(peak_ee_utilization(c), 0.7);
+}
+
+TEST(PeakEe, TieAcrossTwoLevelsReportsBoth) {
+  // Build a curve where EE at 80% and 90% are exactly equal (the paper's 2011
+  // server achieving its peak at both spots).
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    ops[i] = 1e6 * kLoadLevels[i];
+    watts[i] = 100.0 + 150.0 * kLoadLevels[i];  // placeholder
+  }
+  // Set EE(0.8) = EE(0.9) = 4000 ops/W and make every other level worse.
+  watts[7] = ops[7] / 4000.0;
+  watts[8] = ops[8] / 4000.0;
+  watts[9] = ops[9] / 3800.0;
+  for (std::size_t i = 0; i < 7; ++i) watts[i] = ops[i] / 3000.0;
+  const PowerCurve c(watts, ops, watts[0] * 0.6);
+  const auto peak = peak_ee(c);
+  ASSERT_EQ(peak.levels.size(), 2u);
+  EXPECT_EQ(peak.levels[0], 7u);
+  EXPECT_EQ(peak.levels[1], 8u);
+}
+
+TEST(PeakToFullRatio, AtLeastOne) {
+  EXPECT_DOUBLE_EQ(peak_to_full_ratio(linear_curve(0.4)), 1.0);
+  const auto model = TwoSegmentPowerModel::solve(0.9, 0.25, 0.8);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(peak_to_full_ratio(to_power_curve(model.value(), 200.0, 1e6)), 1.0);
+}
+
+TEST(PeakEeOffset, ZeroAtFullLoadPositiveInterior) {
+  EXPECT_DOUBLE_EQ(peak_ee_offset(linear_curve(0.4)), 0.0);
+  const auto model = TwoSegmentPowerModel::solve(0.9, 0.25, 0.7);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(peak_ee_offset(to_power_curve(model.value(), 200.0, 1e6)), 0.3,
+              1e-12);
+}
+
+TEST(NormalizedEe, OneAtFullLoad) {
+  const PowerCurve c = linear_curve(0.3);
+  EXPECT_DOUBLE_EQ(normalized_ee(c, kNumLoadLevels - 1), 1.0);
+}
+
+TEST(NormalizedEe, BelowOneAtLowLoadForLinearCurve) {
+  const PowerCurve c = linear_curve(0.5);
+  EXPECT_LT(normalized_ee(c, 0), 1.0);
+}
+
+TEST(UtilizationReachingNormalizedEe, HighEpServerReachesEarly) {
+  // Paper Fig.12: servers with EP > 1 reach 0.8x of their full-load EE before
+  // 30% utilisation and 1.0x before 40%.
+  const auto model = TwoSegmentPowerModel::solve(1.05, 0.05, 0.6);
+  ASSERT_TRUE(model.ok());
+  const PowerCurve c = to_power_curve(model.value(), 200.0, 1e6);
+  EXPECT_LT(utilization_reaching_normalized_ee(c, 0.8), 0.3);
+  EXPECT_LT(utilization_reaching_normalized_ee(c, 1.0), 0.4);
+}
+
+TEST(UtilizationReachingNormalizedEe, LowEpServerReachesLate) {
+  const PowerCurve c = linear_curve(0.8);
+  EXPECT_GT(utilization_reaching_normalized_ee(c, 0.8), 0.5);
+}
+
+TEST(UtilizationReachingNormalizedEe, SentinelWhenNeverReached) {
+  const PowerCurve c = linear_curve(0.5);
+  // Linear curve's normalised EE never exceeds 1.0 before full load, so a
+  // threshold above the whole curve returns the sentinel 2.0.
+  EXPECT_DOUBLE_EQ(utilization_reaching_normalized_ee(c, 1.5), 2.0);
+}
+
+TEST(UtilizationReachingNormalizedEe, RejectsNonPositiveThreshold) {
+  EXPECT_THROW(utilization_reaching_normalized_ee(linear_curve(0.5), 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace epserve::metrics

@@ -1,0 +1,123 @@
+#include "metrics/power_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+namespace {
+
+/// Linear normalised power curve: p(u) = idle + (1 - idle) * u, scaled.
+PowerCurve linear_curve(double idle_frac, double peak_watts, double peak_ops) {
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    watts[i] = peak_watts * (idle_frac + (1.0 - idle_frac) * kLoadLevels[i]);
+    ops[i] = peak_ops * kLoadLevels[i];
+  }
+  return PowerCurve(watts, ops, peak_watts * idle_frac);
+}
+
+TEST(LoadLevels, TenAscendingLevels) {
+  EXPECT_EQ(kNumLoadLevels, 10u);
+  EXPECT_DOUBLE_EQ(kLoadLevels.front(), 0.1);
+  EXPECT_DOUBLE_EQ(kLoadLevels.back(), 1.0);
+  for (std::size_t i = 1; i < kNumLoadLevels; ++i) {
+    EXPECT_GT(kLoadLevels[i], kLoadLevels[i - 1]);
+  }
+}
+
+TEST(LoadLevels, LevelOfUtilizationRoundTrips) {
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    EXPECT_EQ(level_of_utilization(kLoadLevels[i]), i);
+  }
+}
+
+TEST(LoadLevels, LevelOfUtilizationRejectsOffGrid) {
+  EXPECT_THROW(level_of_utilization(0.55), ContractViolation);
+}
+
+TEST(PowerCurve, AccessorsReturnConstructedValues) {
+  const PowerCurve c = linear_curve(0.4, 200.0, 1e6);
+  EXPECT_DOUBLE_EQ(c.peak_watts(), 200.0);
+  EXPECT_DOUBLE_EQ(c.peak_ops(), 1e6);
+  EXPECT_DOUBLE_EQ(c.idle_watts(), 80.0);
+  EXPECT_DOUBLE_EQ(c.idle_fraction(), 0.4);
+  EXPECT_DOUBLE_EQ(c.watts_at_level(9), 200.0);
+  EXPECT_DOUBLE_EQ(c.ops_at_level(0), 1e5);
+}
+
+TEST(PowerCurve, NormalizedPowerAtEndpoints) {
+  const PowerCurve c = linear_curve(0.3, 150.0, 1e6);
+  EXPECT_NEAR(c.normalized_power(0.0), 0.3, 1e-12);
+  EXPECT_NEAR(c.normalized_power(1.0), 1.0, 1e-12);
+}
+
+TEST(PowerCurve, NormalizedPowerInterpolatesLinearly) {
+  const PowerCurve c = linear_curve(0.5, 100.0, 1e6);
+  // Linear curve: p(u) = 0.5 + 0.5u for every u, including between levels.
+  EXPECT_NEAR(c.normalized_power(0.05), 0.525, 1e-12);
+  EXPECT_NEAR(c.normalized_power(0.55), 0.775, 1e-12);
+  EXPECT_NEAR(c.normalized_power(0.99), 0.995, 1e-12);
+}
+
+TEST(PowerCurve, NormalizedPowerRejectsOutOfRange) {
+  const PowerCurve c = linear_curve(0.5, 100.0, 1e6);
+  EXPECT_THROW(static_cast<void>(c.normalized_power(-0.1)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(c.normalized_power(1.1)), ContractViolation);
+}
+
+TEST(PowerCurveValidate, AcceptsWellFormedCurve) {
+  EXPECT_TRUE(linear_curve(0.4, 250.0, 5e5).validate().ok());
+}
+
+TEST(PowerCurveValidate, RejectsZeroIdle) {
+  const PowerCurve c({100, 100, 100, 100, 100, 100, 100, 100, 100, 100},
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.0);
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(PowerCurveValidate, RejectsIdleAbovePeak) {
+  const PowerCurve c({100, 110, 120, 130, 140, 150, 160, 170, 180, 190},
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 195.0);
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(PowerCurveValidate, RejectsDecreasingOps) {
+  const PowerCurve c({100, 110, 120, 130, 140, 150, 160, 170, 180, 190},
+                     {1, 2, 3, 4, 5, 6, 7, 6.5, 9, 10}, 50.0);
+  const auto result = c.validate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("non-decreasing"), std::string::npos);
+}
+
+TEST(PowerCurveValidate, RejectsNonFinitePower) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const PowerCurve c({100, 110, inf, 130, 140, 150, 160, 170, 180, 190},
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50.0);
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(PowerCurveValidate, RejectsZeroPeakOps) {
+  const PowerCurve c({100, 110, 120, 130, 140, 150, 160, 170, 180, 190},
+                     {0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 50.0);
+  EXPECT_FALSE(c.validate().ok());
+}
+
+TEST(PowerCurve, PowerMonotoneDetectsDip) {
+  EXPECT_TRUE(linear_curve(0.4, 100.0, 1e6).power_monotone());
+  const PowerCurve dip({100, 110, 105, 130, 140, 150, 160, 170, 180, 190},
+                       {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50.0);
+  EXPECT_FALSE(dip.power_monotone());
+}
+
+TEST(PowerCurve, PowerMonotoneDetectsIdleAboveFirstLevel) {
+  const PowerCurve c({100, 110, 120, 130, 140, 150, 160, 170, 180, 190},
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 105.0);
+  EXPECT_FALSE(c.power_monotone());
+}
+
+}  // namespace
+}  // namespace epserve::metrics

@@ -1,0 +1,142 @@
+// Property tests over randomly generated, physically valid power curves:
+// every metric invariant must hold on every curve, not just the analytic
+// families the unit tests construct.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "metrics/efficiency.h"
+#include "metrics/power_curve.h"
+#include "metrics/proportionality.h"
+#include "util/rng.h"
+
+namespace epserve::metrics {
+namespace {
+
+/// A random monotone, valid curve: idle fraction in [0.05, 0.85], random
+/// monotone normalised powers ending at 1, linear-with-jitter ops.
+PowerCurve random_curve(Rng& rng) {
+  const double idle = rng.uniform(0.05, 0.85);
+  std::array<double, kNumLoadLevels> norm{};
+  double level = idle;
+  // Random increments, normalised so the last level is exactly 1.
+  std::array<double, kNumLoadLevels> increments{};
+  double total = 0.0;
+  for (auto& inc : increments) {
+    inc = rng.uniform(0.01, 1.0);
+    total += inc;
+  }
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    level += increments[i] / total * (1.0 - idle);
+    norm[i] = level;
+  }
+  norm.back() = 1.0;
+
+  const double peak_watts = rng.uniform(80.0, 800.0);
+  const double peak_ops = rng.uniform(1e5, 5e6);
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  double prev_ops = 0.0;
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    watts[i] = norm[i] * peak_watts;
+    // Ops roughly linear with load, monotone by construction.
+    const double target = peak_ops * kLoadLevels[i] *
+                          (1.0 + rng.uniform(-0.02, 0.02));
+    prev_ops = std::max(prev_ops + 1.0, target);
+    ops[i] = prev_ops;
+  }
+  return PowerCurve(watts, ops, idle * peak_watts);
+}
+
+class RandomCurveProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCurveProperties, AllInvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7727 + 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PowerCurve curve = random_curve(rng);
+    ASSERT_TRUE(curve.validate().ok());
+    ASSERT_TRUE(curve.power_monotone());
+
+    // EP within its theoretical range.
+    const double ep = energy_proportionality(curve);
+    EXPECT_GE(ep, 0.0);
+    EXPECT_LT(ep, 2.0);
+
+    // DR and IPR are complements.
+    EXPECT_NEAR(dynamic_range(curve) + idle_power_ratio(curve), 1.0, 1e-12);
+
+    // The area and EP are consistent: EP = 2 - 2*area.
+    EXPECT_NEAR(ep, 2.0 - 2.0 * normalized_power_area(curve), 1e-12);
+
+    // LD's sign matches EP relative to the linear benchmark 1 - idle.
+    const double ld = linear_deviation(curve);
+    const double linear_ep = 1.0 - curve.idle_fraction();
+    if (ld > 1e-9) EXPECT_LT(ep, linear_ep + 1e-9);
+    if (ld < -1e-9) EXPECT_GT(ep, linear_ep - 1e-9);
+
+    // Peak EE dominates the full-load EE.
+    EXPECT_GE(peak_to_full_ratio(curve), 1.0 - 1e-12);
+    const auto peak = peak_ee(curve);
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      EXPECT_LE(ee_at_level(curve, i), peak.value * (1.0 + 1e-12));
+    }
+
+    // Peak offset consistent with the reported utilisation.
+    EXPECT_NEAR(peak_ee_offset(curve), 1.0 - peak_ee_utilization(curve),
+                1e-12);
+
+    // Ideal intersections are strictly ascending and interior.
+    const auto crossings = ideal_intersections(curve);
+    for (std::size_t i = 0; i < crossings.size(); ++i) {
+      EXPECT_GT(crossings[i], 0.0);
+      EXPECT_LT(crossings[i], 1.0);
+      if (i > 0) EXPECT_GT(crossings[i], crossings[i - 1]);
+    }
+
+    // The normalised-power interpolator brackets its level samples.
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      EXPECT_NEAR(curve.normalized_power(kLoadLevels[i]),
+                  curve.watts_at_level(i) / curve.peak_watts(), 1e-12);
+    }
+    // ... and is itself monotone on a fine grid.
+    double prev = -1.0;
+    for (double u = 0.0; u <= 1.0001; u += 0.05) {
+      const double p = curve.normalized_power(std::min(u, 1.0));
+      EXPECT_GE(p, prev - 1e-12);
+      prev = p;
+    }
+
+    // The gap at full load is zero by normalisation.
+    EXPECT_NEAR(proportionality_gap(curve, kNumLoadLevels - 1), 0.0, 1e-12);
+    // The max gap bounds every per-level gap and the idle fraction.
+    const double max_gap = max_proportionality_gap(curve);
+    EXPECT_GE(max_gap, curve.idle_fraction() - 1e-12);
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      EXPECT_GE(max_gap, std::abs(proportionality_gap(curve, i)) - 1e-12);
+    }
+
+    // utilization_reaching_normalized_ee is monotone in the threshold.
+    const double at_low = utilization_reaching_normalized_ee(curve, 0.5);
+    const double at_high = utilization_reaching_normalized_ee(curve, 0.9);
+    EXPECT_LE(at_low, at_high + 1e-12);
+
+    // Scale invariance: doubling absolute power and ops changes nothing.
+    std::array<double, kNumLoadLevels> watts2{};
+    std::array<double, kNumLoadLevels> ops2{};
+    for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+      watts2[i] = curve.watts_at_level(i) * 2.0;
+      ops2[i] = curve.ops_at_level(i) * 2.0;
+    }
+    const PowerCurve doubled(watts2, ops2, curve.idle_watts() * 2.0);
+    EXPECT_NEAR(energy_proportionality(doubled), ep, 1e-12);
+    EXPECT_NEAR(overall_score(doubled), overall_score(curve), 1e-9);
+    EXPECT_EQ(peak_ee(doubled).levels, peak.levels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCurveProperties,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace epserve::metrics

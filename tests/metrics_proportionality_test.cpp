@@ -1,0 +1,201 @@
+#include "metrics/proportionality.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "metrics/curve_models.h"
+#include "util/contracts.h"
+
+namespace epserve::metrics {
+namespace {
+
+PowerCurve linear_curve(double idle_frac, double peak_watts = 200.0) {
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    watts[i] = peak_watts * (idle_frac + (1.0 - idle_frac) * kLoadLevels[i]);
+    ops[i] = 1e6 * kLoadLevels[i];
+  }
+  return PowerCurve(watts, ops, peak_watts * idle_frac);
+}
+
+PowerCurve flat_curve(double peak_watts = 200.0) {
+  std::array<double, kNumLoadLevels> watts{};
+  std::array<double, kNumLoadLevels> ops{};
+  watts.fill(peak_watts);
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) ops[i] = 1e6 * kLoadLevels[i];
+  return PowerCurve(watts, ops, peak_watts);
+}
+
+// --- Eq.1 on analytically known curves ------------------------------------
+
+TEST(EnergyProportionality, LinearCurveEqualsOneMinusIdle) {
+  // Exact for trapezoid integration because the curve is piecewise linear.
+  for (const double idle : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(energy_proportionality(linear_curve(idle)), 1.0 - idle, 1e-12);
+  }
+}
+
+TEST(EnergyProportionality, NearIdealCurveApproachesOne) {
+  EXPECT_NEAR(energy_proportionality(linear_curve(1e-9)), 1.0, 1e-8);
+}
+
+TEST(EnergyProportionality, FlatCurveIsZero) {
+  EXPECT_NEAR(energy_proportionality(flat_curve()), 0.0, 1e-12);
+}
+
+TEST(EnergyProportionality, ScaleInvariant) {
+  const double ep_small = energy_proportionality(linear_curve(0.4, 100.0));
+  const double ep_large = energy_proportionality(linear_curve(0.4, 1000.0));
+  EXPECT_NEAR(ep_small, ep_large, 1e-12);
+}
+
+TEST(EnergyProportionality, SublinearCurveExceedsOneMinusIdle) {
+  // Two-segment curve peaked interior: EP above the linear benchmark.
+  const auto model = TwoSegmentPowerModel::solve(1.02, 0.06, 0.6);
+  ASSERT_TRUE(model.ok());
+  const PowerCurve c = to_power_curve(model.value(), 300.0, 1e6);
+  EXPECT_GT(energy_proportionality(c), 1.0 - 0.06);
+}
+
+TEST(EnergyProportionality, WithinTheoreticalRange) {
+  for (const double idle : {0.05, 0.3, 0.6, 0.95}) {
+    const double ep = energy_proportionality(linear_curve(idle));
+    EXPECT_GE(ep, 0.0);
+    EXPECT_LT(ep, 2.0);
+  }
+}
+
+TEST(NormalizedPowerArea, LinearCurveMatchesClosedForm) {
+  // Area under idle + (1-idle)u on [0,1] is (1+idle)/2.
+  for (const double idle : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(normalized_power_area(linear_curve(idle)), (1.0 + idle) / 2.0,
+                1e-12);
+  }
+}
+
+// --- Companion metrics ------------------------------------------------------
+
+TEST(IdlePowerRatio, MatchesConstruction) {
+  EXPECT_NEAR(idle_power_ratio(linear_curve(0.35)), 0.35, 1e-12);
+}
+
+TEST(DynamicRange, ComplementOfIdleRatio) {
+  const PowerCurve c = linear_curve(0.35);
+  EXPECT_NEAR(dynamic_range(c), 1.0 - idle_power_ratio(c), 1e-12);
+}
+
+TEST(LinearDeviation, ZeroForLinearCurve) {
+  EXPECT_NEAR(linear_deviation(linear_curve(0.4)), 0.0, 1e-12);
+}
+
+TEST(LinearDeviation, NegativeForSublinearCurve) {
+  const auto model = TwoSegmentPowerModel::solve(1.0, 0.1, 0.7);
+  ASSERT_TRUE(model.ok());
+  const PowerCurve c = to_power_curve(model.value(), 200.0, 1e6);
+  EXPECT_LT(linear_deviation(c), 0.0);
+}
+
+TEST(LinearDeviation, PositiveForSuperlinearCurve) {
+  // EP below 1 - idle means the curve bulges above its linear interpolation.
+  const auto model = TwoSegmentPowerModel::solve(0.45, 0.3, 0.5);
+  ASSERT_TRUE(model.ok());
+  ASSERT_LT(0.45, 1.0 - 0.3);
+  const PowerCurve c = to_power_curve(model.value(), 200.0, 1e6);
+  EXPECT_GT(linear_deviation(c), 0.0);
+}
+
+TEST(ProportionalityGap, LinearCurveGapIsIdleScaled) {
+  // Gap at u: idle + (1-idle)u - u = idle(1 - u).
+  const PowerCurve c = linear_curve(0.5);
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    EXPECT_NEAR(proportionality_gap(c, i), 0.5 * (1.0 - kLoadLevels[i]), 1e-12);
+  }
+}
+
+TEST(ProportionalityGap, LevelOutOfRangeThrows) {
+  EXPECT_THROW(proportionality_gap(linear_curve(0.5), kNumLoadLevels),
+               ContractViolation);
+}
+
+TEST(MaxProportionalityGap, FlatCurvePeaksAtIdle) {
+  EXPECT_NEAR(max_proportionality_gap(flat_curve()), 1.0, 1e-12);
+}
+
+TEST(MaxProportionalityGap, LinearCurveEqualsIdle) {
+  EXPECT_NEAR(max_proportionality_gap(linear_curve(0.4)), 0.4, 1e-12);
+}
+
+// --- Ideal-curve intersections (paper Fig.10) -------------------------------
+
+TEST(IdealIntersections, LinearCurveNeverCrosses) {
+  EXPECT_TRUE(ideal_intersections(linear_curve(0.3)).empty());
+}
+
+TEST(IdealIntersections, HighEpCurveCrossesBeforeFullLoad) {
+  const auto model = TwoSegmentPowerModel::solve(1.05, 0.05, 0.6);
+  ASSERT_TRUE(model.ok());
+  const PowerCurve c = to_power_curve(model.value(), 200.0, 1e6);
+  const auto crossings = ideal_intersections(c);
+  ASSERT_FALSE(crossings.empty());
+  EXPECT_LT(crossings.front(), 1.0);
+  EXPECT_GT(crossings.front(), 0.0);
+}
+
+TEST(IdealIntersections, HigherEpCrossesFartherFromFullLoad) {
+  // The paper: "the higher its EP is, the farther the intersection is away
+  // from 100% utilization".
+  const auto lo = TwoSegmentPowerModel::solve(0.96, 0.10, 0.7);
+  const auto hi = TwoSegmentPowerModel::solve(1.05, 0.05, 0.6);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  const auto cross_lo =
+      ideal_intersections(to_power_curve(lo.value(), 200.0, 1e6));
+  const auto cross_hi =
+      ideal_intersections(to_power_curve(hi.value(), 200.0, 1e6));
+  ASSERT_FALSE(cross_lo.empty());
+  ASSERT_FALSE(cross_hi.empty());
+  EXPECT_LT(cross_hi.front(), cross_lo.front());
+}
+
+TEST(IdealIntersections, CrossingsAreAscending) {
+  const auto model = TwoSegmentPowerModel::solve(1.0, 0.12, 0.8);
+  ASSERT_TRUE(model.ok());
+  const auto crossings =
+      ideal_intersections(to_power_curve(model.value(), 200.0, 1e6));
+  for (std::size_t i = 1; i < crossings.size(); ++i) {
+    EXPECT_GT(crossings[i], crossings[i - 1]);
+  }
+}
+
+// --- Property sweep: EP measured on discretised two-segment models matches
+// the closed form exactly (kink on a measured level). ------------------------
+
+struct EpCase {
+  double ep;
+  double idle;
+  double tau;
+};
+
+class TwoSegmentEpExactness : public ::testing::TestWithParam<EpCase> {};
+
+TEST_P(TwoSegmentEpExactness, TrapezoidRecoversClosedFormEp) {
+  const auto [ep, idle, tau] = GetParam();
+  const auto model = TwoSegmentPowerModel::solve(ep, idle, tau);
+  ASSERT_TRUE(model.ok()) << model.error().message;
+  const PowerCurve c = to_power_curve(model.value(), 250.0, 2e6);
+  EXPECT_NEAR(energy_proportionality(c), ep, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpGrid, TwoSegmentEpExactness,
+    ::testing::Values(EpCase{0.18, 0.85, 0.5}, EpCase{0.30, 0.72, 0.5},
+                      EpCase{0.55, 0.48, 0.6}, EpCase{0.75, 0.32, 0.7},
+                      EpCase{0.85, 0.25, 0.8}, EpCase{0.95, 0.15, 0.8},
+                      EpCase{1.02, 0.07, 0.6}, EpCase{1.05, 0.05, 0.6},
+                      EpCase{0.66, 0.40, 0.9}, EpCase{0.44, 0.60, 0.5}));
+
+}  // namespace
+}  // namespace epserve::metrics

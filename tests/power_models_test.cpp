@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "power/cpu_model.h"
+#include "power/dram_model.h"
+#include "power/peripherals.h"
+#include "power/psu_model.h"
+#include "power/uarch.h"
+#include "util/contracts.h"
+
+namespace epserve::power {
+namespace {
+
+CpuModel make_cpu(CpuModel::Params p = {}) {
+  auto r = CpuModel::create(p);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).take();
+}
+
+// --- Microarchitecture catalog ----------------------------------------------
+
+TEST(UarchCatalog, CoversAllPaperCodenames) {
+  // Every Fig.7 bar must resolve.
+  for (const auto* name :
+       {"Netburst", "Core", "Penryn", "Yorkfield", "Nehalem EP", "Nehalem EX",
+        "Lynnfield", "Westmere", "Westmere-EP", "Sandy Bridge",
+        "Sandy Bridge EP", "Sandy Bridge EN", "Ivy Bridge", "Ivy Bridge EP",
+        "Haswell", "Broadwell", "Skylake", "Interlagos", "Abu Dhabi",
+        "Seoul"}) {
+    EXPECT_NE(find_uarch(name), nullptr) << name;
+  }
+}
+
+TEST(UarchCatalog, UnknownCodenameIsNull) {
+  EXPECT_EQ(find_uarch("Zen 5"), nullptr);
+}
+
+TEST(UarchCatalog, SandyBridgeEnHasHighestMeanEp) {
+  // Paper Fig.7: Sandy Bridge EN tops the codename ranking at 0.90.
+  const UarchInfo* best = nullptr;
+  for (const auto& info : uarch_catalog()) {
+    if (best == nullptr || info.typical_ep > best->typical_ep) best = &info;
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->codename, "Sandy Bridge EN");
+  EXPECT_DOUBLE_EQ(best->typical_ep, 0.90);
+}
+
+TEST(UarchCatalog, NewerProcessesGenerallyIdleLower) {
+  // 14/22nm parts idle at a smaller fraction than 90/65nm parts.
+  const auto* netburst = find_uarch("Netburst");
+  const auto* broadwell = find_uarch("Broadwell");
+  ASSERT_NE(netburst, nullptr);
+  ASSERT_NE(broadwell, nullptr);
+  EXPECT_GT(netburst->typical_idle_fraction,
+            broadwell->typical_idle_fraction + 0.3);
+}
+
+TEST(UarchCatalog, TockTransitionsMarked) {
+  // Nehalem EP and Sandy Bridge are the paper's two EP-jump tocks.
+  EXPECT_TRUE(find_uarch("Nehalem EP")->is_tock);
+  EXPECT_TRUE(find_uarch("Sandy Bridge")->is_tock);
+  EXPECT_FALSE(find_uarch("Westmere")->is_tock);
+  EXPECT_FALSE(find_uarch("Ivy Bridge")->is_tock);
+}
+
+TEST(UarchCatalog, FamilyAndVendorNames) {
+  EXPECT_EQ(family_name(UarchFamily::kSandyBridge), "Sandy Bridge");
+  EXPECT_EQ(vendor_name(Vendor::kAmd), "AMD");
+  EXPECT_EQ(vendor_name(Vendor::kIntel), "Intel");
+}
+
+// --- CpuModel -----------------------------------------------------------------
+
+TEST(CpuModel, PeakPowerEqualsTdp) {
+  const CpuModel cpu = make_cpu();
+  EXPECT_NEAR(cpu.peak_power(), cpu.params().tdp_watts, 1e-9);
+}
+
+TEST(CpuModel, PowerMonotoneInUtilization) {
+  const CpuModel cpu = make_cpu();
+  double prev = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = cpu.power(u, cpu.params().max_freq_ghz);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CpuModel, PowerMonotoneInFrequency) {
+  const CpuModel cpu = make_cpu();
+  double prev = -1.0;
+  for (double f = cpu.params().min_freq_ghz; f <= cpu.params().max_freq_ghz;
+       f += 0.1) {
+    const double p = cpu.power(0.8, f);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CpuModel, DvfsSavesSuperlinearly) {
+  // Halving frequency should cut dynamic power by more than half (V^2 * f).
+  CpuModel::Params p;
+  p.min_freq_ghz = 1.2;
+  p.max_freq_ghz = 2.4;
+  const CpuModel cpu = make_cpu(p);
+  const double hi = cpu.power(1.0, 2.4);
+  const double lo = cpu.power(1.0, 1.2);
+  const double dynamic_hi = hi - cpu.power(0.0, 2.4);
+  const double dynamic_lo = lo - cpu.power(0.0, 1.2);
+  EXPECT_LT(dynamic_lo, dynamic_hi * 0.5);
+}
+
+TEST(CpuModel, CStatesCutIdleBelowTenPercentLoad) {
+  const CpuModel cpu = make_cpu();
+  EXPECT_LT(cpu.power(0.0, cpu.params().min_freq_ghz),
+            cpu.power(0.1, cpu.params().min_freq_ghz));
+}
+
+TEST(CpuModel, VoltageInterpolatesLinearly) {
+  CpuModel::Params p;
+  p.min_freq_ghz = 1.0;
+  p.max_freq_ghz = 2.0;
+  p.min_voltage = 0.8;
+  p.max_voltage = 1.2;
+  const CpuModel cpu = make_cpu(p);
+  EXPECT_NEAR(cpu.voltage_at(1.5), 1.0, 1e-12);
+  EXPECT_NEAR(cpu.voltage_at(0.5), 0.8, 1e-12);  // clamped below
+  EXPECT_NEAR(cpu.voltage_at(3.0), 1.2, 1e-12);  // clamped above
+}
+
+TEST(CpuModel, PStateTableSpansRange) {
+  const CpuModel cpu = make_cpu();
+  const auto& table = cpu.pstates();
+  ASSERT_GE(table.size(), 2u);
+  EXPECT_NEAR(table.front().freq_ghz, cpu.params().min_freq_ghz, 1e-12);
+  EXPECT_NEAR(table.back().freq_ghz, cpu.params().max_freq_ghz, 1e-12);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GT(table[i].freq_ghz, table[i - 1].freq_ghz);
+    EXPECT_GE(table[i].voltage, table[i - 1].voltage);
+  }
+}
+
+TEST(CpuModel, QuantizeSnapsToNearestPState) {
+  CpuModel::Params p;
+  p.min_freq_ghz = 1.0;
+  p.max_freq_ghz = 2.0;
+  p.num_pstates = 11;  // 0.1 GHz steps
+  const CpuModel cpu = make_cpu(p);
+  EXPECT_NEAR(cpu.quantize_frequency(1.44), 1.4, 1e-9);
+  EXPECT_NEAR(cpu.quantize_frequency(1.46), 1.5, 1e-9);
+  EXPECT_NEAR(cpu.quantize_frequency(0.2), 1.0, 1e-9);
+}
+
+TEST(CpuModel, RejectsInvalidParams) {
+  CpuModel::Params p;
+  p.tdp_watts = -5.0;
+  EXPECT_FALSE(CpuModel::create(p).ok());
+  p = {};
+  p.cores = 0;
+  EXPECT_FALSE(CpuModel::create(p).ok());
+  p = {};
+  p.min_freq_ghz = 3.0;
+  p.max_freq_ghz = 2.0;
+  EXPECT_FALSE(CpuModel::create(p).ok());
+  p = {};
+  p.uncore_fraction = 0.6;
+  p.static_fraction = 0.5;
+  EXPECT_FALSE(CpuModel::create(p).ok());
+  p = {};
+  p.num_pstates = 1;
+  EXPECT_FALSE(CpuModel::create(p).ok());
+}
+
+TEST(CpuModel, UtilizationOutOfRangeThrows) {
+  const CpuModel cpu = make_cpu();
+  EXPECT_THROW(static_cast<void>(cpu.power(1.5, 2.0)), ContractViolation);
+}
+
+// --- DramModel ----------------------------------------------------------------
+
+TEST(DramModel, PowerScalesWithCapacity) {
+  DramModel::Params small;
+  small.dimm_capacity_gb = 4.0;
+  small.dimm_count = 4;
+  DramModel::Params large = small;
+  large.dimm_capacity_gb = 16.0;
+  large.dimm_count = 12;
+  const auto s = DramModel::create(small);
+  const auto l = DramModel::create(large);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_GT(l.value().idle_power(), s.value().idle_power() * 2.0);
+}
+
+TEST(DramModel, Ddr4BackgroundBelowDdr3) {
+  EXPECT_LT(default_background_w_per_gb(DramGeneration::kDdr4),
+            default_background_w_per_gb(DramGeneration::kDdr3));
+  DramModel::Params p3;
+  p3.generation = DramGeneration::kDdr3;
+  DramModel::Params p4 = p3;
+  p4.generation = DramGeneration::kDdr4;
+  const auto m3 = DramModel::create(p3);
+  const auto m4 = DramModel::create(p4);
+  ASSERT_TRUE(m3.ok());
+  ASSERT_TRUE(m4.ok());
+  EXPECT_LT(m4.value().idle_power(), m3.value().idle_power());
+}
+
+TEST(DramModel, ActivePowerGrowsWithUtilization) {
+  const auto m = DramModel::create({});
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.value().power(1.0), m.value().power(0.0));
+}
+
+TEST(DramModel, TotalCapacity) {
+  DramModel::Params p;
+  p.dimm_capacity_gb = 16.0;
+  p.dimm_count = 12;
+  const auto m = DramModel::create(p);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value().total_capacity_gb(), 192.0);
+}
+
+TEST(DramModel, RejectsInvalidParams) {
+  DramModel::Params p;
+  p.dimm_count = 0;
+  EXPECT_FALSE(DramModel::create(p).ok());
+  p = {};
+  p.dimm_capacity_gb = -1.0;
+  EXPECT_FALSE(DramModel::create(p).ok());
+  p = {};
+  p.active_w_per_dimm = -0.1;
+  EXPECT_FALSE(DramModel::create(p).ok());
+}
+
+// --- Peripherals ----------------------------------------------------------------
+
+TEST(Storage, SsdDrawsLessThanHdd) {
+  const StorageDevice ssd{StorageKind::kSsd};
+  const StorageDevice hdd{StorageKind::kHdd10k};
+  EXPECT_LT(ssd.idle_power(), hdd.idle_power());
+  EXPECT_LT(ssd.power(1.0), hdd.power(1.0));
+}
+
+TEST(Storage, PowerGrowsWithUtilization) {
+  for (const auto kind :
+       {StorageKind::kHdd10k, StorageKind::kHdd15k, StorageKind::kSsd}) {
+    const StorageDevice d{kind};
+    EXPECT_GT(d.power(1.0), d.power(0.0));
+    EXPECT_DOUBLE_EQ(d.power(0.0), d.idle_power());
+  }
+}
+
+TEST(Fan, CubicGrowthWithUtilization) {
+  const auto fan = FanModel::create({});
+  ASSERT_TRUE(fan.ok());
+  const double low = fan.value().power(0.0);
+  const double mid = fan.value().power(0.5);
+  const double high = fan.value().power(1.0);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  // Convex: second half gains more than first half.
+  EXPECT_GT(high - mid, mid - low);
+}
+
+TEST(Fan, RejectsNegativeWatts) {
+  FanModel::Params p;
+  p.base_watts = -1.0;
+  EXPECT_FALSE(FanModel::create(p).ok());
+}
+
+// --- PSU ----------------------------------------------------------------------
+
+TEST(Psu, EfficiencyPeaksNearHalfLoad) {
+  const auto psu = PsuModel::create({});
+  ASSERT_TRUE(psu.ok());
+  const double at_half = psu.value().efficiency(0.5);
+  EXPECT_GT(at_half, psu.value().efficiency(0.1));
+  EXPECT_GT(at_half, psu.value().efficiency(1.0));
+  EXPECT_NEAR(at_half, psu.value().params().peak_efficiency, 1e-12);
+}
+
+TEST(Psu, WallPowerExceedsDcPower) {
+  const auto psu = PsuModel::create({});
+  ASSERT_TRUE(psu.ok());
+  for (const double dc : {50.0, 200.0, 700.0}) {
+    EXPECT_GT(psu.value().wall_power(dc), dc);
+  }
+  EXPECT_DOUBLE_EQ(psu.value().wall_power(0.0), 0.0);
+}
+
+TEST(Psu, LowLoadConversionLossIsWorse) {
+  const auto psu = PsuModel::create({});
+  ASSERT_TRUE(psu.ok());
+  // Relative overhead at 5% load must exceed the overhead at 50% load.
+  const double low_overhead = psu.value().wall_power(37.5) / 37.5;
+  const double mid_overhead = psu.value().wall_power(375.0) / 375.0;
+  EXPECT_GT(low_overhead, mid_overhead);
+}
+
+TEST(Psu, RejectsInvalidParams) {
+  PsuModel::Params p;
+  p.rating_watts = 0.0;
+  EXPECT_FALSE(PsuModel::create(p).ok());
+  p = {};
+  p.peak_efficiency = 1.2;
+  EXPECT_FALSE(PsuModel::create(p).ok());
+  p = {};
+  p.peak_efficiency = 0.7;
+  p.efficiency_at_10pct = 0.9;
+  EXPECT_FALSE(PsuModel::create(p).ok());
+}
+
+TEST(Psu, OverloadThrows) {
+  const auto psu = PsuModel::create({});
+  ASSERT_TRUE(psu.ok());
+  EXPECT_THROW(static_cast<void>(psu.value().wall_power(1000.0)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace epserve::power

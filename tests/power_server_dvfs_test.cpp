@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "power/dvfs.h"
+#include "power/server_power_model.h"
+#include "util/contracts.h"
+
+namespace epserve::power {
+namespace {
+
+ServerPowerModel::Config default_config() {
+  ServerPowerModel::Config c;
+  c.cpu.tdp_watts = 85.0;
+  c.cpu.cores = 6;
+  c.cpu.min_freq_ghz = 1.2;
+  c.cpu.max_freq_ghz = 2.4;
+  c.sockets = 2;
+  c.dram.dimm_capacity_gb = 16.0;
+  c.dram.dimm_count = 8;
+  c.storage = {StorageDevice{StorageKind::kSsd}};
+  return c;
+}
+
+ServerPowerModel make_server(const ServerPowerModel::Config& c) {
+  auto r = ServerPowerModel::create(c);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  return std::move(r).take();
+}
+
+TEST(ServerPowerModel, IdleBelowPeak) {
+  const auto server = make_server(default_config());
+  EXPECT_LT(server.idle_wall_power(), server.peak_wall_power());
+  EXPECT_GT(server.idle_wall_power(), 0.0);
+}
+
+TEST(ServerPowerModel, WallPowerMonotoneInUtilization) {
+  const auto server = make_server(default_config());
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0001; u += 0.1) {
+    const double p = server.wall_power(std::min(u, 1.0), 2.4);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ServerPowerModel, MoreMemoryMorePower) {
+  auto small = default_config();
+  auto large = default_config();
+  large.dram.dimm_count = 16;
+  EXPECT_GT(make_server(large).idle_wall_power(),
+            make_server(small).idle_wall_power());
+}
+
+TEST(ServerPowerModel, HigherFrequencyMorePower) {
+  const auto server = make_server(default_config());
+  EXPECT_GT(server.wall_power(0.8, 2.4), server.wall_power(0.8, 1.2));
+}
+
+TEST(ServerPowerModel, MoreSocketsMorePower) {
+  auto one = default_config();
+  one.sockets = 1;
+  auto four = default_config();
+  four.sockets = 4;
+  four.psu.rating_watts = 1200.0;
+  EXPECT_GT(make_server(four).peak_wall_power(),
+            make_server(one).peak_wall_power() * 2.0);
+}
+
+TEST(ServerPowerModel, TotalCores) {
+  EXPECT_EQ(make_server(default_config()).total_cores(), 12);
+}
+
+TEST(ServerPowerModel, RejectsInvalidConfigs) {
+  auto c = default_config();
+  c.sockets = 0;
+  EXPECT_FALSE(ServerPowerModel::create(c).ok());
+  c = default_config();
+  c.memory_intensity = 1.5;
+  EXPECT_FALSE(ServerPowerModel::create(c).ok());
+  c = default_config();
+  c.cpu.tdp_watts = -1.0;
+  EXPECT_FALSE(ServerPowerModel::create(c).ok());
+}
+
+// --- Governors -----------------------------------------------------------------
+
+CpuModel make_cpu() {
+  CpuModel::Params p;
+  p.min_freq_ghz = 1.2;
+  p.max_freq_ghz = 2.4;
+  p.num_pstates = 13;  // 0.1 GHz steps
+  auto r = CpuModel::create(p);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).take();
+}
+
+TEST(Governors, PerformanceAlwaysMax) {
+  const auto cpu = make_cpu();
+  const PerformanceGovernor g;
+  for (const double load : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(g.frequency_for(load, cpu), 2.4);
+  }
+  EXPECT_EQ(g.name(), "performance");
+}
+
+TEST(Governors, PowersaveAlwaysMin) {
+  const auto cpu = make_cpu();
+  const PowersaveGovernor g;
+  for (const double load : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(g.frequency_for(load, cpu), 1.2);
+  }
+}
+
+TEST(Governors, FixedQuantizesOntoPStates) {
+  const auto cpu = make_cpu();
+  const FixedGovernor g(1.73);
+  EXPECT_NEAR(g.frequency_for(0.5, cpu), 1.7, 1e-9);
+  EXPECT_EQ(g.name(), "fixed@1.7GHz");
+}
+
+TEST(Governors, OndemandJumpsToMaxAboveThreshold) {
+  const auto cpu = make_cpu();
+  const OndemandGovernor g(0.8);
+  EXPECT_DOUBLE_EQ(g.frequency_for(0.85, cpu), 2.4);
+  EXPECT_DOUBLE_EQ(g.frequency_for(1.0, cpu), 2.4);
+}
+
+TEST(Governors, OndemandScalesBelowThreshold) {
+  const auto cpu = make_cpu();
+  const OndemandGovernor g(0.8);
+  const double f_low = g.frequency_for(0.1, cpu);
+  const double f_mid = g.frequency_for(0.5, cpu);
+  EXPECT_LT(f_low, f_mid);
+  EXPECT_LT(f_mid, 2.4);
+  EXPECT_GE(f_low, 1.2);
+}
+
+TEST(Governors, OndemandIdleFloorsAtMin) {
+  const auto cpu = make_cpu();
+  const OndemandGovernor g(0.8);
+  EXPECT_DOUBLE_EQ(g.frequency_for(0.0, cpu), 1.2);
+}
+
+TEST(Governors, OndemandRejectsBadThresholdOrLoad) {
+  EXPECT_THROW(OndemandGovernor(0.0), ContractViolation);
+  EXPECT_THROW(OndemandGovernor(1.5), ContractViolation);
+  const auto cpu = make_cpu();
+  const OndemandGovernor g(0.8);
+  EXPECT_THROW(static_cast<void>(g.frequency_for(-0.1, cpu)),
+               ContractViolation);
+}
+
+TEST(Governors, FactoriesProduceNamedGovernors) {
+  EXPECT_EQ(make_performance_governor()->name(), "performance");
+  EXPECT_EQ(make_powersave_governor()->name(), "powersave");
+  EXPECT_EQ(make_ondemand_governor()->name(), "ondemand");
+  EXPECT_EQ(make_fixed_governor(2.0)->name(), "fixed@2.0GHz");
+}
+
+}  // namespace
+}  // namespace epserve::power

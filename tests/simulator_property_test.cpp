@@ -1,0 +1,124 @@
+// Property sweep over the SPECpower simulator: for every governor x
+// memory-per-core combination, the run must satisfy the benchmark's
+// structural invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "specpower/simulator.h"
+
+namespace epserve::specpower {
+namespace {
+
+power::ServerPowerModel make_server() {
+  power::ServerPowerModel::Config config;
+  config.cpu.tdp_watts = 95.0;
+  config.cpu.cores = 8;
+  config.cpu.min_freq_ghz = 1.2;
+  config.cpu.max_freq_ghz = 2.6;
+  config.sockets = 2;
+  config.dram.dimm_capacity_gb = 16.0;
+  config.dram.dimm_count = 8;
+  config.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  auto result = power::ServerPowerModel::create(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).take();
+}
+
+ThroughputModel make_throughput() {
+  ThroughputModel::Params params;
+  params.total_cores = 16;
+  params.mpc_sweet_spot_gb = 2.0;
+  auto result = ThroughputModel::create(params);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).take();
+}
+
+std::unique_ptr<power::DvfsGovernor> make_governor(const std::string& name) {
+  if (name == "performance") return power::make_performance_governor();
+  if (name == "powersave") return power::make_powersave_governor();
+  if (name == "ondemand") return power::make_ondemand_governor();
+  return power::make_fixed_governor(1.8);
+}
+
+// (governor name, memory per core GB)
+using SimCase = std::tuple<std::string, double>;
+
+class SimulatorSweep : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatorSweep, RunSatisfiesBenchmarkInvariants) {
+  const auto& [governor_name, mpc] = GetParam();
+  const auto server = make_server();
+  const auto throughput = make_throughput();
+  const auto governor = make_governor(governor_name);
+
+  SimConfig config;
+  config.interval_seconds = 6.0;
+  config.calibration_seconds = 6.0;
+  config.seed = 21;
+  const SpecPowerSimulator sim(server, throughput, *governor, config);
+  auto result = sim.run(mpc);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& run = result.value();
+
+  // Structure: ten ascending levels, positive calibration.
+  ASSERT_EQ(run.levels.size(), metrics::kNumLoadLevels);
+  EXPECT_GT(run.calibrated_max_ops_per_sec, 0.0);
+
+  const auto& cpu_params = server.cpu().params();
+  double prev_ops = -1.0;
+  for (const auto& level : run.levels) {
+    // Achieved throughput never exceeds calibration by more than noise.
+    EXPECT_LE(level.achieved_ops_per_sec,
+              run.calibrated_max_ops_per_sec * 1.10)
+        << governor_name << " @" << level.target_load;
+    // Ops monotone with target load.
+    EXPECT_GE(level.achieved_ops_per_sec, prev_ops);
+    prev_ops = level.achieved_ops_per_sec;
+    // Power positive, above idle.
+    EXPECT_GT(level.avg_watts, 0.0);
+    EXPECT_GT(level.avg_watts, run.active_idle_watts * 0.95);
+    // Governor stayed within the CPU's frequency range.
+    EXPECT_GE(level.avg_freq_ghz, cpu_params.min_freq_ghz - 1e-9);
+    EXPECT_LE(level.avg_freq_ghz, cpu_params.max_freq_ghz + 1e-9);
+    // Utilisation is a fraction.
+    EXPECT_GE(level.avg_utilization, 0.0);
+    EXPECT_LE(level.avg_utilization, 1.0);
+  }
+
+  // Fixed/performance/powersave governors hold one frequency.
+  if (governor_name == "performance") {
+    for (const auto& level : run.levels) {
+      EXPECT_NEAR(level.avg_freq_ghz, cpu_params.max_freq_ghz, 1e-9);
+    }
+  }
+  if (governor_name == "powersave") {
+    for (const auto& level : run.levels) {
+      EXPECT_NEAR(level.avg_freq_ghz, cpu_params.min_freq_ghz, 1e-9);
+    }
+  }
+
+  // The sheet converts to a valid curve with sane metrics.
+  auto curve = run.to_power_curve();
+  ASSERT_TRUE(curve.ok()) << curve.error().message;
+  EXPECT_GT(metrics::overall_score(curve.value()), 0.0);
+  const double ep = metrics::energy_proportionality(curve.value());
+  EXPECT_GT(ep, 0.0);
+  EXPECT_LT(ep, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GovernorsByMemory, SimulatorSweep,
+    ::testing::Combine(::testing::Values("performance", "powersave",
+                                         "ondemand", "fixed"),
+                       ::testing::Values(0.5, 2.0, 8.0)),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      const auto mpc = static_cast<int>(std::get<1>(info.param) * 10);
+      return std::get<0>(info.param) + "_mpc" + std::to_string(mpc);
+    });
+
+}  // namespace
+}  // namespace epserve::specpower

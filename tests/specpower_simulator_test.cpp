@@ -1,0 +1,217 @@
+#include "specpower/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "specpower/ssj_workload.h"
+
+namespace epserve::specpower {
+namespace {
+
+power::ServerPowerModel::Config server_config() {
+  power::ServerPowerModel::Config c;
+  c.cpu.tdp_watts = 85.0;
+  c.cpu.cores = 6;
+  c.cpu.min_freq_ghz = 1.2;
+  c.cpu.max_freq_ghz = 2.4;
+  c.sockets = 2;
+  c.dram.dimm_capacity_gb = 16.0;
+  c.dram.dimm_count = 8;
+  c.storage = {power::StorageDevice{power::StorageKind::kSsd}};
+  return c;
+}
+
+ThroughputModel::Params throughput_params() {
+  ThroughputModel::Params p;
+  p.total_cores = 12;
+  p.ops_per_core_ghz = 12000.0;
+  p.mpc_sweet_spot_gb = 2.0;
+  return p;
+}
+
+SpecPowerResult run_sim(const power::DvfsGovernor& governor,
+                        double mpc_gb = 4.0, std::uint64_t seed = 7) {
+  const auto server = power::ServerPowerModel::create(server_config());
+  EXPECT_TRUE(server.ok());
+  const auto tput = ThroughputModel::create(throughput_params());
+  EXPECT_TRUE(tput.ok());
+  SimConfig cfg;
+  cfg.interval_seconds = 10.0;  // short intervals keep tests fast
+  cfg.calibration_seconds = 10.0;
+  cfg.seed = seed;
+  const SpecPowerSimulator sim(server.value(), tput.value(), governor, cfg);
+  auto result = sim.run(mpc_gb);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  return std::move(result).take();
+}
+
+// --- Workload mix -----------------------------------------------------------
+
+TEST(SsjWorkload, MixProbabilitiesSumToOne) {
+  double total = 0.0;
+  for (const auto& spec : transaction_mix()) total += spec.mix_probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SsjWorkload, MeanWorkMatchesMix) {
+  double expected = 0.0;
+  for (const auto& spec : transaction_mix()) {
+    expected += spec.mix_probability * spec.relative_work;
+  }
+  EXPECT_NEAR(mean_transaction_work(), expected, 1e-12);
+}
+
+TEST(SsjWorkload, SamplerHitsMixFrequencies) {
+  Rng rng(3);
+  std::array<int, kNumTransactionTypes> counts{};
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(sample_transaction(rng))];
+  }
+  for (const auto& spec : transaction_mix()) {
+    const double observed =
+        counts[static_cast<std::size_t>(spec.type)] / static_cast<double>(kN);
+    EXPECT_NEAR(observed, spec.mix_probability, 0.01) << spec.name;
+  }
+}
+
+TEST(SsjWorkload, EveryTypeHasNameAndWork) {
+  for (const auto& spec : transaction_mix()) {
+    EXPECT_FALSE(transaction_name(spec.type).empty());
+    EXPECT_GT(transaction_work(spec.type), 0.0);
+  }
+}
+
+// --- ThroughputModel ----------------------------------------------------------
+
+TEST(ThroughputModel, ScalesWithFrequency) {
+  const auto m = ThroughputModel::create(throughput_params());
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.value().max_ops_per_sec(2.4, 4.0),
+            m.value().max_ops_per_sec(1.2, 4.0));
+}
+
+TEST(ThroughputModel, MemoryFactorSaturatesAtSweetSpot) {
+  const auto m = ThroughputModel::create(throughput_params());
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(m.value().memory_factor(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(m.value().memory_factor(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.value().memory_factor(16.0), 1.0);
+}
+
+TEST(ThroughputModel, RejectsInvalidParams) {
+  auto p = throughput_params();
+  p.total_cores = 0;
+  EXPECT_FALSE(ThroughputModel::create(p).ok());
+  p = throughput_params();
+  p.smp_exponent = 1.5;
+  EXPECT_FALSE(ThroughputModel::create(p).ok());
+}
+
+// --- Simulator ------------------------------------------------------------------
+
+TEST(Simulator, ProducesTenAscendingLevels) {
+  const power::PerformanceGovernor governor;
+  const auto result = run_sim(governor);
+  ASSERT_EQ(result.levels.size(), metrics::kNumLoadLevels);
+  for (std::size_t i = 0; i < result.levels.size(); ++i) {
+    EXPECT_NEAR(result.levels[i].target_load, metrics::kLoadLevels[i], 1e-12);
+  }
+}
+
+TEST(Simulator, AchievedOpsTrackTargetLoad) {
+  const power::PerformanceGovernor governor;
+  const auto result = run_sim(governor);
+  for (const auto& level : result.levels) {
+    const double achieved_fraction =
+        level.achieved_ops_per_sec / result.calibrated_max_ops_per_sec;
+    EXPECT_NEAR(achieved_fraction, level.target_load, 0.08)
+        << "target " << level.target_load;
+  }
+}
+
+TEST(Simulator, PowerIncreasesWithLoad) {
+  const power::PerformanceGovernor governor;
+  const auto result = run_sim(governor);
+  EXPECT_LT(result.active_idle_watts, result.levels.front().avg_watts);
+  EXPECT_LT(result.levels.front().avg_watts, result.levels.back().avg_watts);
+}
+
+TEST(Simulator, ResultConvertsToValidPowerCurve) {
+  const power::PerformanceGovernor governor;
+  const auto result = run_sim(governor);
+  const auto curve = result.to_power_curve();
+  ASSERT_TRUE(curve.ok()) << curve.error().message;
+  EXPECT_TRUE(curve.value().validate().ok());
+  const double ep = metrics::energy_proportionality(curve.value());
+  EXPECT_GT(ep, 0.0);
+  EXPECT_LT(ep, 2.0);
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  const power::PerformanceGovernor governor;
+  const auto a = run_sim(governor, 4.0, 11);
+  const auto b = run_sim(governor, 4.0, 11);
+  EXPECT_DOUBLE_EQ(a.calibrated_max_ops_per_sec, b.calibrated_max_ops_per_sec);
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.levels[i].avg_watts, b.levels[i].avg_watts);
+  }
+}
+
+TEST(Simulator, LowerFixedFrequencyLowersBothPowerAndEfficiency) {
+  // Paper §V.B: lower frequency gives lower power but also lower EE.
+  const power::FixedGovernor high(2.4);
+  const power::FixedGovernor low(1.2);
+  const auto r_high = run_sim(high);
+  const auto r_low = run_sim(low);
+  EXPECT_LT(r_low.levels.back().avg_watts, r_high.levels.back().avg_watts);
+  const auto c_high = r_high.to_power_curve();
+  const auto c_low = r_low.to_power_curve();
+  ASSERT_TRUE(c_high.ok());
+  ASSERT_TRUE(c_low.ok());
+  EXPECT_LT(metrics::overall_score(c_low.value()),
+            metrics::overall_score(c_high.value()));
+}
+
+TEST(Simulator, OndemandNearHighestFrequencyEfficiency) {
+  // Paper §V.B: ondemand almost matches the highest-frequency EE.
+  const power::OndemandGovernor ondemand(0.8);
+  const power::FixedGovernor max_freq(2.4);
+  const auto r_od = run_sim(ondemand);
+  const auto r_max = run_sim(max_freq);
+  const auto c_od = r_od.to_power_curve();
+  const auto c_max = r_max.to_power_curve();
+  ASSERT_TRUE(c_od.ok());
+  ASSERT_TRUE(c_max.ok());
+  const double ee_od = metrics::overall_score(c_od.value());
+  const double ee_max = metrics::overall_score(c_max.value());
+  EXPECT_GT(ee_od, ee_max * 0.9);
+}
+
+TEST(Simulator, MemoryStarvationCutsThroughput) {
+  const power::PerformanceGovernor governor;
+  const auto starved = run_sim(governor, 0.5);
+  const auto fed = run_sim(governor, 4.0);
+  EXPECT_LT(starved.calibrated_max_ops_per_sec,
+            fed.calibrated_max_ops_per_sec);
+}
+
+TEST(Simulator, RejectsNonPositiveMemory) {
+  const power::PerformanceGovernor governor;
+  const auto server = power::ServerPowerModel::create(server_config());
+  const auto tput = ThroughputModel::create(throughput_params());
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(tput.ok());
+  const SpecPowerSimulator sim(server.value(), tput.value(), governor, {});
+  EXPECT_FALSE(sim.run(0.0).ok());
+}
+
+TEST(Simulator, ToPowerCurveRequiresTenLevels) {
+  SpecPowerResult incomplete;
+  incomplete.levels.resize(3);
+  EXPECT_FALSE(incomplete.to_power_curve().ok());
+}
+
+}  // namespace
+}  // namespace epserve::specpower

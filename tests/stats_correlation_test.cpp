@@ -1,0 +1,70 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace epserve::stats {
+namespace {
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y_pos = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> y_neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant) {
+  const std::vector<double> x = {1.0, 4.0, 2.0, 8.0, 5.0};
+  const std::vector<double> y = {3.0, 1.0, 4.0, 1.0, 5.0};
+  std::vector<double> y_scaled(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_scaled[i] = 3.0 * y[i] - 7.0;
+  EXPECT_NEAR(pearson(x, y), pearson(x, y_scaled), 1e-12);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  Rng rng(99);
+  std::vector<double> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, RejectsMismatchedOrDegenerate) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y3 = {1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson(x, y3), ContractViolation);
+  const std::vector<double> constant = {5.0, 5.0};
+  EXPECT_THROW(pearson(x, constant), ContractViolation);
+  const std::vector<double> single = {1.0};
+  EXPECT_THROW(pearson(single, single), ContractViolation);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::exp(x[i]);
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesWithAveragedRanks) {
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y = {10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedOrderIsMinusOne) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {9.0, 4.0, 1.0};
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace epserve::stats

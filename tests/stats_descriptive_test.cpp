@@ -1,0 +1,86 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace epserve::stats {
+namespace {
+
+TEST(Descriptive, MeanOfKnownSample) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Descriptive, MeanSingleElement) {
+  const std::vector<double> v = {7.5};
+  EXPECT_DOUBLE_EQ(mean(v), 7.5);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  const std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, MedianDoesNotMutateInput) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  (void)median(v);
+  EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Descriptive, StddevKnownSample) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // population variance 4 -> sample stddev = sqrt(32/7)
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, StddevSingleElementIsZero) {
+  const std::vector<double> v = {5.0};
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Descriptive, PercentileEndpointsAndMidpoint) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 30.0), 3.0);
+}
+
+TEST(Descriptive, PercentileOutOfRangeThrows) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(percentile(v, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(v, 101.0), ContractViolation);
+}
+
+TEST(Descriptive, SummaryAggregatesEverything) {
+  const std::vector<double> v = {1.0, 5.0, 3.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Descriptive, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), ContractViolation);
+  EXPECT_THROW(median(empty), ContractViolation);
+  EXPECT_THROW(summarize(empty), ContractViolation);
+  EXPECT_THROW(percentile(empty, 50.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epserve::stats

@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace epserve::stats {
+namespace {
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  const std::vector<double> v = {0.05, 0.15, 0.15, 0.25, 0.95};
+  const auto bins = histogram(v, 0.0, 1.0, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_EQ(bins[9].count, 1u);
+}
+
+TEST(Histogram, SharesSumToOne) {
+  const std::vector<double> v = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const auto bins = histogram(v, 0.0, 1.0, 5);
+  double total = 0.0;
+  for (const auto& b : bins) total += b.share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdges) {
+  const std::vector<double> v = {-5.0, 5.0};
+  const auto bins = histogram(v, 0.0, 1.0, 4);
+  EXPECT_EQ(bins.front().count, 1u);
+  EXPECT_EQ(bins.back().count, 1u);
+}
+
+TEST(Histogram, BinEdgesAreUniform) {
+  const std::vector<double> v = {0.5};
+  const auto bins = histogram(v, 0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins[0].hi, 0.5);
+  EXPECT_DOUBLE_EQ(bins[3].hi, 2.0);
+}
+
+TEST(Histogram, InvalidParamsThrow) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(histogram(v, 0.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(histogram(v, 1.0, 0.0, 4), ContractViolation);
+  const std::vector<double> empty;
+  EXPECT_THROW(histogram(empty, 0.0, 1.0, 4), ContractViolation);
+}
+
+TEST(CdfAt, MatchesFractionBelow) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 4.0), 1.0);  // inclusive
+}
+
+TEST(ShareIn, HalfOpenInterval) {
+  const std::vector<double> v = {0.6, 0.65, 0.7, 0.8};
+  EXPECT_DOUBLE_EQ(share_in(v, 0.6, 0.7), 0.5);
+  EXPECT_DOUBLE_EQ(share_in(v, 0.7, 0.9), 0.5);
+}
+
+TEST(ShareIn, EmptyOrInvertedRejected) {
+  const std::vector<double> empty;
+  EXPECT_THROW(share_in(empty, 0.0, 1.0), ContractViolation);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(share_in(v, 1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epserve::stats

@@ -1,0 +1,100 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace epserve::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 2.5 * x[i] - 1.0;
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineApproximatelyRecovered) {
+  Rng rng(5);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 10.0);
+    y[i] = 3.0 * x[i] + 2.0 + rng.normal(0.0, 0.5);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, PredictEvaluatesLine) {
+  const LinearFit fit{.slope = 2.0, .intercept = 1.0, .r_squared = 1.0};
+  EXPECT_DOUBLE_EQ(fit.predict(3.0), 7.0);
+}
+
+TEST(LinearFit, ConstantXRejected) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(x, y), ContractViolation);
+}
+
+TEST(ExponentialFit, RecoversExactExponential) {
+  // The paper's Eq.2 form: EP = alpha * exp(beta * idle).
+  const double alpha = 1.2969;
+  const double beta = -2.0;
+  std::vector<double> x, y;
+  for (double v = 0.0; v <= 1.0; v += 0.05) {
+    x.push_back(v);
+    y.push_back(alpha * std::exp(beta * v));
+  }
+  const ExponentialFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit.beta, beta, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(ExponentialFit, NoisyExponentialApproximatelyRecovered) {
+  Rng rng(11);
+  std::vector<double> x(3000), y(3000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.05, 0.9);
+    y[i] = 1.3 * std::exp(-2.1 * x[i]) * std::exp(rng.normal(0.0, 0.05));
+  }
+  const ExponentialFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.alpha, 1.3, 0.05);
+  EXPECT_NEAR(fit.beta, -2.1, 0.1);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(ExponentialFit, NonPositiveYRejected) {
+  const std::vector<double> x = {0.0, 1.0};
+  const std::vector<double> y = {1.0, 0.0};
+  EXPECT_THROW(fit_exponential(x, y), ContractViolation);
+}
+
+TEST(RSquared, PerfectPredictionIsOne) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(r_squared(obs, obs), 1.0, 1e-12);
+}
+
+TEST(RSquared, MeanPredictionIsZero) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(obs, pred), 0.0, 1e-12);
+}
+
+TEST(RSquared, ConstantObservationsRejected) {
+  const std::vector<double> obs = {2.0, 2.0};
+  const std::vector<double> pred = {1.0, 3.0};
+  EXPECT_THROW(r_squared(obs, pred), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epserve::stats

@@ -1,0 +1,207 @@
+#include "testbed/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/config.h"
+#include "util/contracts.h"
+
+namespace epserve::testbed {
+namespace {
+
+/// Shared sweeps (each cell is a full simulated SPECpower run, so reuse).
+const SweepResult& sweep(int id) {
+  static std::map<int, SweepResult> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    const auto* server = find_server(id);
+    EXPECT_NE(server, nullptr);
+    auto result = run_sweep(*server, paper_sweep_config(id));
+    EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+    it = cache.emplace(id, std::move(result).take()).first;
+  }
+  return it->second;
+}
+
+// --- Table II configuration ---------------------------------------------------
+
+TEST(Table2, FourServersWithPaperIdentities) {
+  const auto& servers = table2_servers();
+  ASSERT_EQ(servers.size(), 4u);
+  EXPECT_EQ(servers[0].name, "Sugon A620r-G");
+  EXPECT_EQ(servers[1].name, "Sugon I620-G10");
+  EXPECT_EQ(servers[2].name, "ThinkServer RD640");
+  EXPECT_EQ(servers[3].name, "ThinkServer RD450");
+}
+
+TEST(Table2, CoreCountsMatchPaper) {
+  EXPECT_EQ(find_server(1)->total_cores(), 32);  // 2x Opteron 6272
+  EXPECT_EQ(find_server(2)->total_cores(), 4);   // 1x E5-2603
+  EXPECT_EQ(find_server(3)->total_cores(), 12);  // 2x E5-2620 v2
+  EXPECT_EQ(find_server(4)->total_cores(), 12);  // 2x E5-2620 v3
+}
+
+TEST(Table2, TdpsMatchPaper) {
+  EXPECT_DOUBLE_EQ(find_server(1)->tdp_watts, 115.0);
+  EXPECT_DOUBLE_EQ(find_server(2)->tdp_watts, 80.0);
+  EXPECT_DOUBLE_EQ(find_server(3)->tdp_watts, 80.0);
+  EXPECT_DOUBLE_EQ(find_server(4)->tdp_watts, 85.0);
+}
+
+TEST(Table2, UnknownIdIsNull) {
+  EXPECT_EQ(find_server(0), nullptr);
+  EXPECT_EQ(find_server(5), nullptr);
+}
+
+TEST(Table2, FrequencyLadderCoversRange) {
+  const auto ladder = find_server(4)->frequency_ladder();
+  ASSERT_FALSE(ladder.empty());
+  EXPECT_DOUBLE_EQ(ladder.front(), 1.2);
+  EXPECT_DOUBLE_EQ(ladder.back(), 2.4);
+  EXPECT_EQ(ladder.size(), 13u);
+}
+
+TEST(Table2, ModelsMaterialise) {
+  for (const auto& server : table2_servers()) {
+    EXPECT_TRUE(server.power_model(server.base_memory_gb).ok()) << server.name;
+    EXPECT_TRUE(server.throughput_model().ok()) << server.name;
+  }
+}
+
+// --- Paper sweep configs --------------------------------------------------------
+
+TEST(SweepConfigs, MatchPaperAxes) {
+  EXPECT_EQ(paper_sweep_config(1).memory_per_core_gb,
+            (std::vector<double>{1.25, 1.75, 2.0}));
+  EXPECT_EQ(paper_sweep_config(2).memory_per_core_gb,
+            (std::vector<double>{2.0, 4.0, 8.0}));
+  EXPECT_EQ(paper_sweep_config(4).memory_per_core_gb,
+            (std::vector<double>{1.33, 2.67, 8.0, 16.0}));
+}
+
+// --- Fig.18-20: best memory-per-core ---------------------------------------------
+
+TEST(Sweep, Server1BestMpcIs175) {
+  EXPECT_DOUBLE_EQ(sweep(1).best_mpc(), 1.75);  // paper Fig.18
+}
+
+TEST(Sweep, Server2BestMpcIs4) {
+  EXPECT_DOUBLE_EQ(sweep(2).best_mpc(), 4.0);  // paper Fig.19
+}
+
+TEST(Sweep, Server4BestMpcIs267) {
+  EXPECT_DOUBLE_EQ(sweep(4).best_mpc(), 2.67);  // paper Fig.20
+}
+
+TEST(Sweep, Server2EeDropsRoughlyTenPercentAtMpc8) {
+  // Paper: EE decreases 10.6% from MPC=4 to MPC=8 on server #2.
+  const double change = sweep(2).ee_change(4.0, 8.0);
+  EXPECT_LT(change, -0.04);
+  EXPECT_GT(change, -0.20);
+}
+
+TEST(Sweep, Server4EeDropsAtMpc8And16) {
+  // Paper: -4.6% from 2.67 to 8, -11.1% from 2.67 to 16 on server #4.
+  const double drop8 = sweep(4).ee_change(2.67, 8.0);
+  const double drop16 = sweep(4).ee_change(2.67, 16.0);
+  EXPECT_LT(drop8, -0.02);
+  EXPECT_GT(drop8, -0.12);
+  EXPECT_LT(drop16, drop8);  // monotone worse
+  EXPECT_GT(drop16, -0.25);
+}
+
+// --- §V.B: DVFS behaviour ---------------------------------------------------------
+
+TEST(Sweep, LowerFrequencyLowersEfficiencyEverywhere) {
+  // Paper: "the servers have lower EE at lower CPU frequency consistently
+  // on all servers at all frequency levels".
+  for (const int id : {1, 2, 4}) {
+    const auto& result = sweep(id);
+    std::map<double, std::vector<const CellResult*>> by_mpc;
+    for (const auto& cell : result.cells) {
+      if (cell.fixed_freq_ghz > 0.0) {
+        by_mpc[cell.memory_per_core_gb].push_back(&cell);
+      }
+    }
+    for (const auto& [mpc, cells] : by_mpc) {
+      for (std::size_t i = 1; i < cells.size(); ++i) {
+        EXPECT_GT(cells[i]->fixed_freq_ghz, cells[i - 1]->fixed_freq_ghz);
+        // Strictly better up to measurement noise (the paper's own Fig.18
+        // curves flatten near the top P-state).
+        EXPECT_GT(cells[i]->overall_ee, cells[i - 1]->overall_ee * 0.995)
+            << "server " << id << " mpc " << mpc << " freq "
+            << cells[i]->fixed_freq_ghz;
+      }
+      // And the full ladder spans a clearly visible EE gap.
+      EXPECT_GT(cells.back()->overall_ee, cells.front()->overall_ee * 1.05)
+          << "server " << id << " mpc " << mpc;
+    }
+  }
+}
+
+TEST(Sweep, OndemandNearTopFrequencyEfficiency) {
+  // Paper: ondemand almost always has the highest EE, close to the highest
+  // fixed frequency.
+  for (const int id : {1, 2, 4}) {
+    const auto& result = sweep(id);
+    const auto* server = find_server(id);
+    for (const double mpc : paper_sweep_config(id).memory_per_core_gb) {
+      const auto* ondemand = result.find(mpc, "ondemand");
+      ASSERT_NE(ondemand, nullptr);
+      // The highest fixed frequency cell at the same MPC.
+      double top_ee = 0.0;
+      for (const auto& cell : result.cells) {
+        if (cell.memory_per_core_gb == mpc &&
+            std::abs(cell.fixed_freq_ghz - server->max_freq_ghz) < 1e-9) {
+          top_ee = cell.overall_ee;
+        }
+      }
+      ASSERT_GT(top_ee, 0.0);
+      EXPECT_GT(ondemand->overall_ee, top_ee * 0.90)
+          << "server " << id << " mpc " << mpc;
+    }
+  }
+}
+
+TEST(Sweep, PeakPowerGrowsWithFrequencyAndMemory) {
+  // Fig.21 on server #4: higher frequency -> more peak power; more memory at
+  // a fixed frequency -> more peak power.
+  const auto& result = sweep(4);
+  const auto* low = result.find(1.33, "fixed@1.2GHz");
+  const auto* high = result.find(1.33, "fixed@2.4GHz");
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_GT(high->peak_power_watts, low->peak_power_watts);
+
+  const auto* small_mem = result.find(1.33, "fixed@2.4GHz");
+  const auto* big_mem = result.find(16.0, "fixed@2.4GHz");
+  ASSERT_NE(small_mem, nullptr);
+  ASSERT_NE(big_mem, nullptr);
+  EXPECT_GT(big_mem->peak_power_watts, small_mem->peak_power_watts);
+}
+
+TEST(Sweep, TestedServersPeakAtFullUtilization) {
+  // Paper: "our results on the tested 4 servers show that they get peak
+  // energy efficiency at peak (100%) utilization".
+  for (const int id : {1, 2, 4}) {
+    for (const auto& cell : sweep(id).cells) {
+      EXPECT_DOUBLE_EQ(cell.peak_ee_utilization, 1.0)
+          << "server " << id << " " << cell.governor;
+    }
+  }
+}
+
+TEST(Sweep, RejectsEmptyMpcList) {
+  const auto* server = find_server(1);
+  SweepConfig config;
+  EXPECT_FALSE(run_sweep(*server, config).ok());
+}
+
+TEST(Sweep, FindToleratesNearMatchOnly) {
+  const auto& result = sweep(4);
+  EXPECT_NE(result.find(2.67, "ondemand"), nullptr);
+  EXPECT_EQ(result.find(3.5, "ondemand"), nullptr);
+  EXPECT_EQ(result.find(2.67, "no-such-governor"), nullptr);
+}
+
+}  // namespace
+}  // namespace epserve::testbed

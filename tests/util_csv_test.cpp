@@ -1,0 +1,105 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace epserve {
+namespace {
+
+TEST(CsvParse, SimpleDocument) {
+  const auto result = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(result.ok());
+  const auto& doc = result.value();
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvParse, MissingTrailingNewlineOk) {
+  const auto result = parse_csv("x,y\n7,8");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0][1], "8");
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndQuotes) {
+  const auto result = parse_csv("name,desc\n\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0], "a,b");
+  EXPECT_EQ(result.value().rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewlineInsideField) {
+  const auto result = parse_csv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, CrlfTolerated) {
+  const auto result = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0], "1");
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  const auto result = parse_csv("a,b,c\n,,\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParse, RaggedRowRejected) {
+  const auto result = parse_csv("a,b\n1,2,3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Error::Code::kParse);
+}
+
+TEST(CsvParse, UnterminatedQuoteRejected) {
+  const auto result = parse_csv("a,b\n\"open,2\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(CsvParse, EmptyDocumentRejected) {
+  EXPECT_FALSE(parse_csv("").ok());
+}
+
+TEST(CsvRoundTrip, SerializeThenParse) {
+  CsvDocument doc;
+  doc.header = {"id", "note"};
+  doc.rows = {{"1", "plain"}, {"2", "with,comma"}, {"3", "with\"quote"}};
+  const auto reparsed = parse_csv(to_csv(doc));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().header, doc.header);
+  EXPECT_EQ(reparsed.value().rows, doc.rows);
+}
+
+TEST(CsvDocument, ColumnLookup) {
+  CsvDocument doc;
+  doc.header = {"alpha", "beta"};
+  EXPECT_EQ(doc.column("beta"), 1u);
+  EXPECT_EQ(doc.column("gamma"), CsvDocument::npos);
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const auto path = std::filesystem::temp_directory_path() / "epserve_csv_test.csv";
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"a", "1"}};
+  ASSERT_TRUE(write_csv_file(path.string(), doc).ok());
+  const auto back = read_csv_file(path.string());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rows, doc.rows);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFile, MissingFileIsIoError) {
+  const auto result = read_csv_file("/nonexistent/epserve/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Error::Code::kIo);
+}
+
+}  // namespace
+}  // namespace epserve

@@ -1,0 +1,55 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace epserve {
+namespace {
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return Error::invalid_argument("must be positive");
+  return x;
+}
+
+TEST(Result, OkPathHoldsValue) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorPathHoldsError) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "must be positive");
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  const auto r = parse_positive(0);
+  EXPECT_THROW(static_cast<void>(r.value()), std::runtime_error);
+}
+
+TEST(Result, ValueOrFallback) {
+  EXPECT_EQ(parse_positive(3).value_or(-1), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(-1), -1);
+}
+
+TEST(Result, TakeMovesValueOut) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).take();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ErrorFactoriesSetCodes) {
+  EXPECT_EQ(Error::parse("x").code, Error::Code::kParse);
+  EXPECT_EQ(Error::io("x").code, Error::Code::kIo);
+  EXPECT_EQ(Error::not_found("x").code, Error::Code::kNotFound);
+  EXPECT_EQ(Error::out_of_range("x").code, Error::Code::kOutOfRange);
+  EXPECT_EQ(Error::failed_precondition("x").code,
+            Error::Code::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace epserve

@@ -1,0 +1,99 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace epserve {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t;
+  t.columns({"name", "val"}).row({"a", "1"}).row({"bb", "22"});
+  const std::string out = t.render();
+  const auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("name"), std::string::npos);
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  EXPECT_NE(lines[2].find("a"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable t;
+  t.columns({"c1", "c2"}).row({"long-cell", "1"});
+  const auto lines = split(t.render(), '\n');
+  // header line and data line must have the same width
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+}
+
+TEST(TextTable, DefaultAlignmentLeftFirstRightRest) {
+  TextTable t;
+  t.columns({"k", "value"}).row({"x", "9"});
+  const auto lines = split(t.render(), '\n');
+  // value "9" right-aligned under a 5-wide column -> padded with spaces
+  EXPECT_NE(lines[2].find("    9"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RenderWithoutColumnsThrows) {
+  TextTable t;
+  EXPECT_THROW(t.render(), ContractViolation);
+}
+
+TEST(TextTable, ExplicitAlignmentSizeMismatchThrows) {
+  TextTable t;
+  EXPECT_THROW(t.columns({"a", "b"}, {Align::kLeft}), ContractViolation);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  t.columns({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row({"1"}).row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(SectionBanner, ContainsTitle) {
+  const std::string banner = section_banner("Fig.3");
+  EXPECT_NE(banner.find("= Fig.3 ="), std::string::npos);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(0.1372), "13.72%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("Sandy Bridge EP", "Sandy"));
+  EXPECT_FALSE(starts_with("EP", "Sandy"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace epserve
