@@ -1,28 +1,53 @@
 #include "analysis/report.h"
 
+#include <array>
+#include <functional>
+
 #include "analysis/peak_shift.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace epserve::analysis {
 
-FullReport build_full_report(const dataset::ResultRepository& repo) {
+FullReport build_full_report(const dataset::ResultRepository& repo,
+                             int threads) {
   FullReport report;
   report.population = repo.size();
-  report.trends_by_hw_year =
-      year_trends(repo, dataset::YearKey::kHardwareAvailability);
-  report.trends_by_pub_year = year_trends(repo, dataset::YearKey::kPublished);
-  report.codename_ranking = codename_ep_ranking(repo);
-  report.idle = analyze_idle_power(repo);
-  report.async = async_top_decile(repo);
-  report.two_chip = two_chip_vs_all(repo);
-  report.rekeying = rekeying_analysis(repo);
+
+  // Each stage reads only the (immutable) repository and writes only its own
+  // report fields, so the stages dispatch concurrently; every stage is a
+  // pure function, so the report does not depend on the thread count.
+  const std::array<std::function<void()>, 9> stages = {
+      [&] {
+        report.trends_by_hw_year =
+            year_trends(repo, dataset::YearKey::kHardwareAvailability);
+      },
+      [&] {
+        report.trends_by_pub_year =
+            year_trends(repo, dataset::YearKey::kPublished);
+      },
+      [&] { report.codename_ranking = codename_ep_ranking(repo); },
+      [&] { report.idle = analyze_idle_power(repo); },
+      [&] { report.async = async_top_decile(repo); },
+      [&] { report.two_chip = two_chip_vs_all(repo); },
+      [&] { report.rekeying = rekeying_analysis(repo); },
+      [&] {
+        report.share_full_load_2004_2012 =
+            share_peaking_at_full_load(repo, 2004, 2012);
+      },
+      [&] {
+        report.share_full_load_2013_2016 =
+            share_peaking_at_full_load(repo, 2013, 2016);
+      },
+  };
+  const auto pool = make_worker_pool(resolve_thread_count(threads));
+  parallel_for(pool.get(), stages.size(),
+               [&](std::size_t stage) { stages[stage](); });
+
+  // Derived from the hw-year trend rows, so computed after the barrier.
   report.ep_jump_2008_2009 = ep_jump(report.trends_by_hw_year, 2008, 2009);
   report.ep_jump_2011_2012 = ep_jump(report.trends_by_hw_year, 2011, 2012);
-  report.share_full_load_2004_2012 =
-      share_peaking_at_full_load(repo, 2004, 2012);
-  report.share_full_load_2013_2016 =
-      share_peaking_at_full_load(repo, 2013, 2016);
   return report;
 }
 

@@ -31,7 +31,13 @@ struct FullReport {
   double share_full_load_2013_2016 = 0.0;  // paper: 23.21%
 };
 
-FullReport build_full_report(const dataset::ResultRepository& repo);
+/// Builds the report. The §III/§IV analyses are mutually independent and
+/// dispatch concurrently: `threads` 0 = auto (EPSERVE_THREADS env var, else
+/// hardware concurrency), 1 = run every analysis inline on the caller. The
+/// analyses are pure functions of the repository, so the report is identical
+/// for every thread count (see docs/PARALLELISM.md).
+FullReport build_full_report(const dataset::ResultRepository& repo,
+                             int threads = 0);
 
 /// Renders the report as readable text (tables via util/table.h).
 std::string render_report(const FullReport& report);

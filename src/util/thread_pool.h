@@ -1,0 +1,61 @@
+// Fixed-size thread pool backing the deterministic parallel runtime
+// (util/parallel.h). Deliberately work-stealing-free: tasks are taken from
+// one FIFO queue, and determinism of every parallel stage comes from the
+// Rng::substream() discipline (util/rng.h), never from scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epserve {
+
+/// A fixed set of worker threads draining one shared FIFO queue.
+///
+/// `thread_count` is the number of *extra* workers; a pool of size 0 is
+/// valid and makes every parallel_for run entirely on the calling thread
+/// (the exact serial path). The pool joins all workers on destruction;
+/// submitted tasks never outlive it.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 = caller-only pool).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not block waiting for later submissions
+  /// (the parallel_for caller always participates, so helper tasks that
+  /// merely share its index counter are safe even on a saturated pool).
+  void submit(std::function<void()> task);
+
+  /// Pops and runs one queued task on the calling thread; returns false if
+  /// the queue was empty. Threads blocked on task completion call this in
+  /// their wait loop ("help while waiting"), which keeps nested parallel_for
+  /// on a saturated pool deadlock-free: queued work always has at least one
+  /// thread — the waiter — able to execute it.
+  bool try_run_one();
+
+  /// Thread count used when a caller passes 0 ("auto"): the EPSERVE_THREADS
+  /// environment variable if set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace epserve

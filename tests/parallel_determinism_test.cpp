@@ -1,0 +1,151 @@
+// The headline guarantee of the parallel runtime (docs/PARALLELISM.md):
+// generation and analysis produce BYTE-IDENTICAL output at every thread
+// count. Each test generates at 1, 2, 4, and 8 threads and compares every
+// field — all 477 records with their full 11-point measurement sheets, and
+// every FullReport headline number — against the serial baseline with exact
+// (not approximate) equality. Substream draws depend only on (seed, server
+// index), never on scheduling, so oversubscription on few cores is as valid
+// a stress as real parallel hardware.
+#include "analysis/report.h"
+#include "dataset/generator.h"
+#include "dataset/repository.h"
+#include "metrics/load_level.h"
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace epserve {
+namespace {
+
+using dataset::GeneratorConfig;
+using dataset::ServerRecord;
+
+constexpr std::array<int, 4> kThreadCounts = {1, 2, 4, 8};
+
+std::vector<ServerRecord> generate_at(int threads,
+                                      std::uint64_t seed = GeneratorConfig{}.seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  auto result = dataset::generate_population(config);
+  EXPECT_TRUE(result.ok()) << "threads=" << threads;
+  return std::move(result).take();
+}
+
+void expect_identical_records(const std::vector<ServerRecord>& expected,
+                              const std::vector<ServerRecord>& actual,
+                              int threads) {
+  ASSERT_EQ(expected.size(), actual.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const ServerRecord& e = expected[i];
+    const ServerRecord& a = actual[i];
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads << " record " << i);
+    EXPECT_EQ(e.id, a.id);
+    EXPECT_EQ(e.vendor, a.vendor);
+    EXPECT_EQ(e.model, a.model);
+    EXPECT_EQ(e.form_factor, a.form_factor);
+    EXPECT_EQ(e.nodes, a.nodes);
+    EXPECT_EQ(e.chips, a.chips);
+    EXPECT_EQ(e.cores_per_chip, a.cores_per_chip);
+    EXPECT_EQ(e.cpu_codename, a.cpu_codename);
+    // Byte-identical, so exact double equality — not EXPECT_DOUBLE_EQ.
+    EXPECT_EQ(e.memory_gb, a.memory_gb);
+    EXPECT_EQ(e.hw_year, a.hw_year);
+    EXPECT_EQ(e.pub_year, a.pub_year);
+    EXPECT_EQ(e.curve.idle_watts(), a.curve.idle_watts());
+    for (std::size_t level = 0; level < metrics::kNumLoadLevels; ++level) {
+      EXPECT_EQ(e.curve.watts_at_level(level), a.curve.watts_at_level(level))
+          << "watts level " << level;
+      EXPECT_EQ(e.curve.ops_at_level(level), a.curve.ops_at_level(level))
+          << "ops level " << level;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PopulationIsByteIdenticalAcrossThreadCounts) {
+  const std::vector<ServerRecord> baseline = generate_at(1);
+  ASSERT_EQ(baseline.size(), 477u);
+  for (const int threads : kThreadCounts) {
+    expect_identical_records(baseline, generate_at(threads), threads);
+  }
+}
+
+TEST(ParallelDeterminism, AutoThreadCountMatchesSerialToo) {
+  // threads=0 resolves via EPSERVE_THREADS / hardware concurrency; whatever
+  // it resolves to must not change a single byte.
+  const std::vector<ServerRecord> baseline = generate_at(1);
+  expect_identical_records(baseline, generate_at(0), 0);
+}
+
+TEST(ParallelDeterminism, NonDefaultSeedsAreEquallyDeterministic) {
+  for (const std::uint64_t seed : {7919ull, 104729ull}) {
+    const std::vector<ServerRecord> baseline = generate_at(1, seed);
+    expect_identical_records(baseline, generate_at(8, seed), 8);
+  }
+}
+
+TEST(ParallelDeterminism, FullReportIsIdenticalAcrossThreadCounts) {
+  const dataset::ResultRepository repo(generate_at(1));
+  const analysis::FullReport baseline = analysis::build_full_report(repo, 1);
+  const std::string baseline_text = analysis::render_report(baseline);
+  EXPECT_EQ(baseline.population, 477u);
+
+  for (const int threads : kThreadCounts) {
+    const analysis::FullReport report = analysis::build_full_report(repo, threads);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    // Headline scalars, exact.
+    EXPECT_EQ(report.population, baseline.population);
+    EXPECT_EQ(report.ep_jump_2008_2009, baseline.ep_jump_2008_2009);
+    EXPECT_EQ(report.ep_jump_2011_2012, baseline.ep_jump_2011_2012);
+    EXPECT_EQ(report.share_full_load_2004_2012, baseline.share_full_load_2004_2012);
+    EXPECT_EQ(report.share_full_load_2013_2016, baseline.share_full_load_2013_2016);
+    EXPECT_EQ(report.idle.ep_idle_correlation, baseline.idle.ep_idle_correlation);
+    EXPECT_EQ(report.two_chip.avg_ep_gain, baseline.two_chip.avg_ep_gain);
+    EXPECT_EQ(report.rekeying.mismatched_results, baseline.rekeying.mismatched_results);
+    EXPECT_EQ(report.async.overlap, baseline.async.overlap);
+    ASSERT_EQ(report.trends_by_hw_year.size(), baseline.trends_by_hw_year.size());
+    ASSERT_EQ(report.codename_ranking.size(), baseline.codename_ranking.size());
+    // The rendered report prints every number of every section; identical
+    // text means identical report, down to the last digit.
+    EXPECT_EQ(analysis::render_report(report), baseline_text);
+  }
+}
+
+TEST(ParallelDeterminism, EndToEndPipelineMatchesAtEightThreads) {
+  // Generation AND analysis both parallel vs. both serial.
+  const dataset::ResultRepository serial_repo(generate_at(1));
+  const std::string serial_text =
+      analysis::render_report(analysis::build_full_report(serial_repo, 1));
+
+  const dataset::ResultRepository parallel_repo(generate_at(8));
+  const std::string parallel_text =
+      analysis::render_report(analysis::build_full_report(parallel_repo, 8));
+
+  EXPECT_EQ(parallel_text, serial_text);
+}
+
+TEST(ParallelDeterminism, EnsembleMembersMatchStandaloneRuns) {
+  const std::vector<std::uint64_t> seeds = {1 * 7919, 2 * 7919, 3 * 7919,
+                                            4 * 7919, 5 * 7919};
+  ThreadPool pool(4);
+  auto pooled = dataset::generate_ensemble(seeds, GeneratorConfig{}, &pool);
+  ASSERT_TRUE(pooled.ok());
+  auto serial = dataset::generate_ensemble(seeds, GeneratorConfig{}, nullptr);
+  ASSERT_TRUE(serial.ok());
+
+  ASSERT_EQ(pooled.value().size(), seeds.size());
+  ASSERT_EQ(serial.value().size(), seeds.size());
+  for (std::size_t m = 0; m < seeds.size(); ++m) {
+    SCOPED_TRACE(::testing::Message() << "member " << m);
+    // Pooled == serial ensemble == standalone single-population call.
+    expect_identical_records(serial.value()[m], pooled.value()[m], 4);
+    expect_identical_records(generate_at(1, seeds[m]), pooled.value()[m], 4);
+  }
+}
+
+}  // namespace
+}  // namespace epserve
