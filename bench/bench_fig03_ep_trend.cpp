@@ -21,11 +21,11 @@ int main() {
 
   std::cout << "\nEP jump 2008->2009 (avg): "
             << bench::vs_paper(
-                   format_percent(analysis::ep_jump(rows, 2008, 2009)),
+                   format_percent(analysis::ep_jump(rows, 2008, 2009).value()),
                    "+48.65%")
             << "\nEP jump 2011->2012 (avg): "
             << bench::vs_paper(
-                   format_percent(analysis::ep_jump(rows, 2011, 2012)),
+                   format_percent(analysis::ep_jump(rows, 2011, 2012).value()),
                    "+24.24%")
             << "\nglobal minimum EP: paper 0.18 (2008); global maximum EP: "
                "paper 1.05 (2012)\n";

@@ -1,12 +1,17 @@
 // epserve_cli — one binary exposing the library's main workflows:
 //
-//   epserve_cli report  [seed] [--json]     full population study (§III/§IV)
+//   epserve_cli report  [seed] [--json] [--only <pass,...>] [--list-passes]
+//                                           full population study (§III/§IV);
+//                                           --only runs/renders a pass subset
 //   epserve_cli export  <out.csv> [seed]    generate + export the population
 //   epserve_cli validate <in.csv>           structural validation of a CSV
 //   epserve_cli sweep   <server 1..4>       §V testbed sweep (Fig.18-21)
 //   epserve_cli guide   [fleet_size] [seed] §V.C operating guide
 //   epserve_cli fit     <in.csv> <id>       fit the two-segment model to one
 //                                           server's measured curve
+//
+// Seeds and sizes are parsed strictly: `epserve_cli report foo` is an error
+// (exit 2), not a silent seed-0 run.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -31,26 +36,65 @@ int usage() {
   return 2;
 }
 
+/// Strict numeric argument parse; prints a diagnostic and signals usage
+/// failure (exit 2) on malformed input instead of running with a silent 0.
+bool parse_number_arg(const char* what, const std::string& arg,
+                      std::uint64_t& out) {
+  auto parsed = parse_u64(arg);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "invalid %s '%s': %s\n", what, arg.c_str(),
+                 parsed.error().message.c_str());
+    return false;
+  }
+  out = parsed.value();
+  return true;
+}
+
 int cmd_report(int argc, char** argv) {
   dataset::GeneratorConfig config;
+  StudyOptions options;
   bool as_json = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       as_json = true;
+    } else if (arg == "--list-passes") {
+      for (const auto& name : analysis::pass_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (arg == "--only") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--only needs a comma-separated pass list\n");
+        return 2;
+      }
+      for (auto& name : split(argv[++i], ',')) {
+        options.passes.push_back(std::move(name));
+      }
+    } else if (starts_with(arg, "--")) {
+      std::fprintf(stderr, "unknown report flag '%s'\n", arg.c_str());
+      return 2;
     } else {
-      config.seed = std::strtoull(arg.c_str(), nullptr, 10);
+      if (!parse_number_arg("seed", arg, config.seed)) return 2;
     }
   }
-  auto study = run_population_study(config);
+  auto selected = analysis::select_passes(options.passes);
+  if (!selected.ok()) {
+    std::fprintf(stderr, "%s\n", selected.error().message.c_str());
+    return 2;
+  }
+  auto study = run_population_study(config, options);
   if (!study.ok()) {
     std::fprintf(stderr, "%s\n", study.error().message.c_str());
     return 1;
   }
   if (as_json) {
-    std::cout << analysis::render_report_json(study.value().report) << "\n";
+    std::cout << analysis::render_passes_json(study.value().report,
+                                              selected.value())
+              << "\n";
   } else {
-    std::cout << analysis::render_report(study.value().report);
+    std::cout << analysis::render_passes_text(study.value().report,
+                                              selected.value());
   }
   return 0;
 }
@@ -58,7 +102,7 @@ int cmd_report(int argc, char** argv) {
 int cmd_export(int argc, char** argv) {
   if (argc < 3) return usage();
   dataset::GeneratorConfig config;
-  if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 3 && !parse_number_arg("seed", argv[3], config.seed)) return 2;
   auto population = dataset::generate_population(config);
   if (!population.ok()) {
     std::fprintf(stderr, "%s\n", population.error().message.c_str());
@@ -114,10 +158,12 @@ int cmd_sweep(int argc, char** argv) {
 }
 
 int cmd_guide(int argc, char** argv) {
-  const std::size_t fleet_size =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 24;
+  std::uint64_t fleet_size = 24;
+  if (argc > 2 && !parse_number_arg("fleet size", argv[2], fleet_size)) {
+    return 2;
+  }
   dataset::GeneratorConfig config;
-  if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 3 && !parse_number_arg("seed", argv[3], config.seed)) return 2;
   auto population = dataset::generate_population(config);
   if (!population.ok()) {
     std::fprintf(stderr, "%s\n", population.error().message.c_str());

@@ -11,6 +11,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 struct AsyncResult {
   /// Year -> share of the top-decile-EP set made in that year.
   std::map<int, double> top_ep_year_shares;
@@ -24,6 +26,10 @@ struct AsyncResult {
   std::size_t decile_size = 0;
 };
 
+/// Repository overload re-derives EP/score per comparison (the cold path);
+/// the context overload sorts the memoized per-record values and reuses the
+/// cached top-decile sets. Byte-identical results.
 AsyncResult async_top_decile(const dataset::ResultRepository& repo);
+AsyncResult async_top_decile(const AnalysisContext& ctx);
 
 }  // namespace epserve::analysis

@@ -1,0 +1,136 @@
+#include "analysis/context.h"
+
+namespace epserve::analysis {
+
+const std::vector<metrics::DerivedCurveMetrics>& AnalysisContext::derived()
+    const {
+  std::call_once(derived_.once, [&] {
+    std::vector<metrics::DerivedCurveMetrics> bundle;
+    bundle.reserve(repo_.size());
+    for (const auto& r : repo_.records()) {
+      bundle.push_back(metrics::derive_curve_metrics(r.curve));
+    }
+    derived_.value = std::move(bundle);
+    derived_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return derived_.value;
+}
+
+const metrics::DerivedCurveMetrics& AnalysisContext::derived(
+    const dataset::ServerRecord& record) const {
+  return derived()[repo_.index_of(record)];
+}
+
+const std::map<int, dataset::RecordView>& AnalysisContext::by_year(
+    dataset::YearKey key) const {
+  auto& slot = key == dataset::YearKey::kHardwareAvailability ? by_hw_year_
+                                                              : by_pub_year_;
+  std::call_once(slot.once, [&] {
+    slot.value = repo_.by_year(key);
+    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return slot.value;
+}
+
+const std::map<power::UarchFamily, dataset::RecordView>&
+AnalysisContext::by_family() const {
+  std::call_once(by_family_.once, [&] {
+    by_family_.value = repo_.by_family();
+    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return by_family_.value;
+}
+
+const std::map<std::string, dataset::RecordView>& AnalysisContext::by_codename()
+    const {
+  std::call_once(by_codename_.once, [&] {
+    by_codename_.value = repo_.by_codename();
+    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return by_codename_.value;
+}
+
+const std::map<int, dataset::RecordView>& AnalysisContext::by_nodes() const {
+  std::call_once(by_nodes_.once, [&] {
+    by_nodes_.value = repo_.by_nodes();
+    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return by_nodes_.value;
+}
+
+const std::map<int, dataset::RecordView>& AnalysisContext::single_node_by_chips()
+    const {
+  std::call_once(by_chips_.once, [&] {
+    by_chips_.value = repo_.single_node_by_chips();
+    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return by_chips_.value;
+}
+
+const dataset::RecordView& AnalysisContext::top_ep_decile() const {
+  std::call_once(top_ep_.once, [&] {
+    top_ep_.value = repo_.top_decile_by(ep_values(repo_.all()));
+    decile_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return top_ep_.value;
+}
+
+const dataset::RecordView& AnalysisContext::top_score_decile() const {
+  std::call_once(top_score_.once, [&] {
+    top_score_.value = repo_.top_decile_by(score_values(repo_.all()));
+    decile_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return top_score_.value;
+}
+
+std::vector<double> AnalysisContext::ep_values(
+    const dataset::RecordView& view) const {
+  const auto& bundle = derived();
+  std::vector<double> out;
+  out.reserve(view.size());
+  for (const auto* r : view) out.push_back(bundle[repo_.index_of(*r)].ep);
+  return out;
+}
+
+std::vector<double> AnalysisContext::score_values(
+    const dataset::RecordView& view) const {
+  const auto& bundle = derived();
+  std::vector<double> out;
+  out.reserve(view.size());
+  for (const auto* r : view) {
+    out.push_back(bundle[repo_.index_of(*r)].overall_score);
+  }
+  return out;
+}
+
+std::vector<double> AnalysisContext::idle_values(
+    const dataset::RecordView& view) const {
+  const auto& bundle = derived();
+  std::vector<double> out;
+  out.reserve(view.size());
+  for (const auto* r : view) {
+    out.push_back(bundle[repo_.index_of(*r)].idle_fraction);
+  }
+  return out;
+}
+
+std::vector<double> AnalysisContext::peak_ee_values(
+    const dataset::RecordView& view) const {
+  const auto& bundle = derived();
+  std::vector<double> out;
+  out.reserve(view.size());
+  for (const auto* r : view) {
+    out.push_back(bundle[repo_.index_of(*r)].peak_ee.value);
+  }
+  return out;
+}
+
+AnalysisContext::CacheStats AnalysisContext::cache_stats() const {
+  CacheStats stats;
+  stats.derived_builds = derived_builds_.load(std::memory_order_relaxed);
+  stats.grouping_builds = grouping_builds_.load(std::memory_order_relaxed);
+  stats.decile_builds = decile_builds_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace epserve::analysis

@@ -1,0 +1,112 @@
+// AnalysisContext: the shared, memoized view of one population that every
+// analysis pass reads. The paper's ~17 §III/§IV analyses all slice the same
+// repository by year/family/codename/topology and re-derive the same
+// per-record metrics (EP, overall score, idle fraction, peak EE); the
+// context computes each of those intermediates lazily, exactly once, and
+// hands out const references.
+//
+// Caching rules (docs/ANALYSIS_PASSES.md):
+//  * every cache entry is a pure function of the (immutable) repository, so
+//    a cached value is byte-identical to the uncached computation — the
+//    equivalence is pinned field-for-field in tests/analysis_passes_test.cpp;
+//  * initialisation is guarded by std::call_once per entry, so concurrent
+//    passes on the parallel report dispatch may race to *trigger* a build
+//    but exactly one build ever runs (TSan-checked under the `report` label);
+//  * the context never mutates the repository and holds it by reference —
+//    it must not outlive the repository it wraps.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dataset/repository.h"
+#include "metrics/derived.h"
+#include "power/uarch.h"
+
+namespace epserve::analysis {
+
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(const dataset::ResultRepository& repo)
+      : repo_(repo) {}
+
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
+
+  [[nodiscard]] const dataset::ResultRepository& repo() const { return repo_; }
+  [[nodiscard]] std::size_t size() const { return repo_.size(); }
+
+  /// Index-aligned per-record derived metrics (derived()[i] belongs to
+  /// repo().records()[i]); built on first use.
+  [[nodiscard]] const std::vector<metrics::DerivedCurveMetrics>& derived()
+      const;
+
+  /// The bundle of one record (record must belong to this repository).
+  [[nodiscard]] const metrics::DerivedCurveMetrics& derived(
+      const dataset::ServerRecord& record) const;
+
+  /// Memoized groupings (same maps ResultRepository builds, built once).
+  [[nodiscard]] const std::map<int, dataset::RecordView>& by_year(
+      dataset::YearKey key) const;
+  [[nodiscard]] const std::map<power::UarchFamily, dataset::RecordView>&
+  by_family() const;
+  [[nodiscard]] const std::map<std::string, dataset::RecordView>& by_codename()
+      const;
+  [[nodiscard]] const std::map<int, dataset::RecordView>& by_nodes() const;
+  [[nodiscard]] const std::map<int, dataset::RecordView>& single_node_by_chips()
+      const;
+
+  /// Memoized top-decile sets over the cached EP / overall-score values
+  /// (identical ordering rules to ResultRepository::top_decile).
+  [[nodiscard]] const dataset::RecordView& top_ep_decile() const;
+  [[nodiscard]] const dataset::RecordView& top_score_decile() const;
+
+  /// Metric vectors over a view, read from the derived cache (no metric is
+  /// recomputed). The view must hold pointers into repo().records().
+  [[nodiscard]] std::vector<double> ep_values(
+      const dataset::RecordView& view) const;
+  [[nodiscard]] std::vector<double> score_values(
+      const dataset::RecordView& view) const;
+  [[nodiscard]] std::vector<double> idle_values(
+      const dataset::RecordView& view) const;
+  [[nodiscard]] std::vector<double> peak_ee_values(
+      const dataset::RecordView& view) const;
+
+  /// How many times each lazy initialiser has actually run — the
+  /// exactly-once guarantee bench_report_cache and the memoization tests
+  /// assert on.
+  struct CacheStats {
+    int derived_builds = 0;    // per-record metric bundle
+    int grouping_builds = 0;   // all grouping maps combined
+    int decile_builds = 0;     // top-decile sets
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
+ private:
+  template <typename T>
+  struct Lazy {
+    std::once_flag once;
+    T value;
+  };
+
+  const dataset::ResultRepository& repo_;
+
+  mutable Lazy<std::vector<metrics::DerivedCurveMetrics>> derived_;
+  mutable Lazy<std::map<int, dataset::RecordView>> by_hw_year_;
+  mutable Lazy<std::map<int, dataset::RecordView>> by_pub_year_;
+  mutable Lazy<std::map<power::UarchFamily, dataset::RecordView>> by_family_;
+  mutable Lazy<std::map<std::string, dataset::RecordView>> by_codename_;
+  mutable Lazy<std::map<int, dataset::RecordView>> by_nodes_;
+  mutable Lazy<std::map<int, dataset::RecordView>> by_chips_;
+  mutable Lazy<dataset::RecordView> top_ep_;
+  mutable Lazy<dataset::RecordView> top_score_;
+
+  mutable std::atomic<int> derived_builds_{0};
+  mutable std::atomic<int> grouping_builds_{0};
+  mutable std::atomic<int> decile_builds_{0};
+};
+
+}  // namespace epserve::analysis

@@ -1,17 +1,17 @@
 #include "analysis/idle_analysis.h"
 
+#include "analysis/context.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "util/contracts.h"
 
 namespace epserve::analysis {
 
-IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo) {
-  const auto view = repo.all();
-  const auto eps = dataset::ResultRepository::ep_values(view);
-  const auto idles = dataset::ResultRepository::idle_fraction_values(view);
-  const auto scores = dataset::ResultRepository::score_values(view);
+namespace {
 
+IdleAnalysis analyze_from_vectors(const std::vector<double>& eps,
+                                  const std::vector<double>& idles,
+                                  const std::vector<double>& scores) {
   IdleAnalysis out;
   out.ep_idle_correlation = stats::pearson(eps, idles);
   out.ep_score_correlation = stats::pearson(eps, scores);
@@ -19,6 +19,22 @@ IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo) {
   out.predicted_ep_at_5pct_idle = out.eq2.predict(0.05);
   out.theoretical_max_ep = out.eq2.alpha;
   return out;
+}
+
+}  // namespace
+
+IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo) {
+  const auto view = repo.all();
+  const auto eps = dataset::ResultRepository::ep_values(view);
+  const auto idles = dataset::ResultRepository::idle_fraction_values(view);
+  const auto scores = dataset::ResultRepository::score_values(view);
+  return analyze_from_vectors(eps, idles, scores);
+}
+
+IdleAnalysis analyze_idle_power(const AnalysisContext& ctx) {
+  const auto view = ctx.repo().all();
+  return analyze_from_vectors(ctx.ep_values(view), ctx.idle_values(view),
+                              ctx.score_values(view));
 }
 
 double mean_idle_fraction(const dataset::ResultRepository& repo, int from_year,

@@ -9,6 +9,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 struct IdleAnalysis {
   double ep_idle_correlation = 0.0;       // paper: -0.92
   double ep_score_correlation = 0.0;      // paper: 0.741
@@ -19,7 +21,10 @@ struct IdleAnalysis {
   double theoretical_max_ep = 0.0;
 };
 
+/// Repository overload derives EP/idle/score vectors from scratch; the
+/// context overload reads the shared cache. Byte-identical results.
 IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo);
+IdleAnalysis analyze_idle_power(const AnalysisContext& ctx);
 
 /// Mean idle-power percentage within a year window — backs the paper's claim
 /// that the idle fraction fell faster in 2006-2012 than in 2012-2016.

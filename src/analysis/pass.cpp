@@ -1,0 +1,100 @@
+#include "analysis/pass.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace epserve::analysis {
+
+void AnalysisPass::render_json_footer(const FullReport& /*report*/,
+                                      JsonWriter& /*json*/) const {}
+
+const AnalysisPass* find_pass(std::string_view name) {
+  for (const auto* pass : all_passes()) {
+    if (pass->name() == name) return pass;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> pass_names() {
+  std::vector<std::string> names;
+  for (const auto* pass : all_passes()) names.emplace_back(pass->name());
+  return names;
+}
+
+Result<std::vector<const AnalysisPass*>> select_passes(
+    const std::vector<std::string>& names) {
+  if (names.empty()) return all_passes();
+  for (const auto& name : names) {
+    if (find_pass(name) == nullptr) {
+      return Error::not_found("unknown analysis pass '" + name +
+                              "' (see --list-passes)");
+    }
+  }
+  // Canonical registry order regardless of request order, duplicates folded.
+  std::vector<const AnalysisPass*> selected;
+  for (const auto* pass : all_passes()) {
+    if (std::find(names.begin(), names.end(), std::string(pass->name())) !=
+        names.end()) {
+      selected.push_back(pass);
+    }
+  }
+  return selected;
+}
+
+FullReport run_passes(const AnalysisContext& ctx,
+                      const std::vector<const AnalysisPass*>& passes,
+                      int threads) {
+  FullReport report;
+  report.population = ctx.size();
+
+  // Each pass reads only the shared context (call_once-initialised caches)
+  // and writes only its own report fields, so passes dispatch concurrently;
+  // every pass is a pure function, so the report does not depend on the
+  // thread count.
+  const auto pool = make_worker_pool(resolve_thread_count(threads));
+  parallel_for(pool.get(), passes.size(),
+               [&](std::size_t i) { passes[i]->run(ctx, report); });
+  return report;
+}
+
+FullReport run_passes(const dataset::ResultRepository& repo,
+                      const std::vector<const AnalysisPass*>& passes,
+                      int threads) {
+  AnalysisContext ctx(repo);
+  return run_passes(ctx, passes, threads);
+}
+
+std::string render_passes_text(
+    const FullReport& report, const std::vector<const AnalysisPass*>& passes) {
+  std::string out;
+  out += section_banner("Population overview");
+  out += "servers analysed: " + std::to_string(report.population) + "\n";
+  // The mismatch headline belongs to the rekeying pass; print it only when
+  // that pass's numbers are part of this render.
+  const bool has_rekeying =
+      std::any_of(passes.begin(), passes.end(),
+                  [](const AnalysisPass* p) { return p->name() == "rekeying"; });
+  if (has_rekeying) {
+    out += "published-vs-availability mismatches: " +
+           std::to_string(report.rekeying.mismatched_results) + " (" +
+           format_percent(report.rekeying.mismatched_share) + ")\n";
+  }
+  for (const auto* pass : passes) pass->render_text(report, out);
+  return out;
+}
+
+std::string render_passes_json(
+    const FullReport& report, const std::vector<const AnalysisPass*>& passes) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("population").value(report.population);
+  for (const auto* pass : passes) pass->render_json(report, json);
+  for (const auto* pass : passes) pass->render_json_footer(report, json);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace epserve::analysis

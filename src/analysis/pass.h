@@ -1,0 +1,86 @@
+// AnalysisPass: the unit the full report is composed of. Each §III/§IV
+// analysis is one pass — a named object that computes its FullReport fields
+// from a shared AnalysisContext and knows how to render them as text and
+// JSON. A fixed registry (all_passes) replaces the hand-wired lambdas the
+// report builder used to carry; callers select passes by name to run or
+// render a subset (`epserve_cli report --only trends,idle`).
+//
+// Rendering protocol (byte-compatible with the pre-registry renderers):
+//  * text: a "Population overview" preamble, then each selected pass's
+//    render_text in canonical registry order;
+//  * JSON: one root object — a "population" key, each selected pass's
+//    render_json (its main keys), then each pass's render_json_footer (the
+//    trailing scalar keys the legacy document kept at the end).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/report.h"
+#include "util/json_writer.h"
+#include "util/result.h"
+
+namespace epserve::analysis {
+
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  /// Stable registry name (also the CLI `--only` selector).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Computes this pass's FullReport fields from the shared context. Passes
+  /// run concurrently: a pass must write only its own fields and read only
+  /// the context (whose caches are call_once-initialised).
+  virtual void run(const AnalysisContext& ctx, FullReport& report) const = 0;
+
+  /// Appends this pass's text section(s) to `out`.
+  virtual void render_text(const FullReport& report, std::string& out) const = 0;
+
+  /// Emits this pass's top-level JSON keys; the writer is positioned inside
+  /// the root object.
+  virtual void render_json(const FullReport& report, JsonWriter& json) const = 0;
+
+  /// Emits trailing root-object scalars (legacy document layout keeps the
+  /// EP jumps and peak-shift shares after every section). Default: nothing.
+  virtual void render_json_footer(const FullReport& report,
+                                  JsonWriter& json) const;
+};
+
+/// Every registered pass in canonical order (= section render order).
+const std::vector<const AnalysisPass*>& all_passes();
+
+/// Looks a pass up by name; nullptr if unknown.
+const AnalysisPass* find_pass(std::string_view name);
+
+/// The registry names in canonical order.
+std::vector<std::string> pass_names();
+
+/// Resolves names to passes, deduplicated and reordered into canonical
+/// order; kNotFound on any unknown name. An empty list selects every pass.
+Result<std::vector<const AnalysisPass*>> select_passes(
+    const std::vector<std::string>& names);
+
+/// Runs the selected passes over the given shared context (population is
+/// always filled in). Thread semantics match build_full_report.
+FullReport run_passes(const AnalysisContext& ctx,
+                      const std::vector<const AnalysisPass*>& passes,
+                      int threads = 0);
+
+/// Convenience: one-shot context over `repo`.
+FullReport run_passes(const dataset::ResultRepository& repo,
+                      const std::vector<const AnalysisPass*>& passes,
+                      int threads = 0);
+
+/// Renders the selected passes' sections (full selection == render_report).
+std::string render_passes_text(const FullReport& report,
+                               const std::vector<const AnalysisPass*>& passes);
+
+/// Renders the selected passes' JSON document (full selection ==
+/// render_report_json).
+std::string render_passes_json(const FullReport& report,
+                               const std::vector<const AnalysisPass*>& passes);
+
+}  // namespace epserve::analysis

@@ -1,0 +1,352 @@
+// The built-in §III/§IV passes. Rendering is byte-compatible with the
+// pre-registry monolithic renderers (pinned by tests/analysis_passes_test
+// and the parallel-determinism suite), so keep the formatting of every
+// section exactly as it is unless you also re-pin the equivalence tests.
+#include <array>
+
+#include "analysis/pass.h"
+#include "analysis/peak_shift.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace epserve::analysis {
+
+namespace {
+
+void emit_summary(JsonWriter& json, const stats::Summary& summary) {
+  json.begin_object();
+  json.key("count").value(summary.count);
+  json.key("mean").value(summary.mean);
+  json.key("median").value(summary.median);
+  json.key("min").value(summary.min);
+  json.key("max").value(summary.max);
+  json.key("stddev").value(summary.stddev);
+  json.end_object();
+}
+
+void emit_trend_rows(JsonWriter& json, const std::vector<YearTrendRow>& rows) {
+  json.begin_array();
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.key("year").value(row.year);
+    json.key("count").value(row.count);
+    json.key("ep");
+    emit_summary(json, row.ep);
+    json.key("overall_ee");
+    emit_summary(json, row.score);
+    json.key("peak_ee");
+    emit_summary(json, row.peak_ee);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void emit_year_shares(JsonWriter& json, const std::map<int, double>& shares) {
+  json.begin_object();
+  for (const auto& [year, share] : shares) {
+    json.key(std::to_string(year)).value(share);
+  }
+  json.end_object();
+}
+
+// --- trends: Fig.3/4 year rows under both keys + the §III.A jumps ----------
+
+class TrendsPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "trends"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.trends_by_hw_year =
+        year_trends(ctx, dataset::YearKey::kHardwareAvailability);
+    report.trends_by_pub_year =
+        year_trends(ctx, dataset::YearKey::kPublished);
+    report.ep_jump_2008_2009 =
+        ep_jump(report.trends_by_hw_year, 2008, 2009).value_or(0.0);
+    report.ep_jump_2011_2012 =
+        ep_jump(report.trends_by_hw_year, 2011, 2012).value_or(0.0);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner(
+        "EP / EE trend by hardware availability year (Fig.3/4)");
+    TextTable trend;
+    trend.columns({"year", "n", "EP avg", "EP med", "EP min", "EP max",
+                   "EE avg", "EE med"});
+    for (const auto& row : report.trends_by_hw_year) {
+      trend.row({std::to_string(row.year), std::to_string(row.count),
+                 format_fixed(row.ep.mean, 3), format_fixed(row.ep.median, 3),
+                 format_fixed(row.ep.min, 3), format_fixed(row.ep.max, 3),
+                 format_fixed(row.score.mean, 0),
+                 format_fixed(row.score.median, 0)});
+    }
+    out += trend.render();
+    out += "EP jump 2008->2009: " + format_percent(report.ep_jump_2008_2009) +
+           " (paper: +48.65%)\n";
+    out += "EP jump 2011->2012: " + format_percent(report.ep_jump_2011_2012) +
+           " (paper: +24.24%)\n";
+  }
+
+  void render_json(const FullReport& report, JsonWriter& json) const override {
+    json.key("trends_by_hw_year");
+    emit_trend_rows(json, report.trends_by_hw_year);
+    json.key("trends_by_pub_year");
+    emit_trend_rows(json, report.trends_by_pub_year);
+  }
+
+  void render_json_footer(const FullReport& report,
+                          JsonWriter& json) const override {
+    json.key("ep_jump_2008_2009").value(report.ep_jump_2008_2009);
+    json.key("ep_jump_2011_2012").value(report.ep_jump_2011_2012);
+  }
+};
+
+// --- uarch: Fig.7 codename EP ranking --------------------------------------
+
+class UarchPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "uarch"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.codename_ranking = codename_ep_ranking(ctx);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner("Codename EP ranking (Fig.7)");
+    TextTable rank;
+    rank.columns({"codename", "n", "mean EP", "median EP"});
+    for (const auto& row : report.codename_ranking) {
+      rank.row({row.codename, std::to_string(row.count),
+                format_fixed(row.mean_ep, 2), format_fixed(row.median_ep, 2)});
+    }
+    out += rank.render();
+  }
+
+  void render_json(const FullReport& report, JsonWriter& json) const override {
+    json.key("codename_ranking").begin_array();
+    for (const auto& row : report.codename_ranking) {
+      json.begin_object();
+      json.key("codename").value(row.codename);
+      json.key("count").value(row.count);
+      json.key("mean_ep").value(row.mean_ep);
+      json.key("median_ep").value(row.median_ep);
+      json.end_object();
+    }
+    json.end_array();
+  }
+};
+
+// --- idle: Eq.2 regression and correlations (§III.D) -----------------------
+
+class IdlePass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "idle"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.idle = analyze_idle_power(ctx);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner("Idle power and correlations (Eq.2, §III.D)");
+    out += "corr(EP, idle%): " +
+           format_fixed(report.idle.ep_idle_correlation, 3) +
+           " (paper: -0.92)\n";
+    out += "corr(EP, overall EE): " +
+           format_fixed(report.idle.ep_score_correlation, 3) +
+           " (paper: 0.741)\n";
+    out += "Eq.2 fit: EP = " + format_fixed(report.idle.eq2.alpha, 4) +
+           " * exp(" + format_fixed(report.idle.eq2.beta, 4) +
+           " * idle), R^2 = " + format_fixed(report.idle.eq2.r_squared, 3) +
+           " (paper: 1.2969, R^2 0.892)\n";
+    out += "predicted EP at 5% idle: " +
+           format_fixed(report.idle.predicted_ep_at_5pct_idle, 3) +
+           " (paper: 1.17)\n";
+  }
+
+  void render_json(const FullReport& report, JsonWriter& json) const override {
+    json.key("idle_analysis").begin_object();
+    json.key("ep_idle_correlation").value(report.idle.ep_idle_correlation);
+    json.key("ep_score_correlation").value(report.idle.ep_score_correlation);
+    json.key("eq2_alpha").value(report.idle.eq2.alpha);
+    json.key("eq2_beta").value(report.idle.eq2.beta);
+    json.key("eq2_r_squared").value(report.idle.eq2.r_squared);
+    json.key("predicted_ep_at_5pct_idle")
+        .value(report.idle.predicted_ep_at_5pct_idle);
+    json.key("theoretical_max_ep").value(report.idle.theoretical_max_ep);
+    json.end_object();
+  }
+};
+
+// --- peak-shift: Fig.16 peak-EE utilisation-era shares ---------------------
+
+class PeakShiftPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "peak-shift"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.share_full_load_2004_2012 =
+        share_peaking_at_full_load(ctx, 2004, 2012);
+    report.share_full_load_2013_2016 =
+        share_peaking_at_full_load(ctx, 2013, 2016);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner("Peak-EE utilisation shift (Fig.16)");
+    out += "share peaking at 100%, 2004-2012: " +
+           format_percent(report.share_full_load_2004_2012) +
+           " (paper: 75.71%)\n";
+    out += "share peaking at 100%, 2013-2016: " +
+           format_percent(report.share_full_load_2013_2016) +
+           " (paper: 23.21%)\n";
+  }
+
+  void render_json(const FullReport& /*report*/,
+                   JsonWriter& /*json*/) const override {
+    // Legacy document layout keeps both shares at the document tail.
+  }
+
+  void render_json_footer(const FullReport& report,
+                          JsonWriter& json) const override {
+    json.key("share_full_load_2004_2012")
+        .value(report.share_full_load_2004_2012);
+    json.key("share_full_load_2013_2016")
+        .value(report.share_full_load_2013_2016);
+  }
+};
+
+// --- async: §IV.B EP/EE asynchronisation -----------------------------------
+
+class AsyncPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "async"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.async = async_top_decile(ctx);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner("EP/EE asynchronisation (§IV.B)");
+    const auto share_of = [](const std::map<int, double>& shares, int year) {
+      const auto it = shares.find(year);
+      return it == shares.end() ? 0.0 : it->second;
+    };
+    out += "top-decile EP made in 2012: " +
+           format_percent(share_of(report.async.top_ep_year_shares, 2012)) +
+           " (paper: 91.7%)\n";
+    out += "top-decile EE made in 2012: " +
+           format_percent(share_of(report.async.top_ee_year_shares, 2012)) +
+           " (paper: 16.7%)\n";
+    out += "population share made in 2012: " +
+           format_percent(share_of(report.async.population_year_shares, 2012)) +
+           " (paper: 27.4%)\n";
+    out += "top-EP ∩ top-EE overlap: " + format_percent(report.async.overlap) +
+           " (paper: 14.6%)\n";
+  }
+
+  void render_json(const FullReport& report, JsonWriter& json) const override {
+    json.key("async").begin_object();
+    json.key("decile_size").value(report.async.decile_size);
+    json.key("overlap").value(report.async.overlap);
+    json.key("top_ep_year_shares");
+    emit_year_shares(json, report.async.top_ep_year_shares);
+    json.key("top_ee_year_shares");
+    emit_year_shares(json, report.async.top_ee_year_shares);
+    json.key("population_year_shares");
+    emit_year_shares(json, report.async.population_year_shares);
+    json.end_object();
+  }
+};
+
+// --- scale: Fig.15 two-chip single-node advantage --------------------------
+
+class ScalePass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "scale"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.two_chip = two_chip_vs_all(ctx);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner("2-chip single-node advantage (Fig.15)");
+    out += "avg EP gain: " + format_percent(report.two_chip.avg_ep_gain) +
+           " (paper: +2.94%)\n";
+    out += "avg EE gain: " + format_percent(report.two_chip.avg_ee_gain) +
+           " (paper: +4.13%)\n";
+  }
+
+  void render_json(const FullReport& report, JsonWriter& json) const override {
+    json.key("two_chip").begin_object();
+    json.key("avg_ep_gain").value(report.two_chip.avg_ep_gain);
+    json.key("avg_ee_gain").value(report.two_chip.avg_ee_gain);
+    json.key("median_ep_gain").value(report.two_chip.median_ep_gain);
+    json.key("median_ee_gain").value(report.two_chip.median_ee_gain);
+    json.end_object();
+  }
+};
+
+// --- rekeying: §I hw-year vs published-year deltas -------------------------
+
+class RekeyingPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rekeying"; }
+
+  void run(const AnalysisContext& ctx, FullReport& report) const override {
+    report.rekeying = rekeying_analysis(ctx);
+  }
+
+  void render_text(const FullReport& report, std::string& out) const override {
+    out += section_banner("Re-keying deltas (hw year vs published year, §I)");
+    out += "avg EP delta range: " +
+           format_percent(report.rekeying.min_avg_ep_delta) + " .. " +
+           format_percent(report.rekeying.max_avg_ep_delta) +
+           " (paper: -6.2% .. 8.7%)\n";
+    out += "med EP delta range: " +
+           format_percent(report.rekeying.min_med_ep_delta) + " .. " +
+           format_percent(report.rekeying.max_med_ep_delta) +
+           " (paper: -8.6% .. 13.1%)\n";
+    out += "avg EE delta range: " +
+           format_percent(report.rekeying.min_avg_ee_delta) + " .. " +
+           format_percent(report.rekeying.max_avg_ee_delta) +
+           " (paper: -2.2% .. 16.6%)\n";
+    out += "med EE delta range: " +
+           format_percent(report.rekeying.min_med_ee_delta) + " .. " +
+           format_percent(report.rekeying.max_med_ee_delta) +
+           " (paper: -5.0% .. 20.8%)\n";
+  }
+
+  void render_json(const FullReport& report, JsonWriter& json) const override {
+    json.key("rekeying").begin_object();
+    json.key("mismatched_results").value(report.rekeying.mismatched_results);
+    json.key("mismatched_share").value(report.rekeying.mismatched_share);
+    json.key("avg_ep_delta_range")
+        .begin_array()
+        .value(report.rekeying.min_avg_ep_delta)
+        .value(report.rekeying.max_avg_ep_delta)
+        .end_array();
+    json.key("avg_ee_delta_range")
+        .begin_array()
+        .value(report.rekeying.min_avg_ee_delta)
+        .value(report.rekeying.max_avg_ee_delta)
+        .end_array();
+    json.end_object();
+  }
+};
+
+}  // namespace
+
+const std::vector<const AnalysisPass*>& all_passes() {
+  // Canonical order = section order of the legacy renderers (text sections
+  // and JSON keys both derive from it; see pass.h).
+  static const TrendsPass trends;
+  static const UarchPass uarch;
+  static const IdlePass idle;
+  static const PeakShiftPass peak_shift;
+  static const AsyncPass async;
+  static const ScalePass scale;
+  static const RekeyingPass rekeying;
+  static const std::vector<const AnalysisPass*> registry = {
+      &trends, &uarch, &idle, &peak_shift, &async, &scale, &rekeying};
+  return registry;
+}
+
+}  // namespace epserve::analysis

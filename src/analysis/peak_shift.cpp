@@ -1,5 +1,6 @@
 #include "analysis/peak_shift.h"
 
+#include "analysis/context.h"
 #include "metrics/efficiency.h"
 #include "util/contracts.h"
 
@@ -45,6 +46,23 @@ double share_peaking_at_full_load(const dataset::ResultRepository& repo,
     if (r.hw_year < from_year || r.hw_year > to_year) continue;
     ++total;
     if (metrics::peak_ee_utilization(r.curve) == 1.0) ++at_full;
+  }
+  EPSERVE_EXPECTS(total > 0);
+  return static_cast<double>(at_full) / static_cast<double>(total);
+}
+
+double share_peaking_at_full_load(const AnalysisContext& ctx, int from_year,
+                                  int to_year) {
+  const auto& derived = ctx.derived();
+  std::size_t total = 0;
+  std::size_t at_full = 0;
+  const auto& records = ctx.repo().records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].hw_year < from_year || records[i].hw_year > to_year) {
+      continue;
+    }
+    ++total;
+    if (derived[i].peak_ee_utilization == 1.0) ++at_full;
   }
   EPSERVE_EXPECTS(total > 0);
   return static_cast<double>(at_full) / static_cast<double>(total);

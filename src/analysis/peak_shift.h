@@ -9,6 +9,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 /// Per-year distribution of peak-EE utilisation spots. Spot counts include
 /// ties (a server peaking at two levels contributes two spots — the paper's
 /// 478 spots over 477 servers).
@@ -26,9 +28,13 @@ std::vector<YearSpots> peak_spot_by_year(
 std::map<double, double> global_spot_shares(
     const dataset::ResultRepository& repo);
 
-/// Share of servers peaking at 100% utilisation within [from, to].
+/// Share of servers peaking at 100% utilisation within [from, to]. The
+/// repository overload re-derives every peak-EE location; the context
+/// overload reads the shared cache. Byte-identical.
 double share_peaking_at_full_load(const dataset::ResultRepository& repo,
                                   int from_year, int to_year);
+double share_peaking_at_full_load(const AnalysisContext& ctx, int from_year,
+                                  int to_year);
 
 /// Total spot count (477 servers -> 478 with the 2011 dual-peak machine).
 std::size_t total_spots(const dataset::ResultRepository& repo);

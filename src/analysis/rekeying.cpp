@@ -1,15 +1,23 @@
 #include "analysis/rekeying.h"
 
 #include <algorithm>
+#include <functional>
 
+#include "analysis/context.h"
 #include "stats/descriptive.h"
 
 namespace epserve::analysis {
 
-RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo) {
+namespace {
+
+using MetricVectors =
+    std::function<std::vector<double>(const dataset::RecordView&)>;
+
+RekeyingResult analyze(const dataset::ResultRepository& repo,
+                       const std::map<int, dataset::RecordView>& by_hw,
+                       const std::map<int, dataset::RecordView>& by_pub,
+                       const MetricVectors& ep_of, const MetricVectors& ee_of) {
   RekeyingResult out;
-  const auto by_hw = repo.by_year(dataset::YearKey::kHardwareAvailability);
-  const auto by_pub = repo.by_year(dataset::YearKey::kPublished);
 
   for (const auto& r : repo.records()) {
     if (r.year_mismatch()) ++out.mismatched_results;
@@ -28,10 +36,10 @@ RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo) {
     row.hw_count = hw_view.size();
     row.pub_count = pub_view.size();
 
-    const auto hw_ep = dataset::ResultRepository::ep_values(hw_view);
-    const auto pub_ep = dataset::ResultRepository::ep_values(pub_view);
-    const auto hw_ee = dataset::ResultRepository::score_values(hw_view);
-    const auto pub_ee = dataset::ResultRepository::score_values(pub_view);
+    const auto hw_ep = ep_of(hw_view);
+    const auto pub_ep = ep_of(pub_view);
+    const auto hw_ee = ee_of(hw_view);
+    const auto pub_ee = ee_of(pub_view);
 
     row.avg_ep_delta = stats::mean(hw_ep) / stats::mean(pub_ep) - 1.0;
     row.med_ep_delta = stats::median(hw_ep) / stats::median(pub_ep) - 1.0;
@@ -57,6 +65,23 @@ RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo) {
+  return analyze(repo, repo.by_year(dataset::YearKey::kHardwareAvailability),
+                 repo.by_year(dataset::YearKey::kPublished),
+                 &dataset::ResultRepository::ep_values,
+                 &dataset::ResultRepository::score_values);
+}
+
+RekeyingResult rekeying_analysis(const AnalysisContext& ctx) {
+  return analyze(
+      ctx.repo(), ctx.by_year(dataset::YearKey::kHardwareAvailability),
+      ctx.by_year(dataset::YearKey::kPublished),
+      [&ctx](const dataset::RecordView& v) { return ctx.ep_values(v); },
+      [&ctx](const dataset::RecordView& v) { return ctx.score_values(v); });
 }
 
 }  // namespace epserve::analysis

@@ -11,6 +11,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 struct RekeyingRow {
   int year = 0;
   std::size_t hw_count = 0;   // servers whose hardware shipped this year
@@ -32,6 +34,9 @@ struct RekeyingResult {
   double min_med_ee_delta = 0.0, max_med_ee_delta = 0.0;
 };
 
+/// Repository overload rebuilds both year groupings and re-derives every
+/// metric; the context overload reads the shared caches. Byte-identical.
 RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo);
+RekeyingResult rekeying_analysis(const AnalysisContext& ctx);
 
 }  // namespace epserve::analysis

@@ -1,154 +1,16 @@
 #include "analysis/report.h"
 
-#include <array>
-#include <functional>
-
-#include "analysis/peak_shift.h"
-#include "util/parallel.h"
-#include "util/strings.h"
-#include "util/table.h"
+#include "analysis/pass.h"
 
 namespace epserve::analysis {
 
 FullReport build_full_report(const dataset::ResultRepository& repo,
                              int threads) {
-  FullReport report;
-  report.population = repo.size();
-
-  // Each stage reads only the (immutable) repository and writes only its own
-  // report fields, so the stages dispatch concurrently; every stage is a
-  // pure function, so the report does not depend on the thread count.
-  const std::array<std::function<void()>, 9> stages = {
-      [&] {
-        report.trends_by_hw_year =
-            year_trends(repo, dataset::YearKey::kHardwareAvailability);
-      },
-      [&] {
-        report.trends_by_pub_year =
-            year_trends(repo, dataset::YearKey::kPublished);
-      },
-      [&] { report.codename_ranking = codename_ep_ranking(repo); },
-      [&] { report.idle = analyze_idle_power(repo); },
-      [&] { report.async = async_top_decile(repo); },
-      [&] { report.two_chip = two_chip_vs_all(repo); },
-      [&] { report.rekeying = rekeying_analysis(repo); },
-      [&] {
-        report.share_full_load_2004_2012 =
-            share_peaking_at_full_load(repo, 2004, 2012);
-      },
-      [&] {
-        report.share_full_load_2013_2016 =
-            share_peaking_at_full_load(repo, 2013, 2016);
-      },
-  };
-  const auto pool = make_worker_pool(resolve_thread_count(threads));
-  parallel_for(pool.get(), stages.size(),
-               [&](std::size_t stage) { stages[stage](); });
-
-  // Derived from the hw-year trend rows, so computed after the barrier.
-  report.ep_jump_2008_2009 = ep_jump(report.trends_by_hw_year, 2008, 2009);
-  report.ep_jump_2011_2012 = ep_jump(report.trends_by_hw_year, 2011, 2012);
-  return report;
+  return run_passes(repo, all_passes(), threads);
 }
 
 std::string render_report(const FullReport& report) {
-  std::string out;
-  out += section_banner("Population overview");
-  out += "servers analysed: " + std::to_string(report.population) + "\n";
-  out += "published-vs-availability mismatches: " +
-         std::to_string(report.rekeying.mismatched_results) + " (" +
-         format_percent(report.rekeying.mismatched_share) + ")\n";
-
-  out += section_banner("EP / EE trend by hardware availability year (Fig.3/4)");
-  TextTable trend;
-  trend.columns({"year", "n", "EP avg", "EP med", "EP min", "EP max",
-                 "EE avg", "EE med"});
-  for (const auto& row : report.trends_by_hw_year) {
-    trend.row({std::to_string(row.year), std::to_string(row.count),
-               format_fixed(row.ep.mean, 3), format_fixed(row.ep.median, 3),
-               format_fixed(row.ep.min, 3), format_fixed(row.ep.max, 3),
-               format_fixed(row.score.mean, 0),
-               format_fixed(row.score.median, 0)});
-  }
-  out += trend.render();
-  out += "EP jump 2008->2009: " + format_percent(report.ep_jump_2008_2009) +
-         " (paper: +48.65%)\n";
-  out += "EP jump 2011->2012: " + format_percent(report.ep_jump_2011_2012) +
-         " (paper: +24.24%)\n";
-
-  out += section_banner("Codename EP ranking (Fig.7)");
-  TextTable rank;
-  rank.columns({"codename", "n", "mean EP", "median EP"});
-  for (const auto& row : report.codename_ranking) {
-    rank.row({row.codename, std::to_string(row.count),
-              format_fixed(row.mean_ep, 2), format_fixed(row.median_ep, 2)});
-  }
-  out += rank.render();
-
-  out += section_banner("Idle power and correlations (Eq.2, §III.D)");
-  out += "corr(EP, idle%): " +
-         format_fixed(report.idle.ep_idle_correlation, 3) +
-         " (paper: -0.92)\n";
-  out += "corr(EP, overall EE): " +
-         format_fixed(report.idle.ep_score_correlation, 3) +
-         " (paper: 0.741)\n";
-  out += "Eq.2 fit: EP = " + format_fixed(report.idle.eq2.alpha, 4) +
-         " * exp(" + format_fixed(report.idle.eq2.beta, 4) +
-         " * idle), R^2 = " + format_fixed(report.idle.eq2.r_squared, 3) +
-         " (paper: 1.2969, R^2 0.892)\n";
-  out += "predicted EP at 5% idle: " +
-         format_fixed(report.idle.predicted_ep_at_5pct_idle, 3) +
-         " (paper: 1.17)\n";
-
-  out += section_banner("Peak-EE utilisation shift (Fig.16)");
-  out += "share peaking at 100%, 2004-2012: " +
-         format_percent(report.share_full_load_2004_2012) +
-         " (paper: 75.71%)\n";
-  out += "share peaking at 100%, 2013-2016: " +
-         format_percent(report.share_full_load_2013_2016) +
-         " (paper: 23.21%)\n";
-
-  out += section_banner("EP/EE asynchronisation (§IV.B)");
-  const auto share_of = [](const std::map<int, double>& shares, int year) {
-    const auto it = shares.find(year);
-    return it == shares.end() ? 0.0 : it->second;
-  };
-  out += "top-decile EP made in 2012: " +
-         format_percent(share_of(report.async.top_ep_year_shares, 2012)) +
-         " (paper: 91.7%)\n";
-  out += "top-decile EE made in 2012: " +
-         format_percent(share_of(report.async.top_ee_year_shares, 2012)) +
-         " (paper: 16.7%)\n";
-  out += "population share made in 2012: " +
-         format_percent(share_of(report.async.population_year_shares, 2012)) +
-         " (paper: 27.4%)\n";
-  out += "top-EP ∩ top-EE overlap: " + format_percent(report.async.overlap) +
-         " (paper: 14.6%)\n";
-
-  out += section_banner("2-chip single-node advantage (Fig.15)");
-  out += "avg EP gain: " + format_percent(report.two_chip.avg_ep_gain) +
-         " (paper: +2.94%)\n";
-  out += "avg EE gain: " + format_percent(report.two_chip.avg_ee_gain) +
-         " (paper: +4.13%)\n";
-
-  out += section_banner("Re-keying deltas (hw year vs published year, §I)");
-  out += "avg EP delta range: " +
-         format_percent(report.rekeying.min_avg_ep_delta) + " .. " +
-         format_percent(report.rekeying.max_avg_ep_delta) +
-         " (paper: -6.2% .. 8.7%)\n";
-  out += "med EP delta range: " +
-         format_percent(report.rekeying.min_med_ep_delta) + " .. " +
-         format_percent(report.rekeying.max_med_ep_delta) +
-         " (paper: -8.6% .. 13.1%)\n";
-  out += "avg EE delta range: " +
-         format_percent(report.rekeying.min_avg_ee_delta) + " .. " +
-         format_percent(report.rekeying.max_avg_ee_delta) +
-         " (paper: -2.2% .. 16.6%)\n";
-  out += "med EE delta range: " +
-         format_percent(report.rekeying.min_med_ee_delta) + " .. " +
-         format_percent(report.rekeying.max_med_ee_delta) +
-         " (paper: -5.0% .. 20.8%)\n";
-  return out;
+  return render_passes_text(report, all_passes());
 }
 
 }  // namespace epserve::analysis

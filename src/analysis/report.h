@@ -1,5 +1,9 @@
-// Full-population analysis report: runs every §III/§IV analysis and renders
-// a human-readable summary (the core façade's one-call entry point).
+// Full-population analysis report (the core façade's one-call entry point).
+// Since the pass-registry refactor the report is produced by running the
+// registered AnalysisPasses (analysis/pass.h) over one shared memoized
+// AnalysisContext (analysis/context.h); build_full_report/render_report are
+// the everything-selected convenience wrappers and stay byte-identical to
+// the pre-registry monolithic builder/renderer.
 #pragma once
 
 #include <string>
@@ -15,31 +19,36 @@
 namespace epserve::analysis {
 
 /// Every headline number of the paper's analysis sections, measured on the
-/// population at hand.
+/// population at hand. Each field is owned by exactly one pass (see
+/// docs/ANALYSIS_PASSES.md); fields of unselected passes keep their
+/// zero-initialised defaults.
 struct FullReport {
   std::size_t population = 0;
-  std::vector<YearTrendRow> trends_by_hw_year;
-  std::vector<YearTrendRow> trends_by_pub_year;
-  std::vector<CodenameEp> codename_ranking;
-  IdleAnalysis idle;
-  AsyncResult async;
-  TwoChipComparison two_chip;
-  RekeyingResult rekeying;
-  double ep_jump_2008_2009 = 0.0;  // paper: +48.65%
-  double ep_jump_2011_2012 = 0.0;  // paper: +24.24%
-  double share_full_load_2004_2012 = 0.0;  // paper: 75.71%
-  double share_full_load_2013_2016 = 0.0;  // paper: 23.21%
+  std::vector<YearTrendRow> trends_by_hw_year;    // pass "trends"
+  std::vector<YearTrendRow> trends_by_pub_year;   // pass "trends"
+  std::vector<CodenameEp> codename_ranking;       // pass "uarch"
+  IdleAnalysis idle;                              // pass "idle"
+  AsyncResult async;                              // pass "async"
+  TwoChipComparison two_chip;                     // pass "scale"
+  RekeyingResult rekeying;                        // pass "rekeying"
+  double ep_jump_2008_2009 = 0.0;  // pass "trends"; paper: +48.65%
+  double ep_jump_2011_2012 = 0.0;  // pass "trends"; paper: +24.24%
+  double share_full_load_2004_2012 = 0.0;  // pass "peak-shift"; paper: 75.71%
+  double share_full_load_2013_2016 = 0.0;  // pass "peak-shift"; paper: 23.21%
 };
 
-/// Builds the report. The §III/§IV analyses are mutually independent and
-/// dispatch concurrently: `threads` 0 = auto (EPSERVE_THREADS env var, else
-/// hardware concurrency), 1 = run every analysis inline on the caller. The
-/// analyses are pure functions of the repository, so the report is identical
-/// for every thread count (see docs/PARALLELISM.md).
+/// Builds the report by running every registered pass over one shared
+/// AnalysisContext. The passes are mutually independent and dispatch
+/// concurrently: `threads` 0 = auto (EPSERVE_THREADS env var, else hardware
+/// concurrency), 1 = run every pass inline on the caller. Each pass is a
+/// pure function of the repository and the context caches are initialised
+/// via std::call_once, so the report is identical for every thread count
+/// (see docs/PARALLELISM.md).
 FullReport build_full_report(const dataset::ResultRepository& repo,
                              int threads = 0);
 
-/// Renders the report as readable text (tables via util/table.h).
+/// Renders the report as readable text (tables via util/table.h) by
+/// iterating every pass's text renderer.
 std::string render_report(const FullReport& report);
 
 }  // namespace epserve::analysis

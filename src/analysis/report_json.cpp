@@ -1,123 +1,11 @@
 #include "analysis/report_json.h"
 
-#include "util/json_writer.h"
+#include "analysis/pass.h"
 
 namespace epserve::analysis {
 
-namespace {
-
-void emit_summary(JsonWriter& json, const stats::Summary& summary) {
-  json.begin_object();
-  json.key("count").value(summary.count);
-  json.key("mean").value(summary.mean);
-  json.key("median").value(summary.median);
-  json.key("min").value(summary.min);
-  json.key("max").value(summary.max);
-  json.key("stddev").value(summary.stddev);
-  json.end_object();
-}
-
-void emit_trend_rows(JsonWriter& json,
-                     const std::vector<YearTrendRow>& rows) {
-  json.begin_array();
-  for (const auto& row : rows) {
-    json.begin_object();
-    json.key("year").value(row.year);
-    json.key("count").value(row.count);
-    json.key("ep");
-    emit_summary(json, row.ep);
-    json.key("overall_ee");
-    emit_summary(json, row.score);
-    json.key("peak_ee");
-    emit_summary(json, row.peak_ee);
-    json.end_object();
-  }
-  json.end_array();
-}
-
-void emit_year_shares(JsonWriter& json, const std::map<int, double>& shares) {
-  json.begin_object();
-  for (const auto& [year, share] : shares) {
-    json.key(std::to_string(year)).value(share);
-  }
-  json.end_object();
-}
-
-}  // namespace
-
 std::string render_report_json(const FullReport& report) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("population").value(report.population);
-
-  json.key("trends_by_hw_year");
-  emit_trend_rows(json, report.trends_by_hw_year);
-  json.key("trends_by_pub_year");
-  emit_trend_rows(json, report.trends_by_pub_year);
-
-  json.key("codename_ranking").begin_array();
-  for (const auto& row : report.codename_ranking) {
-    json.begin_object();
-    json.key("codename").value(row.codename);
-    json.key("count").value(row.count);
-    json.key("mean_ep").value(row.mean_ep);
-    json.key("median_ep").value(row.median_ep);
-    json.end_object();
-  }
-  json.end_array();
-
-  json.key("idle_analysis").begin_object();
-  json.key("ep_idle_correlation").value(report.idle.ep_idle_correlation);
-  json.key("ep_score_correlation").value(report.idle.ep_score_correlation);
-  json.key("eq2_alpha").value(report.idle.eq2.alpha);
-  json.key("eq2_beta").value(report.idle.eq2.beta);
-  json.key("eq2_r_squared").value(report.idle.eq2.r_squared);
-  json.key("predicted_ep_at_5pct_idle")
-      .value(report.idle.predicted_ep_at_5pct_idle);
-  json.key("theoretical_max_ep").value(report.idle.theoretical_max_ep);
-  json.end_object();
-
-  json.key("async").begin_object();
-  json.key("decile_size").value(report.async.decile_size);
-  json.key("overlap").value(report.async.overlap);
-  json.key("top_ep_year_shares");
-  emit_year_shares(json, report.async.top_ep_year_shares);
-  json.key("top_ee_year_shares");
-  emit_year_shares(json, report.async.top_ee_year_shares);
-  json.key("population_year_shares");
-  emit_year_shares(json, report.async.population_year_shares);
-  json.end_object();
-
-  json.key("two_chip").begin_object();
-  json.key("avg_ep_gain").value(report.two_chip.avg_ep_gain);
-  json.key("avg_ee_gain").value(report.two_chip.avg_ee_gain);
-  json.key("median_ep_gain").value(report.two_chip.median_ep_gain);
-  json.key("median_ee_gain").value(report.two_chip.median_ee_gain);
-  json.end_object();
-
-  json.key("rekeying").begin_object();
-  json.key("mismatched_results").value(report.rekeying.mismatched_results);
-  json.key("mismatched_share").value(report.rekeying.mismatched_share);
-  json.key("avg_ep_delta_range")
-      .begin_array()
-      .value(report.rekeying.min_avg_ep_delta)
-      .value(report.rekeying.max_avg_ep_delta)
-      .end_array();
-  json.key("avg_ee_delta_range")
-      .begin_array()
-      .value(report.rekeying.min_avg_ee_delta)
-      .value(report.rekeying.max_avg_ee_delta)
-      .end_array();
-  json.end_object();
-
-  json.key("ep_jump_2008_2009").value(report.ep_jump_2008_2009);
-  json.key("ep_jump_2011_2012").value(report.ep_jump_2011_2012);
-  json.key("share_full_load_2004_2012")
-      .value(report.share_full_load_2004_2012);
-  json.key("share_full_load_2013_2016")
-      .value(report.share_full_load_2013_2016);
-  json.end_object();
-  return json.str();
+  return render_passes_json(report, all_passes());
 }
 
 }  // namespace epserve::analysis

@@ -1,5 +1,8 @@
 #include "analysis/scale_analysis.h"
 
+#include <functional>
+
+#include "analysis/context.h"
 #include "metrics/efficiency.h"
 #include "metrics/proportionality.h"
 
@@ -16,31 +19,18 @@ ScaleRow make_row(int key, const dataset::RecordView& view) {
   return row;
 }
 
-}  // namespace
+using MetricVectors =
+    std::function<std::vector<double>(const dataset::RecordView&)>;
 
-std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo) {
-  std::vector<ScaleRow> out;
-  for (const auto& [nodes, view] : repo.by_nodes()) {
-    out.push_back(make_row(nodes, view));
-  }
-  return out;
-}
-
-std::vector<ScaleRow> ep_ee_by_chips(const dataset::ResultRepository& repo) {
-  std::vector<ScaleRow> out;
-  for (const auto& [chips, view] : repo.single_node_by_chips()) {
-    out.push_back(make_row(chips, view));
-  }
-  return out;
-}
-
-TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
+TwoChipComparison compare_two_chip(
+    const std::map<int, dataset::RecordView>& by_year,
+    const MetricVectors& ep_of, const MetricVectors& ee_of) {
   TwoChipComparison out;
   double ep_gain_sum = 0.0, ee_gain_sum = 0.0;
   double med_ep_gain_sum = 0.0, med_ee_gain_sum = 0.0;
   std::size_t years_counted = 0;
 
-  for (const auto& [year, view] : repo.by_year()) {
+  for (const auto& [year, view] : by_year) {
     dataset::RecordView two_chip;
     for (const auto* r : view) {
       if (r->nodes == 1 && r->chips == 2) two_chip.push_back(r);
@@ -52,10 +42,10 @@ TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
     row.two_chip_count = two_chip.size();
     row.all_count = view.size();
 
-    const auto ep_two = dataset::ResultRepository::ep_values(two_chip);
-    const auto ep_all = dataset::ResultRepository::ep_values(view);
-    const auto ee_two = dataset::ResultRepository::score_values(two_chip);
-    const auto ee_all = dataset::ResultRepository::score_values(view);
+    const auto ep_two = ep_of(two_chip);
+    const auto ep_all = ep_of(view);
+    const auto ee_two = ee_of(two_chip);
+    const auto ee_all = ee_of(view);
     row.two_chip_avg_ep = stats::mean(ep_two);
     row.all_avg_ep = stats::mean(ep_all);
     row.two_chip_avg_ee = stats::mean(ee_two);
@@ -79,6 +69,37 @@ TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
     out.median_ee_gain = med_ee_gain_sum / static_cast<double>(years_counted);
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo) {
+  std::vector<ScaleRow> out;
+  for (const auto& [nodes, view] : repo.by_nodes()) {
+    out.push_back(make_row(nodes, view));
+  }
+  return out;
+}
+
+std::vector<ScaleRow> ep_ee_by_chips(const dataset::ResultRepository& repo) {
+  std::vector<ScaleRow> out;
+  for (const auto& [chips, view] : repo.single_node_by_chips()) {
+    out.push_back(make_row(chips, view));
+  }
+  return out;
+}
+
+TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
+  return compare_two_chip(repo.by_year(),
+                          &dataset::ResultRepository::ep_values,
+                          &dataset::ResultRepository::score_values);
+}
+
+TwoChipComparison two_chip_vs_all(const AnalysisContext& ctx) {
+  return compare_two_chip(
+      ctx.by_year(dataset::YearKey::kHardwareAvailability),
+      [&ctx](const dataset::RecordView& v) { return ctx.ep_values(v); },
+      [&ctx](const dataset::RecordView& v) { return ctx.score_values(v); });
 }
 
 }  // namespace epserve::analysis

@@ -10,6 +10,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 /// One Fig.13/Fig.14 bar group.
 struct ScaleRow {
   int key = 0;  // node count or chip count
@@ -46,6 +48,9 @@ struct TwoChipComparison {
   std::vector<YearRow> years;
 };
 
+/// Repository overload rebuilds the year grouping and re-derives metrics;
+/// the context overload reads the shared caches. Byte-identical.
 TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo);
+TwoChipComparison two_chip_vs_all(const AnalysisContext& ctx);
 
 }  // namespace epserve::analysis

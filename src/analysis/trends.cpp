@@ -1,40 +1,71 @@
 #include "analysis/trends.h"
 
+#include "analysis/context.h"
 #include "metrics/efficiency.h"
 #include "metrics/proportionality.h"
-#include "util/contracts.h"
 
 namespace epserve::analysis {
+
+namespace {
+
+YearTrendRow make_row(int year, std::size_t count, std::vector<double> eps,
+                      std::vector<double> scores,
+                      std::vector<double> peak_ees) {
+  YearTrendRow row;
+  row.year = year;
+  row.count = count;
+  row.ep = stats::summarize(eps);
+  row.score = stats::summarize(scores);
+  row.peak_ee = stats::summarize(peak_ees);
+  return row;
+}
+
+}  // namespace
 
 std::vector<YearTrendRow> year_trends(const dataset::ResultRepository& repo,
                                       dataset::YearKey key) {
   std::vector<YearTrendRow> rows;
   for (const auto& [year, view] : repo.by_year(key)) {
-    YearTrendRow row;
-    row.year = year;
-    row.count = view.size();
-    row.ep = stats::summarize(dataset::ResultRepository::ep_values(view));
-    row.score =
-        stats::summarize(dataset::ResultRepository::score_values(view));
-    row.peak_ee = stats::summarize(dataset::ResultRepository::metric(
-        view, [](const dataset::ServerRecord& r) {
-          return metrics::peak_ee(r.curve).value;
-        }));
-    rows.push_back(row);
+    rows.push_back(make_row(
+        year, view.size(), dataset::ResultRepository::ep_values(view),
+        dataset::ResultRepository::score_values(view),
+        dataset::ResultRepository::metric(
+            view, [](const dataset::ServerRecord& r) {
+              return metrics::peak_ee(r.curve).value;
+            })));
   }
   return rows;
 }
 
-double ep_jump(const std::vector<YearTrendRow>& rows, int from_year,
-               int to_year) {
+std::vector<YearTrendRow> year_trends(const AnalysisContext& ctx,
+                                      dataset::YearKey key) {
+  std::vector<YearTrendRow> rows;
+  for (const auto& [year, view] : ctx.by_year(key)) {
+    rows.push_back(make_row(year, view.size(), ctx.ep_values(view),
+                            ctx.score_values(view), ctx.peak_ee_values(view)));
+  }
+  return rows;
+}
+
+Result<double> ep_jump(const std::vector<YearTrendRow>& rows, int from_year,
+                       int to_year) {
   const YearTrendRow* from = nullptr;
   const YearTrendRow* to = nullptr;
   for (const auto& row : rows) {
     if (row.year == from_year) from = &row;
     if (row.year == to_year) to = &row;
   }
-  EPSERVE_EXPECTS(from != nullptr && to != nullptr);
-  EPSERVE_EXPECTS(from->ep.mean > 0.0);
+  if (from == nullptr || to == nullptr) {
+    return Error::not_found("ep_jump: year " +
+                            std::to_string(from == nullptr ? from_year
+                                                           : to_year) +
+                            " absent from trend rows");
+  }
+  if (!(from->ep.mean > 0.0)) {
+    return Error::failed_precondition(
+        "ep_jump: mean EP of year " + std::to_string(from_year) +
+        " is not positive");
+  }
   return (to->ep.mean - from->ep.mean) / from->ep.mean;
 }
 

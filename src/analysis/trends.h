@@ -6,8 +6,11 @@
 
 #include "dataset/repository.h"
 #include "stats/descriptive.h"
+#include "util/result.h"
 
 namespace epserve::analysis {
+
+class AnalysisContext;
 
 /// One row of the Fig.3/Fig.4 statistics tables.
 struct YearTrendRow {
@@ -18,14 +21,21 @@ struct YearTrendRow {
   stats::Summary peak_ee;   // peak per-level EE
 };
 
-/// Rows ascending by year; empty years are absent.
+/// Rows ascending by year; empty years are absent. The repository overload
+/// derives every metric from scratch (the cold path); the context overload
+/// reads the shared memoized caches — both produce byte-identical rows.
 std::vector<YearTrendRow> year_trends(
     const dataset::ResultRepository& repo,
     dataset::YearKey key = dataset::YearKey::kHardwareAvailability);
+std::vector<YearTrendRow> year_trends(
+    const AnalysisContext& ctx,
+    dataset::YearKey key = dataset::YearKey::kHardwareAvailability);
 
 /// The paper's §III.A jump metric: relative change of the average EP from
-/// `from_year` to `to_year`. Requires both years present.
-double ep_jump(const std::vector<YearTrendRow>& rows, int from_year,
-               int to_year);
+/// `from_year` to `to_year`. Returns kNotFound when either year is absent
+/// from the rows (small or filtered populations) and kFailedPrecondition
+/// when the source year's mean EP is not positive.
+Result<double> ep_jump(const std::vector<YearTrendRow>& rows, int from_year,
+                       int to_year);
 
 }  // namespace epserve::analysis

@@ -1,11 +1,37 @@
 #include "analysis/uarch_analysis.h"
 
 #include <algorithm>
+#include <functional>
 
+#include "analysis/context.h"
 #include "metrics/proportionality.h"
 #include "stats/descriptive.h"
 
 namespace epserve::analysis {
+
+namespace {
+
+std::vector<CodenameEp> rank_codenames(
+    const std::map<std::string, dataset::RecordView>& by_codename,
+    const std::function<std::vector<double>(const dataset::RecordView&)>&
+        ep_of) {
+  std::vector<CodenameEp> out;
+  for (const auto& [name, view] : by_codename) {
+    CodenameEp row;
+    row.codename = name;
+    row.count = view.size();
+    const auto eps = ep_of(view);
+    row.mean_ep = stats::mean(eps);
+    row.median_ep = stats::median(eps);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.mean_ep > b.mean_ep;
+  });
+  return out;
+}
+
+}  // namespace
 
 std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo) {
   std::vector<FamilyCount> out;
@@ -20,20 +46,14 @@ std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo) {
 
 std::vector<CodenameEp> codename_ep_ranking(
     const dataset::ResultRepository& repo) {
-  std::vector<CodenameEp> out;
-  for (const auto& [name, view] : repo.by_codename()) {
-    CodenameEp row;
-    row.codename = name;
-    row.count = view.size();
-    const auto eps = dataset::ResultRepository::ep_values(view);
-    row.mean_ep = stats::mean(eps);
-    row.median_ep = stats::median(eps);
-    out.push_back(std::move(row));
-  }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.mean_ep > b.mean_ep;
+  return rank_codenames(repo.by_codename(),
+                        &dataset::ResultRepository::ep_values);
+}
+
+std::vector<CodenameEp> codename_ep_ranking(const AnalysisContext& ctx) {
+  return rank_codenames(ctx.by_codename(), [&ctx](const dataset::RecordView& v) {
+    return ctx.ep_values(v);
   });
-  return out;
 }
 
 std::map<int, std::map<std::string, std::size_t>> yearly_codename_mix(

@@ -12,6 +12,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 /// Fig.6 row: family and its population count.
 struct FamilyCount {
   power::UarchFamily family;
@@ -28,9 +30,11 @@ struct CodenameEp {
   double median_ep = 0.0;
 };
 
-/// Sorted descending by mean EP.
+/// Sorted descending by mean EP. Repository overload re-derives EP per
+/// record; the context overload reads the shared caches. Byte-identical.
 std::vector<CodenameEp> codename_ep_ranking(
     const dataset::ResultRepository& repo);
+std::vector<CodenameEp> codename_ep_ranking(const AnalysisContext& ctx);
 
 /// Fig.8: per-year codename composition for 2012-2016 (counts per codename).
 std::map<int, std::map<std::string, std::size_t>> yearly_codename_mix(

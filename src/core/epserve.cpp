@@ -7,13 +7,16 @@ namespace epserve {
 std::string version() { return "1.0.0"; }
 
 Result<PopulationStudy> run_population_study(
-    const dataset::GeneratorConfig& config) {
+    const dataset::GeneratorConfig& config, const StudyOptions& options) {
+  auto selected = analysis::select_passes(options.passes);
+  if (!selected.ok()) return selected.error();
   auto population = dataset::generate_population(config);
   if (!population.ok()) return population.error();
   PopulationStudy study;
   study.repository = std::make_shared<dataset::ResultRepository>(
       std::move(population).take());
-  study.report = analysis::build_full_report(*study.repository);
+  study.report = analysis::run_passes(*study.repository, selected.value(),
+                                      options.threads);
   return study;
 }
 

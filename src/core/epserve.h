@@ -12,11 +12,18 @@
 // Layering (each usable on its own):
 //   util -> stats -> metrics -> power -> specpower -> dataset
 //        -> {analysis, testbed, cluster} -> core
+// Inside analysis, the report stack is itself layered: the individual
+// analysis functions (trends, idle, async, ...) -> AnalysisContext (shared
+// memoized per-record metrics and groupings, analysis/context.h) ->
+// AnalysisPass registry (named, selectable report sections, analysis/pass.h)
+// -> FullReport builders/renderers (analysis/report.h, report_json.h).
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "analysis/pass.h"
 #include "analysis/report.h"
 #include "cluster/placement.h"
 #include "cluster/working_region.h"
@@ -39,10 +46,21 @@ struct PopulationStudy {
   analysis::FullReport report;
 };
 
-/// Generates the calibrated 477-server population and runs every analysis
-/// of the paper's §III/§IV on it.
+/// Pass selection / scheduling knobs for run_population_study.
+struct StudyOptions {
+  /// Registry names of the passes to run (analysis::pass_names()); empty =
+  /// every pass. Unknown names fail the study with kNotFound.
+  std::vector<std::string> passes;
+  /// Thread count for the pass dispatch (same semantics as
+  /// analysis::build_full_report: 0 = auto, 1 = inline).
+  int threads = 0;
+};
+
+/// Generates the calibrated 477-server population and runs the selected
+/// analysis passes (default: every §III/§IV pass) on it.
 Result<PopulationStudy> run_population_study(
-    const dataset::GeneratorConfig& config = {});
+    const dataset::GeneratorConfig& config = {},
+    const StudyOptions& options = {});
 
 /// Runs the paper's §V testbed sweep (Fig.18-21 protocol) on Table II
 /// server `server_id` (1..4).

@@ -104,6 +104,29 @@ std::vector<double> ResultRepository::idle_fraction_values(
                 [](const ServerRecord& r) { return r.curve.idle_fraction(); });
 }
 
+std::size_t ResultRepository::index_of(const ServerRecord& record) const {
+  const ServerRecord* base = records_.data();
+  EPSERVE_EXPECTS(&record >= base && &record < base + records_.size());
+  return static_cast<std::size_t>(&record - base);
+}
+
+RecordView ResultRepository::top_decile_by(
+    const std::vector<double>& values) const {
+  EPSERVE_EXPECTS(values.size() == records_.size());
+  RecordView view = all();
+  const auto cutoff = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(view.size()) * 0.1));
+  std::sort(view.begin(), view.end(),
+            [&](const ServerRecord* a, const ServerRecord* b) {
+              const double fa = values[index_of(*a)];
+              const double fb = values[index_of(*b)];
+              if (fa != fb) return fa > fb;
+              return a->id < b->id;
+            });
+  view.resize(std::min(cutoff, view.size()));
+  return view;
+}
+
 RecordView ResultRepository::top_decile(
     const std::function<double(const ServerRecord&)>& fn) const {
   RecordView view = all();

@@ -67,6 +67,17 @@ class ResultRepository {
   [[nodiscard]] RecordView top_decile(
       const std::function<double(const ServerRecord&)>& fn) const;
 
+  /// Index of a record inside records(). Views hold pointers into that
+  /// vector, so this is the hook a metric cache (analysis::AnalysisContext)
+  /// uses to keep index-aligned per-record data. `record` must belong to
+  /// this repository.
+  [[nodiscard]] std::size_t index_of(const ServerRecord& record) const;
+
+  /// top_decile over a pre-computed, index-aligned value vector (one value
+  /// per record, same ordering rules as top_decile).
+  [[nodiscard]] RecordView top_decile_by(
+      const std::vector<double>& values) const;
+
  private:
   std::vector<ServerRecord> records_;
 };

@@ -1,0 +1,18 @@
+#include "metrics/derived.h"
+
+#include "metrics/load_level.h"
+#include "metrics/proportionality.h"
+
+namespace epserve::metrics {
+
+DerivedCurveMetrics derive_curve_metrics(const PowerCurve& curve) {
+  DerivedCurveMetrics out;
+  out.ep = energy_proportionality(curve);
+  out.overall_score = overall_score(curve);
+  out.idle_fraction = curve.idle_fraction();
+  out.peak_ee = peak_ee(curve);
+  out.peak_ee_utilization = kLoadLevels[out.peak_ee.levels.front()];
+  return out;
+}
+
+}  // namespace epserve::metrics

@@ -1,0 +1,28 @@
+// The per-curve derived-metric bundle every population analysis re-reads:
+// Eq.1 energy proportionality, the SPECpower overall score, the idle power
+// percentage, and the peak-EE location. Computing them together lets a
+// caller (analysis::AnalysisContext) pay for each curve exactly once instead
+// of re-deriving the same numbers at every call site.
+#pragma once
+
+#include "metrics/efficiency.h"
+#include "metrics/power_curve.h"
+
+namespace epserve::metrics {
+
+/// Everything the §III/§IV analyses derive from one measurement sheet.
+/// Each field equals the corresponding standalone metric function exactly
+/// (same computation, not an approximation) — pinned by the context
+/// equivalence tests.
+struct DerivedCurveMetrics {
+  double ep = 0.0;                  // energy_proportionality(curve)
+  double overall_score = 0.0;       // overall_score(curve)
+  double idle_fraction = 0.0;       // curve.idle_fraction()
+  PeakEe peak_ee;                   // peak_ee(curve)
+  double peak_ee_utilization = 0.0; // peak_ee_utilization(curve)
+};
+
+/// Derives the full bundle for one curve.
+DerivedCurveMetrics derive_curve_metrics(const PowerCurve& curve);
+
+}  // namespace epserve::metrics

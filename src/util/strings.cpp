@@ -41,6 +41,26 @@ bool starts_with(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
 }
 
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) {
+    return Error::parse("expected an unsigned integer, got an empty string");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Error::parse("invalid unsigned integer '" + std::string(text) +
+                          "'");
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Error::parse("unsigned integer '" + std::string(text) +
+                          "' overflows 64 bits");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 std::string join(const std::vector<std::string>& items, std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < items.size(); ++i) {

@@ -1,9 +1,12 @@
 // Small string helpers shared across modules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/result.h"
 
 namespace epserve {
 
@@ -24,5 +27,11 @@ bool starts_with(std::string_view text, std::string_view prefix);
 
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Strict decimal parse of an unsigned 64-bit integer: the whole string must
+/// be digits (no sign, no whitespace, no trailing characters) and fit in 64
+/// bits. Unlike std::strtoull this never silently yields 0 on garbage —
+/// kParse on any malformed input (the CLI's seed arguments rely on that).
+Result<std::uint64_t> parse_u64(std::string_view text);
 
 }  // namespace epserve

@@ -44,10 +44,10 @@ TEST(Trends, CountsSumToPopulation) {
 
 TEST(Trends, EpJumpsMatchPaperDirection) {
   const auto rows = year_trends(repo());
-  EXPECT_GT(ep_jump(rows, 2008, 2009), 0.35);  // paper +48.65%
-  EXPECT_GT(ep_jump(rows, 2011, 2012), 0.18);  // paper +24.24%
+  EXPECT_GT(ep_jump(rows, 2008, 2009).value(), 0.35);  // paper +48.65%
+  EXPECT_GT(ep_jump(rows, 2011, 2012).value(), 0.18);  // paper +24.24%
   // Non-tock transitions move much less.
-  EXPECT_LT(ep_jump(rows, 2009, 2010), 0.20);
+  EXPECT_LT(ep_jump(rows, 2009, 2010).value(), 0.20);
 }
 
 TEST(Trends, PublishedYearKeyHasNoPre2007Rows) {
@@ -57,7 +57,14 @@ TEST(Trends, PublishedYearKeyHasNoPre2007Rows) {
 
 TEST(Trends, EpJumpRejectsMissingYears) {
   const auto rows = year_trends(repo());
-  EXPECT_THROW(ep_jump(rows, 1999, 2000), ContractViolation);
+  const auto missing_from = ep_jump(rows, 1999, 2009);
+  ASSERT_FALSE(missing_from.ok());
+  EXPECT_EQ(missing_from.error().code, Error::Code::kNotFound);
+  EXPECT_NE(missing_from.error().message.find("1999"), std::string::npos);
+  const auto missing_to = ep_jump(rows, 2009, 2000);
+  ASSERT_FALSE(missing_to.ok());
+  EXPECT_EQ(missing_to.error().code, Error::Code::kNotFound);
+  EXPECT_NE(missing_to.error().message.find("2000"), std::string::npos);
 }
 
 TEST(Trends, PeakEeSummaryAtLeastOverallScore) {

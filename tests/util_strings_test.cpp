@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/strings.h"
+
+namespace epserve {
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0").value(), 0u);
+  EXPECT_EQ(parse_u64("42").value(), 42u);
+  EXPECT_EQ(parse_u64("20160930").value(), 20160930u);
+}
+
+TEST(ParseU64, AcceptsExactlyUint64Max) {
+  EXPECT_EQ(parse_u64("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsOverflow) {
+  // UINT64_MAX + 1 and a grossly longer string.
+  EXPECT_FALSE(parse_u64("18446744073709551616").ok());
+  EXPECT_FALSE(parse_u64("99999999999999999999999").ok());
+  EXPECT_EQ(parse_u64("18446744073709551616").error().code, Error::Code::kParse);
+}
+
+TEST(ParseU64, RejectsEmpty) {
+  const auto result = parse_u64("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Error::Code::kParse);
+}
+
+TEST(ParseU64, RejectsNonDigitInput) {
+  // strtoull would silently return 0 (or a prefix parse) on every one of
+  // these — the strict parse rejects them all.
+  EXPECT_FALSE(parse_u64("foo").ok());
+  EXPECT_FALSE(parse_u64("12x").ok());
+  EXPECT_FALSE(parse_u64("x12").ok());
+  EXPECT_FALSE(parse_u64("-1").ok());
+  EXPECT_FALSE(parse_u64("+1").ok());
+  EXPECT_FALSE(parse_u64(" 7").ok());
+  EXPECT_FALSE(parse_u64("7 ").ok());
+  EXPECT_FALSE(parse_u64("0x10").ok());
+  EXPECT_FALSE(parse_u64("1.5").ok());
+}
+
+TEST(ParseU64, ErrorNamesTheInput) {
+  const auto result = parse_u64("seed");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epserve
