@@ -86,6 +86,12 @@ int main() {
             << " groupings=" << stats.grouping_builds
             << " deciles=" << stats.decile_builds << " (each exactly once)\n"
             << "speedup: " << format_fixed(cold_s / warm_s, 2) << "x\n";
+  // Machine-readable summary, harvested by bench/run_benches.sh.
+  std::printf(
+      "BENCH_JSON {\"ms_per_report_cold\": %.4f, \"ms_per_report_warm\": "
+      "%.4f, \"speedup\": %.2f}\n",
+      1000.0 * cold_s / kIterations, 1000.0 * warm_s / kIterations,
+      cold_s / warm_s);
 
   bool ok = stats.derived_builds == 1;
   if (!ok) std::fprintf(stderr, "FAIL: derived metrics built more than once\n");

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the perf-gating bench suite and emits a machine-readable baseline.
+#
+# Each bench binary is timed wall-clock and must exit 0 (the perf benches
+# self-verify: byte-compared outputs, exactly-once cache stats, and speedup
+# floors). Binaries may print one `BENCH_JSON {...}` line with their key
+# numbers; it is harvested verbatim into the baseline's `metrics` field.
+#
+# Usage: bench/run_benches.sh [build-dir] [output-json]
+#   defaults:     build       BENCH_baseline.json
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_baseline.json}"
+
+benches=(
+  bench_columnar_groupby
+  bench_report_cache
+)
+
+entries=()
+status=0
+for bench in "${benches[@]}"; do
+  binary="${build_dir}/bench/${bench}"
+  if [[ ! -x "${binary}" ]]; then
+    echo "missing bench binary: ${binary} (build the ${bench} target first)" >&2
+    exit 1
+  fi
+  echo "== ${bench} =="
+  start=$(date +%s.%N)
+  output=$("${binary}" 2>&1) && exit_code=0 || exit_code=$?
+  end=$(date +%s.%N)
+  echo "${output}"
+  seconds=$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.3f", b - a }')
+  metrics=$(printf '%s\n' "${output}" | sed -n 's/^BENCH_JSON //p' | tail -1)
+  [[ -n "${metrics}" ]] || metrics="{}"
+  entries+=("    {\"name\": \"${bench}\", \"exit\": ${exit_code}, \"seconds\": ${seconds}, \"metrics\": ${metrics}}")
+  if [[ "${exit_code}" -ne 0 ]]; then
+    echo "FAIL: ${bench} exited ${exit_code}" >&2
+    status=1
+  fi
+done
+
+{
+  echo '{'
+  echo '  "schema": "epserve-bench-baseline-v1",'
+  echo '  "benches": ['
+  for i in "${!entries[@]}"; do
+    suffix=','
+    [[ "$i" -eq $((${#entries[@]} - 1)) ]] && suffix=''
+    echo "${entries[$i]}${suffix}"
+  done
+  echo '  ]'
+  echo '}'
+} > "${out}"
+
+echo "baseline written to ${out}"
+exit "${status}"

@@ -21,6 +21,85 @@ const metrics::DerivedCurveMetrics& AnalysisContext::derived(
   return derived()[repo_.index_of(record)];
 }
 
+const dataset::ColumnarSnapshot& AnalysisContext::columnar() const {
+  std::call_once(columnar_.once, [&] {
+    columnar_.value = dataset::ColumnarSnapshot::build(repo_, derived());
+    columnar_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return columnar_.value;
+}
+
+const dataset::GroupIndex& AnalysisContext::groups_by_year(
+    dataset::YearKey key) const {
+  auto& slot = key == dataset::YearKey::kHardwareAvailability
+                   ? groups_hw_year_
+                   : groups_pub_year_;
+  std::call_once(slot.once, [&] {
+    const auto& snap = columnar();
+    slot.value = dataset::GroupIndex::over(
+        key == dataset::YearKey::kHardwareAvailability ? snap.hw_year()
+                                                       : snap.pub_year());
+    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return slot.value;
+}
+
+const dataset::GroupIndex& AnalysisContext::groups_by_family() const {
+  std::call_once(groups_family_.once, [&] {
+    groups_family_.value = dataset::GroupIndex::over(columnar().family_id());
+    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return groups_family_.value;
+}
+
+const dataset::GroupIndex& AnalysisContext::groups_by_codename() const {
+  std::call_once(groups_codename_.once, [&] {
+    groups_codename_.value =
+        dataset::GroupIndex::over(columnar().codename_id());
+    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return groups_codename_.value;
+}
+
+const dataset::GroupIndex& AnalysisContext::groups_by_nodes() const {
+  std::call_once(groups_nodes_.once, [&] {
+    groups_nodes_.value = dataset::GroupIndex::over(columnar().nodes());
+    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return groups_nodes_.value;
+}
+
+const dataset::GroupIndex& AnalysisContext::groups_single_node_by_chips()
+    const {
+  std::call_once(groups_chips_.once, [&] {
+    const auto& snap = columnar();
+    std::vector<std::uint8_t> single_node(snap.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      single_node[i] = snap.nodes()[i] == 1 ? 1 : 0;
+    }
+    groups_chips_.value =
+        dataset::GroupIndex::over_masked(snap.chips(), single_node);
+    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return groups_chips_.value;
+}
+
+const dataset::GroupIndex& AnalysisContext::groups_by_mpc() const {
+  std::call_once(groups_mpc_.once, [&] {
+    groups_mpc_.value = dataset::GroupIndex::over(columnar().mpc_centi());
+    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return groups_mpc_.value;
+}
+
+std::vector<double> AnalysisContext::gather(
+    std::span<const double> column, std::span<const std::uint32_t> members) {
+  std::vector<double> out;
+  out.reserve(members.size());
+  for (const std::uint32_t i : members) out.push_back(column[i]);
+  return out;
+}
+
 const std::map<int, dataset::RecordView>& AnalysisContext::by_year(
     dataset::YearKey key) const {
   auto& slot = key == dataset::YearKey::kHardwareAvailability ? by_hw_year_
@@ -130,6 +209,9 @@ AnalysisContext::CacheStats AnalysisContext::cache_stats() const {
   stats.derived_builds = derived_builds_.load(std::memory_order_relaxed);
   stats.grouping_builds = grouping_builds_.load(std::memory_order_relaxed);
   stats.decile_builds = decile_builds_.load(std::memory_order_relaxed);
+  stats.columnar_builds = columnar_builds_.load(std::memory_order_relaxed);
+  stats.group_index_builds =
+      group_index_builds_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -17,11 +17,15 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "dataset/columnar.h"
+#include "dataset/group_index.h"
 #include "dataset/repository.h"
 #include "metrics/derived.h"
 #include "power/uarch.h"
@@ -48,7 +52,32 @@ class AnalysisContext {
   [[nodiscard]] const metrics::DerivedCurveMetrics& derived(
       const dataset::ServerRecord& record) const;
 
+  /// Columnar (SoA) snapshot of the repository: flat index-aligned columns
+  /// for the record fields and the derived metrics. The derived columns are
+  /// bitwise copies of derived(), so anything computed from them matches the
+  /// record-at-a-time path exactly. Built once on first use.
+  [[nodiscard]] const dataset::ColumnarSnapshot& columnar() const;
+
+  /// Span-based groupings over the snapshot's key columns — the hot path the
+  /// analysis passes iterate. Groups appear in ascending key order and group
+  /// members in ascending record-index order, i.e. exactly the iteration
+  /// order of the legacy map groupings below (pinned by the columnar
+  /// equivalence suite). Each index is built once under std::call_once.
+  [[nodiscard]] const dataset::GroupIndex& groups_by_year(
+      dataset::YearKey key) const;
+  [[nodiscard]] const dataset::GroupIndex& groups_by_family() const;
+  [[nodiscard]] const dataset::GroupIndex& groups_by_codename() const;
+  [[nodiscard]] const dataset::GroupIndex& groups_by_nodes() const;
+  [[nodiscard]] const dataset::GroupIndex& groups_single_node_by_chips() const;
+  [[nodiscard]] const dataset::GroupIndex& groups_by_mpc() const;
+
+  /// Gathers column[i] for each member index, in member order.
+  static std::vector<double> gather(std::span<const double> column,
+                                    std::span<const std::uint32_t> members);
+
   /// Memoized groupings (same maps ResultRepository builds, built once).
+  /// These are the legacy row-oriented views; new code should prefer the
+  /// span-based groupings above.
   [[nodiscard]] const std::map<int, dataset::RecordView>& by_year(
       dataset::YearKey key) const;
   [[nodiscard]] const std::map<power::UarchFamily, dataset::RecordView>&
@@ -79,9 +108,11 @@ class AnalysisContext {
   /// exactly-once guarantee bench_report_cache and the memoization tests
   /// assert on.
   struct CacheStats {
-    int derived_builds = 0;    // per-record metric bundle
-    int grouping_builds = 0;   // all grouping maps combined
-    int decile_builds = 0;     // top-decile sets
+    int derived_builds = 0;     // per-record metric bundle
+    int grouping_builds = 0;    // all legacy grouping maps combined
+    int decile_builds = 0;      // top-decile sets
+    int columnar_builds = 0;    // the SoA snapshot
+    int group_index_builds = 0; // all span-based group indexes combined
   };
   [[nodiscard]] CacheStats cache_stats() const;
 
@@ -95,6 +126,14 @@ class AnalysisContext {
   const dataset::ResultRepository& repo_;
 
   mutable Lazy<std::vector<metrics::DerivedCurveMetrics>> derived_;
+  mutable Lazy<dataset::ColumnarSnapshot> columnar_;
+  mutable Lazy<dataset::GroupIndex> groups_hw_year_;
+  mutable Lazy<dataset::GroupIndex> groups_pub_year_;
+  mutable Lazy<dataset::GroupIndex> groups_family_;
+  mutable Lazy<dataset::GroupIndex> groups_codename_;
+  mutable Lazy<dataset::GroupIndex> groups_nodes_;
+  mutable Lazy<dataset::GroupIndex> groups_chips_;
+  mutable Lazy<dataset::GroupIndex> groups_mpc_;
   mutable Lazy<std::map<int, dataset::RecordView>> by_hw_year_;
   mutable Lazy<std::map<int, dataset::RecordView>> by_pub_year_;
   mutable Lazy<std::map<power::UarchFamily, dataset::RecordView>> by_family_;
@@ -107,6 +146,8 @@ class AnalysisContext {
   mutable std::atomic<int> derived_builds_{0};
   mutable std::atomic<int> grouping_builds_{0};
   mutable std::atomic<int> decile_builds_{0};
+  mutable std::atomic<int> columnar_builds_{0};
+  mutable std::atomic<int> group_index_builds_{0};
 };
 
 }  // namespace epserve::analysis

@@ -1,5 +1,7 @@
 #include "analysis/idle_analysis.h"
 
+#include <span>
+
 #include "analysis/context.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
@@ -32,9 +34,14 @@ IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo) {
 }
 
 IdleAnalysis analyze_idle_power(const AnalysisContext& ctx) {
-  const auto view = ctx.repo().all();
-  return analyze_from_vectors(ctx.ep_values(view), ctx.idle_values(view),
-                              ctx.score_values(view));
+  // Hot path: the snapshot's columns already hold the three vectors in
+  // record order — no view construction, no per-record indirection.
+  const auto& snap = ctx.columnar();
+  const auto to_vec = [](std::span<const double> column) {
+    return std::vector<double>(column.begin(), column.end());
+  };
+  return analyze_from_vectors(to_vec(snap.ep()), to_vec(snap.idle_fraction()),
+                              to_vec(snap.overall_score()));
 }
 
 double mean_idle_fraction(const dataset::ResultRepository& repo, int from_year,

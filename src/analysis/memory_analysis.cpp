@@ -1,5 +1,6 @@
 #include "analysis/memory_analysis.h"
 
+#include "analysis/context.h"
 #include "metrics/efficiency.h"
 #include "metrics/proportionality.h"
 #include "stats/descriptive.h"
@@ -10,14 +11,34 @@ namespace epserve::analysis {
 std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
                                      std::size_t min_count) {
   std::vector<MpcRow> out;
-  for (const auto& [mpc, view] : repo.by_memory_per_core()) {
+  for (const auto& [mpc_centi, view] : repo.by_memory_per_core()) {
     if (view.size() < min_count) continue;
     MpcRow row;
-    row.gb_per_core = mpc;
+    row.gb_per_core = static_cast<double>(mpc_centi) / 100.0;
     row.count = view.size();
     row.mean_ep = stats::mean(dataset::ResultRepository::ep_values(view));
     row.mean_score =
         stats::mean(dataset::ResultRepository::score_values(view));
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<MpcRow> mpc_distribution(const AnalysisContext& ctx,
+                                     std::size_t min_count) {
+  const auto& snap = ctx.columnar();
+  const auto& groups = ctx.groups_by_mpc();
+  std::vector<MpcRow> out;
+  out.reserve(groups.group_count());
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const auto members = groups.members(g);
+    if (members.size() < min_count) continue;
+    MpcRow row;
+    row.gb_per_core = static_cast<double>(groups.key(g)) / 100.0;
+    row.count = members.size();
+    row.mean_ep = stats::mean(AnalysisContext::gather(snap.ep(), members));
+    row.mean_score =
+        stats::mean(AnalysisContext::gather(snap.overall_score(), members));
     out.push_back(row);
   }
   return out;

@@ -9,6 +9,8 @@
 
 namespace epserve::analysis {
 
+class AnalysisContext;
+
 struct MpcRow {
   double gb_per_core = 0.0;
   std::size_t count = 0;
@@ -17,8 +19,12 @@ struct MpcRow {
 };
 
 /// All observed ratios, ascending. `min_count` filters the long tail the way
-/// Table I keeps only ratios with more than 10 results.
+/// Table I keeps only ratios with more than 10 results. The repository
+/// overload rebuilds the MPC grouping and re-derives every metric; the
+/// context overload reads the cached MPC group index. Byte-identical.
 std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
+                                     std::size_t min_count = 0);
+std::vector<MpcRow> mpc_distribution(const AnalysisContext& ctx,
                                      std::size_t min_count = 0);
 
 /// Ratio with the highest mean EP / highest mean EE among rows with at least

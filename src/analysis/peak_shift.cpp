@@ -53,16 +53,16 @@ double share_peaking_at_full_load(const dataset::ResultRepository& repo,
 
 double share_peaking_at_full_load(const AnalysisContext& ctx, int from_year,
                                   int to_year) {
-  const auto& derived = ctx.derived();
+  // Hot path: two flat column scans, no record structs touched.
+  const auto& snap = ctx.columnar();
+  const auto years = snap.hw_year();
+  const auto spots = snap.peak_ee_utilization();
   std::size_t total = 0;
   std::size_t at_full = 0;
-  const auto& records = ctx.repo().records();
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    if (records[i].hw_year < from_year || records[i].hw_year > to_year) {
-      continue;
-    }
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (years[i] < from_year || years[i] > to_year) continue;
     ++total;
-    if (derived[i].peak_ee_utilization == 1.0) ++at_full;
+    if (spots[i] == 1.0) ++at_full;
   }
   EPSERVE_EXPECTS(total > 0);
   return static_cast<double>(at_full) / static_cast<double>(total);

@@ -21,11 +21,14 @@ struct ScaleRow {
 };
 
 /// Fig.13: multi-node and single-node rows keyed by node count (1 included
-/// for reference).
+/// for reference). Repository overload rebuilds the grouping map; the
+/// context overload reads the cached group index. Byte-identical.
 std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo);
+std::vector<ScaleRow> ep_ee_by_nodes(const AnalysisContext& ctx);
 
 /// Fig.14: single-node servers keyed by chips (1/2/4/8).
 std::vector<ScaleRow> ep_ee_by_chips(const dataset::ResultRepository& repo);
+std::vector<ScaleRow> ep_ee_by_chips(const AnalysisContext& ctx);
 
 /// Fig.15: 2-chip single-node servers vs all servers, averaged over the
 /// per-hardware-year relative differences (the paper reports +2.94% EP and

@@ -39,10 +39,20 @@ std::vector<YearTrendRow> year_trends(const dataset::ResultRepository& repo,
 
 std::vector<YearTrendRow> year_trends(const AnalysisContext& ctx,
                                       dataset::YearKey key) {
+  // Hot path: contiguous group spans + column gathers. Group/member order
+  // matches the map path, so the rows are byte-identical to the overload
+  // above.
+  const auto& snap = ctx.columnar();
+  const auto& groups = ctx.groups_by_year(key);
   std::vector<YearTrendRow> rows;
-  for (const auto& [year, view] : ctx.by_year(key)) {
-    rows.push_back(make_row(year, view.size(), ctx.ep_values(view),
-                            ctx.score_values(view), ctx.peak_ee_values(view)));
+  rows.reserve(groups.group_count());
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const auto members = groups.members(g);
+    auto eps = AnalysisContext::gather(snap.ep(), members);
+    auto scores = AnalysisContext::gather(snap.overall_score(), members);
+    auto peak_ees = AnalysisContext::gather(snap.peak_ee_value(), members);
+    rows.push_back(make_row(groups.key(g), members.size(), std::move(eps),
+                            std::move(scores), std::move(peak_ees)));
   }
   return rows;
 }

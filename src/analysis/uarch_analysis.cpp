@@ -51,9 +51,41 @@ std::vector<CodenameEp> codename_ep_ranking(
 }
 
 std::vector<CodenameEp> codename_ep_ranking(const AnalysisContext& ctx) {
-  return rank_codenames(ctx.by_codename(), [&ctx](const dataset::RecordView& v) {
-    return ctx.ep_values(v);
+  // Hot path over codename-id group spans. Interned ids are lexicographic
+  // ranks, so the pre-sort row order — and therefore the (unstable) sort's
+  // output — matches the map path exactly.
+  const auto& snap = ctx.columnar();
+  const auto& groups = ctx.groups_by_codename();
+  std::vector<CodenameEp> out;
+  out.reserve(groups.group_count());
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const auto members = groups.members(g);
+    CodenameEp row;
+    row.codename = std::string(snap.codename_of(groups.key(g)));
+    row.count = members.size();
+    const auto eps = AnalysisContext::gather(snap.ep(), members);
+    row.mean_ep = stats::mean(eps);
+    row.median_ep = stats::median(eps);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.mean_ep > b.mean_ep;
   });
+  return out;
+}
+
+std::vector<FamilyCount> family_counts(const AnalysisContext& ctx) {
+  const auto& groups = ctx.groups_by_family();
+  std::vector<FamilyCount> out;
+  out.reserve(groups.group_count());
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    out.push_back({static_cast<power::UarchFamily>(groups.key(g)),
+                   groups.members(g).size()});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count > b.count;
+  });
+  return out;
 }
 
 std::map<int, std::map<std::string, std::size_t>> yearly_codename_mix(

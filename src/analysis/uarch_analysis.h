@@ -20,7 +20,10 @@ struct FamilyCount {
   std::size_t count = 0;
 };
 
+/// Sorted descending by count. Repository overload rebuilds the family map;
+/// the context overload reads the cached family group index. Byte-identical.
 std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo);
+std::vector<FamilyCount> family_counts(const AnalysisContext& ctx);
 
 /// Fig.7 row: codename, count, and mean EP.
 struct CodenameEp {

@@ -32,13 +32,15 @@ Result<DayResult> simulate_day(const PlacementPolicy& policy,
   }
   DayResult result;
   result.policy = policy.name();
-  for (const double demand : trace.demand) {
-    auto assignment = evaluate(policy, fleet, demand);
-    if (!assignment.ok()) return assignment.error();
+  // One batched evaluation for the whole trace: every server's interpolation
+  // table is built once per day instead of once per (server, slot) pair.
+  auto assignments = evaluate_batch(policy, fleet, trace.demand);
+  if (!assignments.ok()) return assignments.error();
+  for (const auto& assignment : assignments.value()) {
     result.energy_kwh +=
-        assignment.value().total_power_watts * trace.slot_hours / 1000.0;
+        assignment.total_power_watts * trace.slot_hours / 1000.0;
     result.served_gops +=
-        assignment.value().total_ops * trace.slot_hours * 3600.0 / 1e9;
+        assignment.total_ops * trace.slot_hours * 3600.0 / 1e9;
   }
   const double joules = result.energy_kwh * 3.6e6;
   result.avg_efficiency = joules > 0.0 ? result.served_gops * 1e9 / joules : 0.0;

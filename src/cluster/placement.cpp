@@ -118,17 +118,58 @@ Result<Assignment> evaluate(const PlacementPolicy& policy,
   return assignment;
 }
 
+Result<std::vector<Assignment>> evaluate_batch(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet,
+    std::span<const double> demands) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  std::vector<Assignment> out(demands.size());
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    if (demands[d] < 0.0 || demands[d] > 1.0) {
+      return Error::invalid_argument("demand must be in [0, 1]");
+    }
+    out[d].utilization = policy.place(fleet, demands[d]);
+    if (out[d].utilization.size() != fleet.size()) {
+      return Error::failed_precondition("policy returned a misaligned vector");
+    }
+    for (const double u : out[d].utilization) {
+      if (u < -1e-9 || u > 1.0 + 1e-9) {
+        return Error::failed_precondition(
+            "policy produced utilisation outside [0,1]");
+      }
+    }
+  }
+  // Server-major accounting: one interpolation table per server covers every
+  // demand point. Each slot's sums still accumulate in server index order,
+  // so totals match evaluate() bitwise.
+  std::vector<double> clamped(demands.size());
+  std::vector<double> norm(demands.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      clamped[d] = std::clamp(out[d].utilization[i], 0.0, 1.0);
+    }
+    fleet[i].curve.normalized_power_batch(clamped, norm);
+    const double peak_watts = fleet[i].curve.peak_watts();
+    const double peak_ops = fleet[i].curve.peak_ops();
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      out[d].total_power_watts += norm[d] * peak_watts;
+      out[d].total_ops += clamped[d] * peak_ops;
+    }
+  }
+  return out;
+}
+
 Result<metrics::PowerCurve> cluster_power_curve(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
   std::array<double, metrics::kNumLoadLevels> watts{};
   std::array<double, metrics::kNumLoadLevels> ops{};
+  auto assignments = evaluate_batch(policy, fleet, metrics::kLoadLevels);
+  if (!assignments.ok()) return assignments.error();
   for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
-    auto assignment = evaluate(policy, fleet, metrics::kLoadLevels[i]);
-    if (!assignment.ok()) return assignment.error();
-    watts[i] = assignment.value().total_power_watts;
-    ops[i] = assignment.value().total_ops;
+    watts[i] = assignments.value()[i].total_power_watts;
+    ops[i] = assignments.value()[i].total_ops;
   }
   // Active idle: every machine idles.
   double idle = 0.0;

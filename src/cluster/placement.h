@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,16 @@ class OptimalRegionPolicy final : public PlacementPolicy {
 epserve::Result<Assignment> evaluate(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet, double demand);
+
+/// Evaluates a policy at many demand points in one call. Placement and
+/// validation match evaluate() slot by slot; power runs server-major through
+/// PowerCurve::normalized_power_batch, so each server's interpolation table
+/// is built once for the whole sweep instead of once per (server, demand)
+/// pair. Per-slot results are bit-identical to calling evaluate() per demand.
+epserve::Result<std::vector<Assignment>> evaluate_batch(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet,
+    std::span<const double> demands);
 
 /// Aggregate fleet power at a fleet-wide demand under a policy — evaluated
 /// at the eleven SPECpower points this library uses everywhere — exposed as

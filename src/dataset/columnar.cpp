@@ -1,0 +1,80 @@
+#include "dataset/columnar.h"
+
+#include <algorithm>
+
+#include "power/uarch.h"
+#include "util/contracts.h"
+
+namespace epserve::dataset {
+
+ColumnarSnapshot ColumnarSnapshot::build(
+    const ResultRepository& repo,
+    std::span<const metrics::DerivedCurveMetrics> derived) {
+  const auto& records = repo.records();
+  EPSERVE_EXPECTS(derived.size() == records.size());
+  const std::size_t n = records.size();
+
+  ColumnarSnapshot snap;
+  snap.hw_year_.reserve(n);
+  snap.pub_year_.reserve(n);
+  snap.nodes_.reserve(n);
+  snap.chips_.reserve(n);
+  snap.total_cores_.reserve(n);
+  snap.codename_id_.reserve(n);
+  snap.family_id_.reserve(n);
+  snap.mpc_centi_.reserve(n);
+  snap.memory_per_core_.reserve(n);
+  snap.idle_watts_.reserve(n);
+  snap.peak_watts_.reserve(n);
+  snap.ep_.reserve(n);
+  snap.overall_score_.reserve(n);
+  snap.idle_fraction_.reserve(n);
+  snap.peak_ee_value_.reserve(n);
+  snap.peak_ee_utilization_.reserve(n);
+
+  // Intern codenames: sorted-unique, so id order == lexicographic order.
+  snap.codenames_.reserve(records.size());
+  for (const auto& r : records) snap.codenames_.push_back(r.cpu_codename);
+  std::sort(snap.codenames_.begin(), snap.codenames_.end());
+  snap.codenames_.erase(
+      std::unique(snap.codenames_.begin(), snap.codenames_.end()),
+      snap.codenames_.end());
+  snap.codenames_.shrink_to_fit();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServerRecord& r = records[i];
+    snap.hw_year_.push_back(r.hw_year);
+    snap.pub_year_.push_back(r.pub_year);
+    snap.nodes_.push_back(r.nodes);
+    snap.chips_.push_back(r.chips);
+    snap.total_cores_.push_back(r.total_cores());
+    const auto lo = std::lower_bound(snap.codenames_.begin(),
+                                     snap.codenames_.end(), r.cpu_codename);
+    snap.codename_id_.push_back(
+        static_cast<std::int32_t>(lo - snap.codenames_.begin()));
+    const auto* info = power::find_uarch(r.cpu_codename);
+    EPSERVE_ENSURES(info != nullptr);
+    snap.family_id_.push_back(static_cast<std::int32_t>(info->family));
+    snap.mpc_centi_.push_back(ResultRepository::mpc_centi_key(r));
+    snap.memory_per_core_.push_back(r.memory_per_core());
+    snap.idle_watts_.push_back(r.curve.idle_watts());
+    snap.peak_watts_.push_back(r.curve.peak_watts());
+    snap.ep_.push_back(derived[i].ep);
+    snap.overall_score_.push_back(derived[i].overall_score);
+    snap.idle_fraction_.push_back(derived[i].idle_fraction);
+    snap.peak_ee_value_.push_back(derived[i].peak_ee.value);
+    snap.peak_ee_utilization_.push_back(derived[i].peak_ee_utilization);
+  }
+  return snap;
+}
+
+ColumnarSnapshot ColumnarSnapshot::build(const ResultRepository& repo) {
+  std::vector<metrics::DerivedCurveMetrics> derived;
+  derived.reserve(repo.size());
+  for (const auto& r : repo.records()) {
+    derived.push_back(metrics::derive_curve_metrics(r.curve));
+  }
+  return build(repo, derived);
+}
+
+}  // namespace epserve::dataset

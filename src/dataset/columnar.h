@@ -1,0 +1,128 @@
+// ColumnarSnapshot: structure-of-arrays view of a ResultRepository.
+//
+// Every figure/table in the paper is a group-by over the population, and the
+// row-oriented query layer (RecordView = vector<const ServerRecord*>) pays
+// for that with pointer chasing, per-group heap allocation, and std::function
+// indirection on each metric extraction. The snapshot flattens the fields the
+// analyses actually touch into index-aligned columns, built once per
+// repository (AnalysisContext caches one under std::call_once). Group-bys
+// then become permutation sorts over int32 key columns (dataset/group_index.h)
+// and metric extraction becomes a contiguous gather.
+//
+// Determinism contract: the derived columns are bit-for-bit copies of the
+// DerivedCurveMetrics bundle, and every grouping built on top of the snapshot
+// iterates records in ascending record-index order within a group and
+// ascending key order across groups — exactly the order the std::map-based
+// builders produce. Anything computed from spans + columns is therefore
+// byte-identical to the legacy map-of-views path (pinned by
+// tests/dataset_columnar_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataset/repository.h"
+#include "metrics/derived.h"
+
+namespace epserve::dataset {
+
+class ColumnarSnapshot {
+ public:
+  ColumnarSnapshot() = default;
+
+  /// Builds the snapshot from a repository plus its index-aligned derived
+  /// bundle (one DerivedCurveMetrics per record, e.g. AnalysisContext's
+  /// memoized vector). Derived columns are copied bitwise.
+  static ColumnarSnapshot build(
+      const ResultRepository& repo,
+      std::span<const metrics::DerivedCurveMetrics> derived);
+
+  /// Convenience overload deriving the bundle itself (cold path).
+  static ColumnarSnapshot build(const ResultRepository& repo);
+
+  [[nodiscard]] std::size_t size() const { return hw_year_.size(); }
+
+  // --- Record columns (index-aligned with repo.records()) -------------------
+  [[nodiscard]] std::span<const std::int32_t> hw_year() const {
+    return hw_year_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> pub_year() const {
+    return pub_year_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const std::int32_t> chips() const { return chips_; }
+  [[nodiscard]] std::span<const std::int32_t> total_cores() const {
+    return total_cores_;
+  }
+  /// Interned codename id (see codenames()).
+  [[nodiscard]] std::span<const std::int32_t> codename_id() const {
+    return codename_id_;
+  }
+  /// static_cast<int32>(power::UarchFamily) — ascending ids match the
+  /// enum's (and so std::map<UarchFamily>'s) order.
+  [[nodiscard]] std::span<const std::int32_t> family_id() const {
+    return family_id_;
+  }
+  /// ResultRepository::mpc_centi_key per record (150 == 1.50 GB/core).
+  [[nodiscard]] std::span<const std::int32_t> mpc_centi() const {
+    return mpc_centi_;
+  }
+  [[nodiscard]] std::span<const double> memory_per_core() const {
+    return memory_per_core_;
+  }
+  [[nodiscard]] std::span<const double> idle_watts() const {
+    return idle_watts_;
+  }
+  [[nodiscard]] std::span<const double> peak_watts() const {
+    return peak_watts_;
+  }
+
+  // --- Derived columns (bitwise copies of the derived bundle) ---------------
+  [[nodiscard]] std::span<const double> ep() const { return ep_; }
+  [[nodiscard]] std::span<const double> overall_score() const {
+    return overall_score_;
+  }
+  [[nodiscard]] std::span<const double> idle_fraction() const {
+    return idle_fraction_;
+  }
+  [[nodiscard]] std::span<const double> peak_ee_value() const {
+    return peak_ee_value_;
+  }
+  [[nodiscard]] std::span<const double> peak_ee_utilization() const {
+    return peak_ee_utilization_;
+  }
+
+  // --- Codename interning ---------------------------------------------------
+  /// Distinct codenames sorted ascending, so iterating codename-id groups in
+  /// ascending id order matches std::map<std::string, ...> key order.
+  [[nodiscard]] const std::vector<std::string>& codenames() const {
+    return codenames_;
+  }
+  [[nodiscard]] std::string_view codename_of(std::int32_t id) const {
+    return codenames_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::vector<std::int32_t> hw_year_;
+  std::vector<std::int32_t> pub_year_;
+  std::vector<std::int32_t> nodes_;
+  std::vector<std::int32_t> chips_;
+  std::vector<std::int32_t> total_cores_;
+  std::vector<std::int32_t> codename_id_;
+  std::vector<std::int32_t> family_id_;
+  std::vector<std::int32_t> mpc_centi_;
+  std::vector<double> memory_per_core_;
+  std::vector<double> idle_watts_;
+  std::vector<double> peak_watts_;
+  std::vector<double> ep_;
+  std::vector<double> overall_score_;
+  std::vector<double> idle_fraction_;
+  std::vector<double> peak_ee_value_;
+  std::vector<double> peak_ee_utilization_;
+  std::vector<std::string> codenames_;
+};
+
+}  // namespace epserve::dataset

@@ -140,13 +140,19 @@ CurveBuild build_curve(const metrics::TwoSegmentPowerModel& model,
                        double target_spot, bool dual_peak, double peak_watts,
                        double overall_score, double jitter_sd, Rng& rng) {
   std::array<double, kNumLoadLevels> norm{};
-  const std::size_t spot_level =
+  const auto spot_level_result =
       metrics::level_of_utilization(std::min(target_spot, 1.0));
+  EPSERVE_EXPECTS(spot_level_result.ok());  // spots are planned on the grid
+  const std::size_t spot_level = spot_level_result.value();
+
+  // The model is fixed across retry attempts; evaluate the sheet once.
+  std::array<double, kNumLoadLevels> base{};
+  model.power_batch(kLoadLevels, base);
 
   for (int attempt = 0;; ++attempt) {
     const double sd = jitter_sd * std::pow(0.5, attempt);
     for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
-      double w = model.power(kLoadLevels[i]);
+      double w = base[i];
       if (attempt < 6 && sd > 0.0) {
         w *= 1.0 + std::clamp(rng.normal(0.0, sd), -2.5 * sd, 2.5 * sd);
       }

@@ -1,0 +1,58 @@
+#include "dataset/group_index.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace epserve::dataset {
+
+GroupIndex GroupIndex::over(std::span<const std::int32_t> keys) {
+  std::vector<std::uint32_t> perm(keys.size());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  return build_from(std::move(perm), keys);
+}
+
+GroupIndex GroupIndex::over_masked(std::span<const std::int32_t> keys,
+                                   std::span<const std::uint8_t> mask) {
+  EPSERVE_EXPECTS(mask.size() == keys.size());
+  std::vector<std::uint32_t> perm;
+  perm.reserve(keys.size());
+  for (std::uint32_t i = 0; i < keys.size(); ++i) {
+    if (mask[i] != 0) perm.push_back(i);
+  }
+  return build_from(std::move(perm), keys);
+}
+
+std::optional<std::size_t> GroupIndex::find(std::int32_t key) const {
+  const auto it = std::lower_bound(
+      bounds_.begin(), bounds_.end(), key,
+      [](const Bounds& b, std::int32_t k) { return b.key < k; });
+  if (it == bounds_.end() || it->key != key) return std::nullopt;
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+GroupIndex GroupIndex::build_from(std::vector<std::uint32_t> perm,
+                                  std::span<const std::int32_t> keys) {
+  // Sort by (key, index): ascending keys across groups, ascending record
+  // index within a group — std::map insertion order, which the byte-identity
+  // contract depends on. std::sort is fine because the index tiebreak makes
+  // the ordering total.
+  std::sort(perm.begin(), perm.end(),
+            [&keys](std::uint32_t a, std::uint32_t b) {
+              if (keys[a] != keys[b]) return keys[a] < keys[b];
+              return a < b;
+            });
+
+  GroupIndex out;
+  out.perm_ = std::move(perm);
+  for (std::uint32_t pos = 0; pos < out.perm_.size();) {
+    const std::int32_t key = keys[out.perm_[pos]];
+    std::uint32_t end = pos + 1;
+    while (end < out.perm_.size() && keys[out.perm_[end]] == key) ++end;
+    out.bounds_.push_back({key, pos, end});
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace epserve::dataset

@@ -1,0 +1,70 @@
+// GroupIndex: span-based grouping over a ColumnarSnapshot key column.
+//
+// One permutation sort per key replaces the map-of-vectors group builders:
+// the index stores a single uint32 permutation of the participating record
+// indices plus per-group [begin, end) offsets into it, so a whole grouping
+// costs two flat allocations and groups are contiguous spans (no per-group
+// heap vectors, no pointer chasing).
+//
+// Ordering contract (load-bearing for byte-identical reports): groups are
+// exposed in ascending key order, and members within a group in ascending
+// record-index order — exactly std::map insertion order in the legacy
+// builders. Iterating `members(g)` and gathering from a snapshot column
+// therefore visits values in the same order as iterating the corresponding
+// map-of-views group.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace epserve::dataset {
+
+class GroupIndex {
+ public:
+  GroupIndex() = default;
+
+  /// Groups all rows of `keys` (one key per record index).
+  static GroupIndex over(std::span<const std::int32_t> keys);
+
+  /// Groups only rows with mask[i] != 0 (e.g. nodes == 1 for the paper's
+  /// single-node-by-chips slice). `mask` must be index-aligned with `keys`.
+  static GroupIndex over_masked(std::span<const std::int32_t> keys,
+                                std::span<const std::uint8_t> mask);
+
+  [[nodiscard]] std::size_t group_count() const { return bounds_.size(); }
+
+  /// Key of group g (groups are sorted ascending by key).
+  [[nodiscard]] std::int32_t key(std::size_t g) const {
+    return bounds_[g].key;
+  }
+
+  /// Record indices of group g, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> members(std::size_t g) const {
+    const Bounds& b = bounds_[g];
+    return {perm_.data() + b.begin, static_cast<std::size_t>(b.end - b.begin)};
+  }
+
+  /// Group position for a key (binary search); nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> find(std::int32_t key) const;
+
+  /// Total rows across all groups (== keys.size() for over(); masked rows
+  /// are excluded for over_masked()).
+  [[nodiscard]] std::size_t total_members() const { return perm_.size(); }
+
+ private:
+  static GroupIndex build_from(std::vector<std::uint32_t> perm,
+                               std::span<const std::int32_t> keys);
+
+  struct Bounds {
+    std::int32_t key = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  std::vector<std::uint32_t> perm_;  // grouped record indices, back to back
+  std::vector<Bounds> bounds_;       // one entry per group, keys ascending
+};
+
+}  // namespace epserve::dataset

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "metrics/efficiency.h"
 #include "metrics/proportionality.h"
@@ -22,59 +23,76 @@ RecordView ResultRepository::all() const {
 RecordView ResultRepository::where(
     const std::function<bool(const ServerRecord&)>& pred) const {
   RecordView view;
+  view.reserve(records_.size());
   for (const auto& r : records_) {
     if (pred(r)) view.push_back(&r);
   }
   return view;
 }
 
-std::map<int, RecordView> ResultRepository::by_year(YearKey key) const {
-  std::map<int, RecordView> groups;
-  for (const auto& r : records_) {
-    const int year =
-        key == YearKey::kHardwareAvailability ? r.hw_year : r.pub_year;
-    groups[year].push_back(&r);
+namespace {
+
+/// Shared group-builder: one counting pass so every group vector is
+/// allocated exactly once, then a fill pass in record order. `key_of`
+/// returns nullopt for records excluded from the grouping.
+template <typename Key, typename KeyFn>
+std::map<Key, RecordView> grouped(const std::vector<ServerRecord>& records,
+                                  KeyFn&& key_of) {
+  std::map<Key, std::size_t> counts;
+  for (const auto& r : records) {
+    if (const auto key = key_of(r)) ++counts[*key];
+  }
+  std::map<Key, RecordView> groups;
+  for (const auto& [key, count] : counts) groups[key].reserve(count);
+  for (const auto& r : records) {
+    if (const auto key = key_of(r)) groups[*key].push_back(&r);
   }
   return groups;
+}
+
+}  // namespace
+
+std::map<int, RecordView> ResultRepository::by_year(YearKey key) const {
+  return grouped<int>(records_, [key](const ServerRecord& r) {
+    return std::optional<int>(
+        key == YearKey::kHardwareAvailability ? r.hw_year : r.pub_year);
+  });
 }
 
 std::map<power::UarchFamily, RecordView> ResultRepository::by_family() const {
-  std::map<power::UarchFamily, RecordView> groups;
-  for (const auto& r : records_) {
+  return grouped<power::UarchFamily>(records_, [](const ServerRecord& r) {
     const auto* info = power::find_uarch(r.cpu_codename);
     EPSERVE_ENSURES(info != nullptr);
-    groups[info->family].push_back(&r);
-  }
-  return groups;
+    return std::optional<power::UarchFamily>(info->family);
+  });
 }
 
 std::map<std::string, RecordView> ResultRepository::by_codename() const {
-  std::map<std::string, RecordView> groups;
-  for (const auto& r : records_) groups[r.cpu_codename].push_back(&r);
-  return groups;
+  return grouped<std::string>(records_, [](const ServerRecord& r) {
+    return std::optional<std::string>(r.cpu_codename);
+  });
 }
 
 std::map<int, RecordView> ResultRepository::by_nodes() const {
-  std::map<int, RecordView> groups;
-  for (const auto& r : records_) groups[r.nodes].push_back(&r);
-  return groups;
+  return grouped<int>(records_, [](const ServerRecord& r) {
+    return std::optional<int>(r.nodes);
+  });
 }
 
 std::map<int, RecordView> ResultRepository::single_node_by_chips() const {
-  std::map<int, RecordView> groups;
-  for (const auto& r : records_) {
-    if (r.nodes == 1) groups[r.chips].push_back(&r);
-  }
-  return groups;
+  return grouped<int>(records_, [](const ServerRecord& r) {
+    return r.nodes == 1 ? std::optional<int>(r.chips) : std::nullopt;
+  });
 }
 
-std::map<double, RecordView> ResultRepository::by_memory_per_core() const {
-  std::map<double, RecordView> groups;
-  for (const auto& r : records_) {
-    const double mpc = std::round(r.memory_per_core() * 100.0) / 100.0;
-    groups[mpc].push_back(&r);
-  }
-  return groups;
+int ResultRepository::mpc_centi_key(const ServerRecord& record) {
+  return static_cast<int>(std::lround(record.memory_per_core() * 100.0));
+}
+
+std::map<int, RecordView> ResultRepository::by_memory_per_core() const {
+  return grouped<int>(records_, [](const ServerRecord& r) {
+    return std::optional<int>(mpc_centi_key(r));
+  });
 }
 
 std::vector<double> ResultRepository::metric(

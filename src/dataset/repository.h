@@ -49,8 +49,13 @@ class ResultRepository {
   [[nodiscard]] std::map<int, RecordView> by_nodes() const;
   [[nodiscard]] std::map<int, RecordView> single_node_by_chips() const;
 
-  /// Grouped by memory-per-core ratio (rounded to 2 decimals).
-  [[nodiscard]] std::map<double, RecordView> by_memory_per_core() const;
+  /// Grouped by memory-per-core ratio, keyed by integer centi-GB-per-core
+  /// (150 == 1.50 GB/core). The integer key keeps map lookups exact; divide
+  /// by 100.0 to recover the 2-decimal ratio the paper's Table I prints.
+  [[nodiscard]] std::map<int, RecordView> by_memory_per_core() const;
+
+  /// by_memory_per_core's key for one record.
+  static int mpc_centi_key(const ServerRecord& record);
 
   /// Metric vector over a view (EP, overall score, idle fraction, ...).
   static std::vector<double> metric(

@@ -39,6 +39,17 @@ double TwoSegmentPowerModel::power(double u) const {
   return idle + s1 * tau + s2 * (u - tau);
 }
 
+void TwoSegmentPowerModel::power_batch(std::span<const double> utils,
+                                       std::span<double> out) const {
+  EPSERVE_EXPECTS(utils.size() == out.size());
+  const double kink = idle + s1 * tau;  // == (idle + s1*tau) in power()
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    const double u = utils[i];
+    EPSERVE_EXPECTS(u >= 0.0 && u <= 1.0);
+    out[i] = u <= tau ? idle + s1 * u : kink + s2 * (u - tau);
+  }
+}
+
 double TwoSegmentPowerModel::area() const {
   return idle + s1 * tau / 2.0 + (1.0 - idle) * (1.0 - tau) / 2.0;
 }

@@ -26,6 +26,8 @@
 //    feasible iff EP ∈ [(1-idle)*tau, (1-idle)*(1+tau)].
 #pragma once
 
+#include <span>
+
 #include "metrics/power_curve.h"
 #include "util/result.h"
 
@@ -61,6 +63,14 @@ struct TwoSegmentPowerModel {
   double s2 = 0.0;   // slope on [tau, 1]
 
   [[nodiscard]] double power(double u) const;
+
+  /// Batched power: `out[i] = power(utils[i])`, bit-identical to the scalar
+  /// call (the scalar already associates the second segment as
+  /// `(idle + s1*tau) + s2*(u - tau)`, so hoisting the kink power out of the
+  /// loop changes nothing). Lets the generator evaluate a whole measurement
+  /// sheet without re-deriving the kink per level.
+  void power_batch(std::span<const double> utils, std::span<double> out) const;
+
   [[nodiscard]] double area() const;
 
   /// Exact EP (== trapezoid EP when tau is a measured level).

@@ -6,6 +6,8 @@
 #include <array>
 #include <cstddef>
 
+#include "util/result.h"
+
 namespace epserve::metrics {
 
 /// Number of non-idle measurement levels in a SPECpower run.
@@ -20,7 +22,10 @@ constexpr double utilization_of_level(std::size_t index) {
   return kLoadLevels[index];
 }
 
-/// Level index of a utilisation (must be one of the ten levels ±1e-9).
-std::size_t level_of_utilization(double utilization);
+/// Level index of a utilisation. The levels are a uniform 0.1 grid, so the
+/// lookup is O(1): the only candidate is the nearest index, accepted iff it
+/// matches within the grid tolerance (±1e-9). Returns kOutOfRange for
+/// non-graduated inputs.
+epserve::Result<std::size_t> level_of_utilization(double utilization);
 
 }  // namespace epserve::metrics

@@ -1,5 +1,6 @@
 #include "metrics/power_curve.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -7,11 +8,18 @@
 
 namespace epserve::metrics {
 
-std::size_t level_of_utilization(double utilization) {
-  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
-    if (std::abs(kLoadLevels[i] - utilization) < 1e-9) return i;
+Result<std::size_t> level_of_utilization(double utilization) {
+  // The levels are the uniform grid 0.1 .. 1.0, so the only candidate index
+  // is the nearest one; accept it iff it matches within the grid tolerance.
+  if (std::isfinite(utilization) && utilization > 0.05 && utilization < 1.05) {
+    const auto candidate =
+        static_cast<std::size_t>(std::lround(utilization * 10.0)) - 1;
+    if (candidate < kNumLoadLevels &&
+        std::abs(kLoadLevels[candidate] - utilization) < 1e-9) {
+      return candidate;
+    }
   }
-  throw ContractViolation("utilization is not a graduated load level");
+  return Error::out_of_range("utilization is not a graduated load level");
 }
 
 PowerCurve::PowerCurve(std::array<double, kNumLoadLevels> watts,
@@ -19,22 +27,50 @@ PowerCurve::PowerCurve(std::array<double, kNumLoadLevels> watts,
                        double idle_watts)
     : watts_(watts), ops_(ops), idle_watts_(idle_watts) {}
 
+PowerCurve::InterpolationTable PowerCurve::interpolation_table() const {
+  InterpolationTable t;
+  t.knot_u[0] = 0.0;
+  t.knot_watts[0] = idle_watts_;  // active idle treated as utilisation 0
+  for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
+    t.knot_u[i + 1] = kLoadLevels[i];
+    t.knot_watts[i + 1] = watts_[i];
+  }
+  for (std::size_t s = 0; s < kNumLoadLevels; ++s) {
+    t.slope[s] = (t.knot_watts[s + 1] - t.knot_watts[s]) /
+                 (t.knot_u[s + 1] - t.knot_u[s]);
+  }
+  t.inv_peak = 1.0 / peak_watts();
+  return t;
+}
+
+namespace {
+
+// Shared evaluation kernel: scalar and batched normalized_power both run
+// exactly this expression, so batch == scalar bitwise. The segment index is
+// u * 10 truncated (the knots are a uniform 0.1 grid); the clamp covers the
+// rounding case where u < 1.0 but u * 10.0 lands on 10.0.
+inline double eval_table(const PowerCurve::InterpolationTable& t, double u) {
+  if (u == 1.0) return 1.0;
+  const std::size_t seg =
+      std::min(static_cast<std::size_t>(u * 10.0), kNumLoadLevels - 1);
+  return (t.knot_watts[seg] + (u - t.knot_u[seg]) * t.slope[seg]) * t.inv_peak;
+}
+
+}  // namespace
+
 double PowerCurve::normalized_power(double utilization) const {
   EPSERVE_EXPECTS(utilization >= 0.0 && utilization <= 1.0);
-  const double peak = peak_watts();
-  if (utilization <= kLoadLevels.front()) {
-    // Interpolate between active idle (treated as utilisation 0) and 10%.
-    const double frac = utilization / kLoadLevels.front();
-    return (idle_watts_ + frac * (watts_.front() - idle_watts_)) / peak;
+  return eval_table(interpolation_table(), utilization);
+}
+
+void PowerCurve::normalized_power_batch(std::span<const double> utils,
+                                        std::span<double> out) const {
+  EPSERVE_EXPECTS(utils.size() == out.size());
+  const InterpolationTable t = interpolation_table();
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    EPSERVE_EXPECTS(utils[i] >= 0.0 && utils[i] <= 1.0);
+    out[i] = eval_table(t, utils[i]);
   }
-  for (std::size_t i = 1; i < kNumLoadLevels; ++i) {
-    if (utilization <= kLoadLevels[i]) {
-      const double span = kLoadLevels[i] - kLoadLevels[i - 1];
-      const double frac = (utilization - kLoadLevels[i - 1]) / span;
-      return (watts_[i - 1] + frac * (watts_[i] - watts_[i - 1])) / peak;
-    }
-  }
-  return 1.0;  // utilization == 1.0 exactly
 }
 
 Result<bool> PowerCurve::validate() const {

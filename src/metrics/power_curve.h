@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 
 #include "metrics/load_level.h"
 #include "util/result.h"
@@ -34,11 +35,33 @@ class PowerCurve {
   [[nodiscard]] double peak_watts() const { return watts_.back(); }
   [[nodiscard]] double peak_ops() const { return ops_.back(); }
 
+  /// Precomputed interpolation state for normalized_power: watts at the
+  /// eleven knots (active idle at u=0, then the ten levels), one slope per
+  /// segment, and the reciprocal of peak power. Building it costs a handful
+  /// of flops; evaluating with it is branch-light and division-free, which
+  /// is what makes the batched evaluation below worthwhile in per-interval
+  /// energy loops.
+  struct InterpolationTable {
+    std::array<double, kNumLoadLevels + 1> knot_u{};      // 0.0, 0.1 ... 1.0
+    std::array<double, kNumLoadLevels + 1> knot_watts{};  // idle, w(0.1)...
+    std::array<double, kNumLoadLevels> slope{};           // per segment
+    double inv_peak = 0.0;
+  };
+  [[nodiscard]] InterpolationTable interpolation_table() const;
+
   /// Power normalised to power at 100% load; `normalized_power(1.0) == 1`.
   /// Interpolates linearly between measured levels (and between idle and the
   /// 10% level below 10% utilisation), matching the paper's trapezoid
   /// treatment of the curve.
   [[nodiscard]] double normalized_power(double utilization) const;
+
+  /// Batched normalized_power: `out[i] = normalized_power(utils[i])`,
+  /// bit-identical to the scalar call (both evaluate the same
+  /// InterpolationTable kernel), but the table is built once per batch
+  /// instead of once per point. `out.size()` must equal `utils.size()`; every
+  /// utilisation must be in [0, 1].
+  void normalized_power_batch(std::span<const double> utils,
+                              std::span<double> out) const;
 
   /// Idle power as a fraction of power at 100% load (the paper's "idle power
   /// percentage").

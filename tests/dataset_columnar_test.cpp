@@ -1,0 +1,255 @@
+// Equivalence contract of the columnar engine (docs/COLUMNAR.md): every
+// GroupIndex built over a ColumnarSnapshot key column must expose exactly the
+// groups the legacy std::map builders produce — same keys in the same order,
+// same members in the same order — across population sizes, and the batched
+// power kernel must be bit-identical to the scalar one. Runs under the
+// `columnar` ctest label, i.e. also under -DEPSERVE_SANITIZE=thread.
+#include "dataset/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/memory_analysis.h"
+#include "cluster/day_simulation.h"
+#include "cluster/placement.h"
+#include "dataset/generator.h"
+#include "dataset/group_index.h"
+#include "dataset/repository.h"
+#include "metrics/derived.h"
+#include "metrics/power_curve.h"
+
+namespace epserve::dataset {
+namespace {
+
+const std::vector<ServerRecord>& base_population() {
+  static const std::vector<ServerRecord> population = [] {
+    auto result = generate_population();
+    EXPECT_TRUE(result.ok());
+    return std::move(result).take();
+  }();
+  return population;
+}
+
+/// Seeded populations of three sizes: a 100-record prefix, the full 477, and
+/// a 5000-record tiling (same key distribution, much larger groups).
+ResultRepository repo_of_size(std::size_t n) {
+  const auto& base = base_population();
+  std::vector<ServerRecord> records;
+  records.reserve(n);
+  while (records.size() < n) {
+    const std::size_t take = std::min(base.size(), n - records.size());
+    records.insert(records.end(), base.begin(),
+                   base.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return ResultRepository(std::move(records));
+}
+
+/// Legacy map groups flattened to (int32 key, view) pairs in map order.
+using LegacyGroups = std::vector<std::pair<std::int32_t, const RecordView*>>;
+
+void expect_equivalent(const ResultRepository& repo, const GroupIndex& groups,
+                       const LegacyGroups& legacy) {
+  ASSERT_EQ(groups.group_count(), legacy.size());
+  const auto& records = repo.records();
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    SCOPED_TRACE(::testing::Message() << "group " << g);
+    EXPECT_EQ(groups.key(g), legacy[g].first);
+    const auto members = groups.members(g);
+    const auto& view = *legacy[g].second;
+    ASSERT_EQ(members.size(), view.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      EXPECT_EQ(&records[members[j]], view[j]);
+      if (j > 0) EXPECT_LT(members[j - 1], members[j]);
+    }
+    const auto found = groups.find(legacy[g].first);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, g);
+    total += members.size();
+  }
+  EXPECT_EQ(groups.total_members(), total);
+  EXPECT_FALSE(groups.find(-12345).has_value());
+}
+
+class GroupingEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupingEquivalence, MatchesLegacyMapBuildersOnEveryKey) {
+  const ResultRepository repo = repo_of_size(GetParam());
+  const ColumnarSnapshot snap = ColumnarSnapshot::build(repo);
+  ASSERT_EQ(snap.size(), repo.size());
+
+  {
+    const auto legacy = repo.by_year(YearKey::kHardwareAvailability);
+    LegacyGroups flat;
+    for (const auto& [year, view] : legacy) flat.emplace_back(year, &view);
+    expect_equivalent(repo, GroupIndex::over(snap.hw_year()), flat);
+  }
+  {
+    const auto legacy = repo.by_year(YearKey::kPublished);
+    LegacyGroups flat;
+    for (const auto& [year, view] : legacy) flat.emplace_back(year, &view);
+    expect_equivalent(repo, GroupIndex::over(snap.pub_year()), flat);
+  }
+  {
+    const auto legacy = repo.by_family();
+    LegacyGroups flat;
+    for (const auto& [family, view] : legacy) {
+      flat.emplace_back(static_cast<std::int32_t>(family), &view);
+    }
+    expect_equivalent(repo, GroupIndex::over(snap.family_id()), flat);
+  }
+  {
+    // Codename ids are interned sorted-ascending, so ascending-id group
+    // order must equal the std::map<std::string> key order.
+    const auto legacy = repo.by_codename();
+    const GroupIndex groups = GroupIndex::over(snap.codename_id());
+    LegacyGroups flat;
+    std::size_t g = 0;
+    for (const auto& [codename, view] : legacy) {
+      ASSERT_LT(g, groups.group_count());
+      EXPECT_EQ(snap.codename_of(groups.key(g)), codename);
+      flat.emplace_back(groups.key(g), &view);
+      ++g;
+    }
+    expect_equivalent(repo, groups, flat);
+  }
+  {
+    const auto legacy = repo.by_nodes();
+    LegacyGroups flat;
+    for (const auto& [nodes, view] : legacy) flat.emplace_back(nodes, &view);
+    expect_equivalent(repo, GroupIndex::over(snap.nodes()), flat);
+  }
+  {
+    const auto legacy = repo.by_memory_per_core();
+    LegacyGroups flat;
+    for (const auto& [centi, view] : legacy) flat.emplace_back(centi, &view);
+    expect_equivalent(repo, GroupIndex::over(snap.mpc_centi()), flat);
+  }
+  {
+    const auto legacy = repo.single_node_by_chips();
+    std::vector<std::uint8_t> mask(snap.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      mask[i] = snap.nodes()[i] == 1 ? 1 : 0;
+    }
+    LegacyGroups flat;
+    for (const auto& [chips, view] : legacy) flat.emplace_back(chips, &view);
+    expect_equivalent(repo, GroupIndex::over_masked(snap.chips(), mask), flat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, GroupingEquivalence,
+                         ::testing::Values(std::size_t{100}, std::size_t{477},
+                                           std::size_t{5000}));
+
+TEST(ColumnarSnapshot, DerivedColumnsAreBitwiseCopiesOfTheBundle) {
+  const ResultRepository repo = repo_of_size(477);
+  std::vector<metrics::DerivedCurveMetrics> derived;
+  derived.reserve(repo.size());
+  for (const auto& r : repo.records()) {
+    derived.push_back(metrics::derive_curve_metrics(r.curve));
+  }
+  const ColumnarSnapshot snap = ColumnarSnapshot::build(repo, derived);
+  ASSERT_EQ(snap.size(), derived.size());
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    EXPECT_EQ(snap.ep()[i], derived[i].ep);
+    EXPECT_EQ(snap.overall_score()[i], derived[i].overall_score);
+    EXPECT_EQ(snap.idle_fraction()[i], derived[i].idle_fraction);
+    EXPECT_EQ(snap.peak_ee_value()[i], derived[i].peak_ee.value);
+    EXPECT_EQ(snap.peak_ee_utilization()[i], derived[i].peak_ee_utilization);
+  }
+}
+
+TEST(NormalizedPowerBatch, BitIdenticalToScalarAcrossTheWholeGrid) {
+  const ResultRepository repo = repo_of_size(477);
+  std::vector<double> utils;
+  for (int i = 0; i <= 1000; ++i) utils.push_back(static_cast<double>(i) / 1000.0);
+  for (const double level : metrics::kLoadLevels) utils.push_back(level);
+  std::vector<double> batch(utils.size());
+  for (const auto& record : repo.records()) {
+    record.curve.normalized_power_batch(utils, batch);
+    for (std::size_t i = 0; i < utils.size(); ++i) {
+      EXPECT_EQ(batch[i], record.curve.normalized_power(utils[i]))
+          << record.id << " at u=" << utils[i];
+    }
+  }
+}
+
+TEST(EvaluateBatch, BitIdenticalToPerSlotEvaluate) {
+  const auto& base = base_population();
+  const std::vector<ServerRecord> fleet(base.begin(), base.begin() + 32);
+  const cluster::OptimalRegionPolicy policy;
+  const auto trace = cluster::DemandTrace::diurnal();
+  auto batched = cluster::evaluate_batch(policy, fleet, trace.demand);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched.value().size(), trace.demand.size());
+  for (std::size_t d = 0; d < trace.demand.size(); ++d) {
+    auto single = cluster::evaluate(policy, fleet, trace.demand[d]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batched.value()[d].total_power_watts,
+              single.value().total_power_watts);
+    EXPECT_EQ(batched.value()[d].total_ops, single.value().total_ops);
+    EXPECT_EQ(batched.value()[d].utilization, single.value().utilization);
+  }
+}
+
+TEST(EvaluateBatch, RejectsWithTheSameErrorsAsEvaluate) {
+  const auto& base = base_population();
+  const std::vector<ServerRecord> fleet(base.begin(), base.begin() + 4);
+  const cluster::BalancedPolicy policy;
+  const std::vector<double> bad{0.5, 1.5};
+  auto result = cluster::evaluate_batch(policy, fleet, bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message, "demand must be in [0, 1]");
+  auto empty = cluster::evaluate_batch(policy, {}, bad);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().message, "fleet is empty");
+}
+
+TEST(ColumnarConcurrency, SnapshotAndIndexesBuildOnceUnderContention) {
+  const ResultRepository repo = repo_of_size(477);
+  const analysis::AnalysisContext ctx(repo);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      (void)ctx.columnar();
+      (void)ctx.groups_by_year(YearKey::kHardwareAvailability);
+      (void)ctx.groups_by_year(YearKey::kPublished);
+      (void)ctx.groups_by_family();
+      (void)ctx.groups_by_codename();
+      (void)ctx.groups_by_nodes();
+      (void)ctx.groups_single_node_by_chips();
+      (void)ctx.groups_by_mpc();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto stats = ctx.cache_stats();
+  EXPECT_EQ(stats.columnar_builds, 1);
+  EXPECT_EQ(stats.group_index_builds, 7);
+}
+
+TEST(ColumnarContext, MpcDistributionMatchesRepoOverload) {
+  const ResultRepository repo = repo_of_size(477);
+  const analysis::AnalysisContext ctx(repo);
+  for (const std::size_t min_count : {std::size_t{0}, std::size_t{11}}) {
+    const auto from_repo = analysis::mpc_distribution(repo, min_count);
+    const auto from_ctx = analysis::mpc_distribution(ctx, min_count);
+    ASSERT_EQ(from_repo.size(), from_ctx.size());
+    for (std::size_t i = 0; i < from_repo.size(); ++i) {
+      EXPECT_EQ(from_repo[i].gb_per_core, from_ctx[i].gb_per_core);
+      EXPECT_EQ(from_repo[i].count, from_ctx[i].count);
+      EXPECT_EQ(from_repo[i].mean_ep, from_ctx[i].mean_ep);
+      EXPECT_EQ(from_repo[i].mean_score, from_ctx[i].mean_score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epserve::dataset

@@ -409,21 +409,22 @@ TEST(Topology, TwoChipSingleNodeServersLeadOnAverageEp) {
 // --- Memory per core (Table I) ---------------------------------------------------
 
 TEST(MemoryPerCore, TableIQuotasReproduced) {
+  // Keys are integer centi-GB-per-core: 67 == 0.67 GB/core.
   const auto groups = repo().by_memory_per_core();
-  EXPECT_EQ(groups.at(0.67).size(), 15u);
-  EXPECT_EQ(groups.at(1.0).size(), 153u);
-  EXPECT_EQ(groups.at(1.33).size(), 32u);
-  EXPECT_EQ(groups.at(1.5).size(), 68u);
-  EXPECT_EQ(groups.at(1.78).size(), 13u);
-  EXPECT_EQ(groups.at(2.0).size(), 123u);
-  EXPECT_EQ(groups.at(4.0).size(), 26u);
+  EXPECT_EQ(groups.at(67).size(), 15u);
+  EXPECT_EQ(groups.at(100).size(), 153u);
+  EXPECT_EQ(groups.at(133).size(), 32u);
+  EXPECT_EQ(groups.at(150).size(), 68u);
+  EXPECT_EQ(groups.at(178).size(), 13u);
+  EXPECT_EQ(groups.at(200).size(), 123u);
+  EXPECT_EQ(groups.at(400).size(), 26u);
 }
 
 TEST(MemoryPerCore, TableICoversAtLeast430Servers) {
   const auto groups = repo().by_memory_per_core();
   std::size_t covered = 0;
-  for (const double mpc : {0.67, 1.0, 1.33, 1.5, 1.78, 2.0, 4.0}) {
-    covered += groups.at(mpc).size();
+  for (const int mpc_centi : {67, 100, 133, 150, 178, 200, 400}) {
+    covered += groups.at(mpc_centi).size();
   }
   EXPECT_EQ(covered, 430u);
 }

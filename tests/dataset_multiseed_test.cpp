@@ -59,10 +59,10 @@ TEST_P(MultiSeedQuotas, TopologyQuotas) {
 TEST_P(MultiSeedQuotas, TableIQuotas) {
   const auto& repo = repo_for(GetParam());
   const auto mpc = repo.by_memory_per_core();
-  EXPECT_EQ(mpc.at(1.0).size(), 153u);
-  EXPECT_EQ(mpc.at(1.5).size(), 68u);
-  EXPECT_EQ(mpc.at(2.0).size(), 123u);
-  EXPECT_EQ(mpc.at(4.0).size(), 26u);
+  EXPECT_EQ(mpc.at(100).size(), 153u);
+  EXPECT_EQ(mpc.at(150).size(), 68u);
+  EXPECT_EQ(mpc.at(200).size(), 123u);
+  EXPECT_EQ(mpc.at(400).size(), 26u);
 }
 
 TEST_P(MultiSeedQuotas, PeakSpotQuotasAndDualPeak) {

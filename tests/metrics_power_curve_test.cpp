@@ -31,12 +31,25 @@ TEST(LoadLevels, TenAscendingLevels) {
 
 TEST(LoadLevels, LevelOfUtilizationRoundTrips) {
   for (std::size_t i = 0; i < kNumLoadLevels; ++i) {
-    EXPECT_EQ(level_of_utilization(kLoadLevels[i]), i);
+    const auto level = level_of_utilization(kLoadLevels[i]);
+    ASSERT_TRUE(level.ok());
+    EXPECT_EQ(level.value(), i);
   }
 }
 
+TEST(LoadLevels, LevelOfUtilizationAcceptsWithinGridTolerance) {
+  const auto level = level_of_utilization(0.3 + 5e-10);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level.value(), 2u);
+}
+
 TEST(LoadLevels, LevelOfUtilizationRejectsOffGrid) {
-  EXPECT_THROW(level_of_utilization(0.55), ContractViolation);
+  for (const double u : {0.55, 0.0, -0.3, 1.2, 0.3 + 1e-8,
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    const auto level = level_of_utilization(u);
+    ASSERT_FALSE(level.ok()) << "u=" << u;
+    EXPECT_EQ(level.error().code, Error::Code::kOutOfRange);
+  }
 }
 
 TEST(PowerCurve, AccessorsReturnConstructedValues) {
