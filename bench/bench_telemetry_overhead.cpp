@@ -1,0 +1,123 @@
+// Disabled-telemetry overhead gate for the analysis hot path.
+//
+// The telemetry layer promises near-zero cost while disabled: every
+// instrumentation point opens with one inlined relaxed atomic load and a
+// branch. This bench turns that promise into a number and a gate:
+//
+//   1. a microloop measures the per-event disabled cost (counter + scoped
+//      timer + span, the three primitives the hot path uses);
+//   2. one enabled run of the full pass bundle over a fresh AnalysisContext
+//      counts how many telemetry events the bundle actually emits;
+//   3. the bundle is timed with telemetry disabled, and the estimated
+//      disabled overhead — events x per-event cost / bundle time — must be
+//      at most 1% (exit 1 otherwise).
+//
+// Self-verification: the reports produced with telemetry enabled and
+// disabled are byte-compared (telemetry observes, never perturbs).
+#include "common.h"
+
+#include <chrono>
+#include <cstdint>
+
+#include "analysis/context.h"
+#include "analysis/pass.h"
+#include "util/telemetry.h"
+
+namespace {
+
+using namespace epserve;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Per-event cost of DISABLED instrumentation: each iteration exercises one
+/// counter, one scoped timer, and one span, so the loop cost / (3 * kReps)
+/// is the average price of a disabled primitive.
+double disabled_ns_per_event() {
+  constexpr std::uint64_t kReps = 2'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kReps; ++i) {
+    telemetry::count("probe.counter", i);
+    const telemetry::ScopedTimer timer("probe.timer");
+    const telemetry::Span span("probe.span");
+  }
+  return seconds_since(start) * 1e9 / (3.0 * static_cast<double>(kReps));
+}
+
+/// One full pass-bundle execution over a fresh context (every memoized build,
+/// every pass span, every cache counter fires on the enabled path).
+analysis::FullReport run_bundle(const dataset::ResultRepository& repo) {
+  const analysis::AnalysisContext ctx(repo);
+  return analysis::run_passes(ctx, analysis::all_passes());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "telemetry overhead — disabled-mode cost of the pass bundle",
+      "gate: estimated disabled overhead <= 1% of the bundle's runtime");
+  const auto& repo = bench::population();
+  telemetry::set_enabled(false);
+  telemetry::reset();
+
+  // 1. Disabled per-event cost.
+  const double ns_per_event = disabled_ns_per_event();
+
+  // 2. Events one bundle emits (counter increments are all delta=1 on this
+  //    path, so counter values count calls; spans are counted twice for
+  //    their enter/exit halves).
+  telemetry::set_enabled(true);
+  const auto enabled_report = run_bundle(repo);
+  telemetry::set_enabled(false);
+  const auto snap = telemetry::snapshot();
+  double events = 0.0;
+  for (const auto& c : snap.counters) events += static_cast<double>(c.value);
+  for (const auto& t : snap.timers) events += static_cast<double>(t.count);
+  for (const auto& s : snap.spans) events += 2.0 * static_cast<double>(s.count);
+
+  // 3. Bundle runtime with telemetry disabled.
+  constexpr int kIterations = 20;
+  analysis::FullReport disabled_report;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) disabled_report = run_bundle(repo);
+  const double bundle_s = seconds_since(start) / kIterations;
+
+  const double overhead_ns = events * ns_per_event;
+  const double overhead_pct = 100.0 * overhead_ns / (bundle_s * 1e9);
+
+  TextTable table;
+  table.columns({"quantity", "value"});
+  table.row({"disabled cost per event", format_fixed(ns_per_event, 2) + " ns"});
+  table.row({"events per pass bundle", format_fixed(events, 0)});
+  table.row({"bundle runtime (disabled)",
+             format_fixed(1000.0 * bundle_s, 3) + " ms"});
+  table.row({"estimated disabled overhead",
+             format_fixed(overhead_pct, 4) + " %"});
+  std::cout << table.render();
+  std::printf(
+      "BENCH_JSON {\"ns_per_event_disabled\": %.3f, \"events_per_bundle\": "
+      "%.0f, \"bundle_ms_disabled\": %.4f, \"overhead_pct\": %.5f}\n",
+      ns_per_event, events, 1000.0 * bundle_s, overhead_pct);
+
+  bool ok = true;
+  if (overhead_pct > 1.0) {
+    std::fprintf(stderr, "FAIL: disabled overhead %.4f%% exceeds 1%%\n",
+                 overhead_pct);
+    ok = false;
+  }
+  const auto& passes = analysis::all_passes();
+  if (analysis::render_passes_text(enabled_report, passes) !=
+      analysis::render_passes_text(disabled_report, passes)) {
+    std::fprintf(stderr,
+                 "FAIL: report differs with telemetry enabled vs disabled\n");
+    ok = false;
+  }
+  if (events <= 0.0) {
+    std::fprintf(stderr, "FAIL: enabled bundle recorded no telemetry\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

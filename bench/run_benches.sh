@@ -16,6 +16,7 @@ out="${2:-BENCH_baseline.json}"
 benches=(
   bench_columnar_groupby
   bench_report_cache
+  bench_telemetry_overhead
 )
 
 entries=()

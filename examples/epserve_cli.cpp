@@ -10,20 +10,28 @@
 //   epserve_cli fit     <in.csv> <id>       fit the two-segment model to one
 //                                           server's measured curve
 //
-// Seeds and sizes are parsed strictly: `epserve_cli report foo` is an error
-// (exit 2), not a silent seed-0 run.
+// Every subcommand parses through the shared util/args.h registry, so the
+// conventions hold everywhere: numeric arguments are strict (`epserve_cli
+// report foo` is exit 2, not a silent seed-0 run; same for sweep/fit ids),
+// unknown flags are rejected, and the global `--trace[=json]` flag — defined
+// once, accepted anywhere in argv — enables the telemetry layer and prints a
+// span/counter snapshot to stderr after the command. Stdout stays
+// byte-identical with tracing on or off (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cluster/operating_guide.h"
 #include "analysis/report_json.h"
 #include "core/epserve.h"
 #include "dataset/validation.h"
 #include "metrics/model_fit.h"
+#include "util/args.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace {
 
@@ -32,52 +40,41 @@ using namespace epserve;
 int usage() {
   std::fprintf(stderr,
                "usage: epserve_cli <report|export|validate|sweep|guide|fit> "
-               "[args]\n  see the header comment of examples/epserve_cli.cpp\n");
+               "[args] [--trace[=json]]\n"
+               "  see the header comment of examples/epserve_cli.cpp\n");
   return 2;
 }
 
-/// Strict numeric argument parse; prints a diagnostic and signals usage
-/// failure (exit 2) on malformed input instead of running with a silent 0.
-bool parse_number_arg(const char* what, const std::string& arg,
-                      std::uint64_t& out) {
-  auto parsed = parse_u64(arg);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "invalid %s '%s': %s\n", what, arg.c_str(),
-                 parsed.error().message.c_str());
-    return false;
-  }
-  out = parsed.value();
-  return true;
+/// Parse failure: diagnostic plus the subcommand's usage, exit 2.
+int parse_failure(const ArgParser& parser, const Error& error) {
+  std::fprintf(stderr, "%s\n%s", error.message.c_str(),
+               parser.usage().c_str());
+  return 2;
 }
 
-int cmd_report(int argc, char** argv) {
+int cmd_report(int argc, const char* const* argv) {
   dataset::GeneratorConfig config;
   StudyOptions options;
   bool as_json = false;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      as_json = true;
-    } else if (arg == "--list-passes") {
-      for (const auto& name : analysis::pass_names()) {
-        std::cout << name << "\n";
-      }
-      return 0;
-    } else if (arg == "--only") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--only needs a comma-separated pass list\n");
-        return 2;
-      }
-      for (auto& name : split(argv[++i], ',')) {
-        options.passes.push_back(std::move(name));
-      }
-    } else if (starts_with(arg, "--")) {
-      std::fprintf(stderr, "unknown report flag '%s'\n", arg.c_str());
-      return 2;
-    } else {
-      if (!parse_number_arg("seed", arg, config.seed)) return 2;
-    }
+  bool list_passes = false;
+  std::string only;
+  bool only_given = false;
+  ArgParser parser("report");
+  parser.optional_u64("seed", &config.seed, "population seed")
+      .flag("--json", &as_json, "render the report as JSON")
+      .flag("--list-passes", &list_passes, "print pass names and exit")
+      .value_flag("--only", &only, &only_given,
+                  "comma-separated pass subset (see --list-passes)");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
   }
+  if (list_passes) {
+    for (const auto& name : analysis::pass_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (only_given) options.passes = split(only, ',');
   auto selected = analysis::select_passes(options.passes);
   if (!selected.ok()) {
     std::fprintf(stderr, "%s\n", selected.error().message.c_str());
@@ -99,28 +96,38 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
-int cmd_export(int argc, char** argv) {
-  if (argc < 3) return usage();
+int cmd_export(int argc, const char* const* argv) {
   dataset::GeneratorConfig config;
-  if (argc > 3 && !parse_number_arg("seed", argv[3], config.seed)) return 2;
+  std::string out_path;
+  ArgParser parser("export");
+  parser.positional("out.csv", &out_path, "destination CSV path")
+      .optional_u64("seed", &config.seed, "population seed");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
   auto population = dataset::generate_population(config);
   if (!population.ok()) {
     std::fprintf(stderr, "%s\n", population.error().message.c_str());
     return 1;
   }
-  auto saved = dataset::save_population(argv[2], population.value());
+  auto saved = dataset::save_population(out_path, population.value());
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.error().message.c_str());
     return 1;
   }
   std::cout << "wrote " << population.value().size() << " records to "
-            << argv[2] << "\n";
+            << out_path << "\n";
   return 0;
 }
 
-int cmd_validate(int argc, char** argv) {
-  if (argc < 3) return usage();
-  auto loaded = dataset::load_population(argv[2]);
+int cmd_validate(int argc, const char* const* argv) {
+  std::string in_path;
+  ArgParser parser("validate");
+  parser.positional("in.csv", &in_path, "population CSV to check");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
+  auto loaded = dataset::load_population(in_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n", loaded.error().message.c_str());
     return 1;
@@ -137,9 +144,14 @@ int cmd_validate(int argc, char** argv) {
   return 1;
 }
 
-int cmd_sweep(int argc, char** argv) {
-  if (argc < 3) return usage();
-  auto sweep = run_testbed_sweep(std::atoi(argv[2]));
+int cmd_sweep(int argc, const char* const* argv) {
+  std::uint64_t server_id = 0;
+  ArgParser parser("sweep");
+  parser.positional_u64("server", &server_id, "Table II server id (1..4)");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
+  auto sweep = run_testbed_sweep(static_cast<int>(server_id));
   if (!sweep.ok()) {
     std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
     return 1;
@@ -157,13 +169,15 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
-int cmd_guide(int argc, char** argv) {
+int cmd_guide(int argc, const char* const* argv) {
   std::uint64_t fleet_size = 24;
-  if (argc > 2 && !parse_number_arg("fleet size", argv[2], fleet_size)) {
-    return 2;
-  }
   dataset::GeneratorConfig config;
-  if (argc > 3 && !parse_number_arg("seed", argv[3], config.seed)) return 2;
+  ArgParser parser("guide");
+  parser.optional_u64("fleet_size", &fleet_size, "servers in the fleet")
+      .optional_u64("seed", &config.seed, "population seed");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
   auto population = dataset::generate_population(config);
   if (!population.ok()) {
     std::fprintf(stderr, "%s\n", population.error().message.c_str());
@@ -182,16 +196,22 @@ int cmd_guide(int argc, char** argv) {
   return 0;
 }
 
-int cmd_fit(int argc, char** argv) {
-  if (argc < 4) return usage();
-  auto loaded = dataset::load_population(argv[2]);
+int cmd_fit(int argc, const char* const* argv) {
+  std::string in_path;
+  std::uint64_t id = 0;
+  ArgParser parser("fit");
+  parser.positional("in.csv", &in_path, "population CSV to search")
+      .positional_u64("id", &id, "record id to fit");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
+  auto loaded = dataset::load_population(in_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
     return 1;
   }
-  const int id = std::atoi(argv[3]);
   for (const auto& r : loaded.value()) {
-    if (r.id != id) continue;
+    if (r.id != static_cast<int>(id)) continue;
     const auto fit = metrics::fit_two_segment(r.curve);
     std::cout << "server " << id << " (" << r.model << ")\n"
               << "  idle fraction: " << format_percent(fit.model.idle, 1)
@@ -202,20 +222,71 @@ int cmd_fit(int argc, char** argv) {
               << "\n  fit RMSE     : " << format_fixed(fit.rmse, 4) << "\n";
     return 0;
   }
-  std::fprintf(stderr, "no record with id %d\n", id);
+  std::fprintf(stderr, "no record with id %llu\n",
+               static_cast<unsigned long long>(id));
   return 1;
+}
+
+/// The one definition of the global --trace flag: strips it from argv (any
+/// position), enables telemetry, and reports the requested render mode.
+/// Returns false on a malformed --trace value.
+bool extract_trace_flag(std::vector<const char*>& args, bool& trace,
+                        bool& trace_json) {
+  std::vector<const char*> kept;
+  for (const char* arg : args) {
+    const std::string_view view = arg;
+    if (view == "--trace") {
+      trace = true;
+    } else if (view == "--trace=json") {
+      trace = true;
+      trace_json = true;
+    } else if (starts_with(view, "--trace=")) {
+      std::fprintf(stderr, "--trace accepts only '=json' (got '%s')\n", arg);
+      return false;
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  args = std::move(kept);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  if (command == "report") return cmd_report(argc, argv);
-  if (command == "export") return cmd_export(argc, argv);
-  if (command == "validate") return cmd_validate(argc, argv);
-  if (command == "sweep") return cmd_sweep(argc, argv);
-  if (command == "guide") return cmd_guide(argc, argv);
-  if (command == "fit") return cmd_fit(argc, argv);
-  return usage();
+  std::vector<const char*> args(argv + 1, argv + argc);
+  bool trace = false;
+  bool trace_json = false;
+  if (!extract_trace_flag(args, trace, trace_json)) return 2;
+  if (args.empty()) return usage();
+  if (trace) telemetry::set_enabled(true);
+
+  const std::string command = args[0];
+  const int sub_argc = static_cast<int>(args.size()) - 1;
+  const char* const* sub_argv = args.data() + 1;
+  int exit_code;
+  if (command == "report") {
+    exit_code = cmd_report(sub_argc, sub_argv);
+  } else if (command == "export") {
+    exit_code = cmd_export(sub_argc, sub_argv);
+  } else if (command == "validate") {
+    exit_code = cmd_validate(sub_argc, sub_argv);
+  } else if (command == "sweep") {
+    exit_code = cmd_sweep(sub_argc, sub_argv);
+  } else if (command == "guide") {
+    exit_code = cmd_guide(sub_argc, sub_argv);
+  } else if (command == "fit") {
+    exit_code = cmd_fit(sub_argc, sub_argv);
+  } else {
+    return usage();
+  }
+
+  if (trace) {
+    // stderr, so the command's stdout is byte-identical with tracing off.
+    const auto snap = telemetry::snapshot();
+    std::fputs((trace_json ? snap.render_json() + "\n" : snap.render_text())
+                   .c_str(),
+               stderr);
+  }
+  return exit_code;
 }

@@ -42,7 +42,7 @@ AsyncResult analyze_deciles(const dataset::RecordView& top_ep,
 
 }  // namespace
 
-AsyncResult async_top_decile(const dataset::ResultRepository& repo) {
+AsyncResult async_top_decile_uncached(const dataset::ResultRepository& repo) {
   const auto top_ep = repo.top_decile([](const dataset::ServerRecord& r) {
     return metrics::energy_proportionality(r.curve);
   });
@@ -50,6 +50,10 @@ AsyncResult async_top_decile(const dataset::ResultRepository& repo) {
     return metrics::overall_score(r.curve);
   });
   return analyze_deciles(top_ep, top_ee, repo.all());
+}
+
+AsyncResult async_top_decile(const dataset::ResultRepository& repo) {
+  return async_top_decile_uncached(repo);
 }
 
 AsyncResult async_top_decile(const AnalysisContext& ctx) {

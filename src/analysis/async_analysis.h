@@ -26,10 +26,13 @@ struct AsyncResult {
   std::size_t decile_size = 0;
 };
 
-/// Repository overload re-derives EP/score per comparison (the cold path);
-/// the context overload sorts the memoized per-record values and reuses the
-/// cached top-decile sets. Byte-identical results.
-AsyncResult async_top_decile(const dataset::ResultRepository& repo);
+/// AnalysisContext is the entry point: the ctx overload reuses the cached
+/// top-decile sets over memoized per-record values.
+/// `async_top_decile_uncached` re-derives EP/score per comparison (the cold
+/// path); the plain repository overload delegates to it. Byte-identical
+/// results.
 AsyncResult async_top_decile(const AnalysisContext& ctx);
+AsyncResult async_top_decile_uncached(const dataset::ResultRepository& repo);
+AsyncResult async_top_decile(const dataset::ResultRepository& repo);
 
 }  // namespace epserve::analysis

@@ -2,18 +2,21 @@
 
 namespace epserve::analysis {
 
+// Every accessor funnels through memoize() (context.h): one call_once build,
+// one CacheStats bump, and — when telemetry is on — per-member hit/miss
+// counters ("ctx.<member>.hits"/".misses") plus a ".build" timer. Member
+// names below are the telemetry names documented in docs/OBSERVABILITY.md.
+
 const std::vector<metrics::DerivedCurveMetrics>& AnalysisContext::derived()
     const {
-  std::call_once(derived_.once, [&] {
+  return memoize(derived_, "ctx.derived", derived_builds_, [&] {
     std::vector<metrics::DerivedCurveMetrics> bundle;
     bundle.reserve(repo_.size());
     for (const auto& r : repo_.records()) {
       bundle.push_back(metrics::derive_curve_metrics(r.curve));
     }
-    derived_.value = std::move(bundle);
-    derived_builds_.fetch_add(1, std::memory_order_relaxed);
+    return bundle;
   });
-  return derived_.value;
 }
 
 const metrics::DerivedCurveMetrics& AnalysisContext::derived(
@@ -22,74 +25,61 @@ const metrics::DerivedCurveMetrics& AnalysisContext::derived(
 }
 
 const dataset::ColumnarSnapshot& AnalysisContext::columnar() const {
-  std::call_once(columnar_.once, [&] {
-    columnar_.value = dataset::ColumnarSnapshot::build(repo_, derived());
-    columnar_builds_.fetch_add(1, std::memory_order_relaxed);
+  return memoize(columnar_, "ctx.columnar", columnar_builds_, [&] {
+    return dataset::ColumnarSnapshot::build(repo_, derived());
   });
-  return columnar_.value;
 }
 
 const dataset::GroupIndex& AnalysisContext::groups_by_year(
     dataset::YearKey key) const {
-  auto& slot = key == dataset::YearKey::kHardwareAvailability
-                   ? groups_hw_year_
-                   : groups_pub_year_;
-  std::call_once(slot.once, [&] {
-    const auto& snap = columnar();
-    slot.value = dataset::GroupIndex::over(
-        key == dataset::YearKey::kHardwareAvailability ? snap.hw_year()
+  const bool hw = key == dataset::YearKey::kHardwareAvailability;
+  auto& slot = hw ? groups_hw_year_ : groups_pub_year_;
+  return memoize(slot,
+                 hw ? "ctx.groups_by_hw_year" : "ctx.groups_by_pub_year",
+                 group_index_builds_, [&] {
+                   const auto& snap = columnar();
+                   return dataset::GroupIndex::over(hw ? snap.hw_year()
                                                        : snap.pub_year());
-    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return slot.value;
+                 });
 }
 
 const dataset::GroupIndex& AnalysisContext::groups_by_family() const {
-  std::call_once(groups_family_.once, [&] {
-    groups_family_.value = dataset::GroupIndex::over(columnar().family_id());
-    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return groups_family_.value;
+  return memoize(groups_family_, "ctx.groups_by_family", group_index_builds_,
+                 [&] {
+                   return dataset::GroupIndex::over(columnar().family_id());
+                 });
 }
 
 const dataset::GroupIndex& AnalysisContext::groups_by_codename() const {
-  std::call_once(groups_codename_.once, [&] {
-    groups_codename_.value =
-        dataset::GroupIndex::over(columnar().codename_id());
-    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return groups_codename_.value;
+  return memoize(groups_codename_, "ctx.groups_by_codename",
+                 group_index_builds_, [&] {
+                   return dataset::GroupIndex::over(columnar().codename_id());
+                 });
 }
 
 const dataset::GroupIndex& AnalysisContext::groups_by_nodes() const {
-  std::call_once(groups_nodes_.once, [&] {
-    groups_nodes_.value = dataset::GroupIndex::over(columnar().nodes());
-    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return groups_nodes_.value;
+  return memoize(groups_nodes_, "ctx.groups_by_nodes", group_index_builds_,
+                 [&] { return dataset::GroupIndex::over(columnar().nodes()); });
 }
 
 const dataset::GroupIndex& AnalysisContext::groups_single_node_by_chips()
     const {
-  std::call_once(groups_chips_.once, [&] {
-    const auto& snap = columnar();
-    std::vector<std::uint8_t> single_node(snap.size());
-    for (std::size_t i = 0; i < snap.size(); ++i) {
-      single_node[i] = snap.nodes()[i] == 1 ? 1 : 0;
-    }
-    groups_chips_.value =
-        dataset::GroupIndex::over_masked(snap.chips(), single_node);
-    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return groups_chips_.value;
+  return memoize(groups_chips_, "ctx.groups_single_node_by_chips",
+                 group_index_builds_, [&] {
+                   const auto& snap = columnar();
+                   std::vector<std::uint8_t> single_node(snap.size());
+                   for (std::size_t i = 0; i < snap.size(); ++i) {
+                     single_node[i] = snap.nodes()[i] == 1 ? 1 : 0;
+                   }
+                   return dataset::GroupIndex::over_masked(snap.chips(),
+                                                           single_node);
+                 });
 }
 
 const dataset::GroupIndex& AnalysisContext::groups_by_mpc() const {
-  std::call_once(groups_mpc_.once, [&] {
-    groups_mpc_.value = dataset::GroupIndex::over(columnar().mpc_centi());
-    group_index_builds_.fetch_add(1, std::memory_order_relaxed);
+  return memoize(groups_mpc_, "ctx.groups_by_mpc", group_index_builds_, [&] {
+    return dataset::GroupIndex::over(columnar().mpc_centi());
   });
-  return groups_mpc_.value;
 }
 
 std::vector<double> AnalysisContext::gather(
@@ -102,64 +92,45 @@ std::vector<double> AnalysisContext::gather(
 
 const std::map<int, dataset::RecordView>& AnalysisContext::by_year(
     dataset::YearKey key) const {
-  auto& slot = key == dataset::YearKey::kHardwareAvailability ? by_hw_year_
-                                                              : by_pub_year_;
-  std::call_once(slot.once, [&] {
-    slot.value = repo_.by_year(key);
-    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return slot.value;
+  const bool hw = key == dataset::YearKey::kHardwareAvailability;
+  auto& slot = hw ? by_hw_year_ : by_pub_year_;
+  return memoize(slot, hw ? "ctx.by_hw_year" : "ctx.by_pub_year",
+                 grouping_builds_, [&] { return repo_.by_year(key); });
 }
 
 const std::map<power::UarchFamily, dataset::RecordView>&
 AnalysisContext::by_family() const {
-  std::call_once(by_family_.once, [&] {
-    by_family_.value = repo_.by_family();
-    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return by_family_.value;
+  return memoize(by_family_, "ctx.by_family", grouping_builds_,
+                 [&] { return repo_.by_family(); });
 }
 
 const std::map<std::string, dataset::RecordView>& AnalysisContext::by_codename()
     const {
-  std::call_once(by_codename_.once, [&] {
-    by_codename_.value = repo_.by_codename();
-    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return by_codename_.value;
+  return memoize(by_codename_, "ctx.by_codename", grouping_builds_,
+                 [&] { return repo_.by_codename(); });
 }
 
 const std::map<int, dataset::RecordView>& AnalysisContext::by_nodes() const {
-  std::call_once(by_nodes_.once, [&] {
-    by_nodes_.value = repo_.by_nodes();
-    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return by_nodes_.value;
+  return memoize(by_nodes_, "ctx.by_nodes", grouping_builds_,
+                 [&] { return repo_.by_nodes(); });
 }
 
 const std::map<int, dataset::RecordView>& AnalysisContext::single_node_by_chips()
     const {
-  std::call_once(by_chips_.once, [&] {
-    by_chips_.value = repo_.single_node_by_chips();
-    grouping_builds_.fetch_add(1, std::memory_order_relaxed);
-  });
-  return by_chips_.value;
+  return memoize(by_chips_, "ctx.single_node_by_chips", grouping_builds_,
+                 [&] { return repo_.single_node_by_chips(); });
 }
 
 const dataset::RecordView& AnalysisContext::top_ep_decile() const {
-  std::call_once(top_ep_.once, [&] {
-    top_ep_.value = repo_.top_decile_by(ep_values(repo_.all()));
-    decile_builds_.fetch_add(1, std::memory_order_relaxed);
+  return memoize(top_ep_, "ctx.top_ep_decile", decile_builds_, [&] {
+    return repo_.top_decile_by(ep_values(repo_.all()));
   });
-  return top_ep_.value;
 }
 
 const dataset::RecordView& AnalysisContext::top_score_decile() const {
-  std::call_once(top_score_.once, [&] {
-    top_score_.value = repo_.top_decile_by(score_values(repo_.all()));
-    decile_builds_.fetch_add(1, std::memory_order_relaxed);
+  return memoize(top_score_, "ctx.top_score_decile", decile_builds_, [&] {
+    return repo_.top_decile_by(score_values(repo_.all()));
   });
-  return top_score_.value;
 }
 
 std::vector<double> AnalysisContext::ep_values(

@@ -29,6 +29,7 @@
 #include "dataset/repository.h"
 #include "metrics/derived.h"
 #include "power/uarch.h"
+#include "util/telemetry.h"
 
 namespace epserve::analysis {
 
@@ -122,6 +123,26 @@ class AnalysisContext {
     std::once_flag once;
     T value;
   };
+
+  /// Shared memoization path: builds `slot` exactly once via `build`, bumps
+  /// the matching CacheStats counter, and (when telemetry is enabled)
+  /// records `<member>.hits` / `<member>.misses` counters plus a
+  /// `<member>.build` timer. A "miss" is the one call that ran the build, so
+  /// hit/miss totals are deterministic at any thread count even when
+  /// concurrent passes race to trigger the same entry.
+  template <typename T, typename BuildFn>
+  const T& memoize(Lazy<T>& slot, std::string_view member,
+                   std::atomic<int>& builds, BuildFn&& build) const {
+    bool built_here = false;
+    std::call_once(slot.once, [&] {
+      const telemetry::ScopedTimer build_timer(member, ".build");
+      slot.value = build();
+      builds.fetch_add(1, std::memory_order_relaxed);
+      built_here = true;
+    });
+    telemetry::count_cache(member, !built_here);
+    return slot.value;
+  }
 
   const dataset::ResultRepository& repo_;
 

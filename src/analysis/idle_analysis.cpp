@@ -25,12 +25,17 @@ IdleAnalysis analyze_from_vectors(const std::vector<double>& eps,
 
 }  // namespace
 
-IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo) {
+IdleAnalysis analyze_idle_power_uncached(
+    const dataset::ResultRepository& repo) {
   const auto view = repo.all();
   const auto eps = dataset::ResultRepository::ep_values(view);
   const auto idles = dataset::ResultRepository::idle_fraction_values(view);
   const auto scores = dataset::ResultRepository::score_values(view);
   return analyze_from_vectors(eps, idles, scores);
+}
+
+IdleAnalysis analyze_idle_power(const dataset::ResultRepository& repo) {
+  return analyze_idle_power_uncached(repo);
 }
 
 IdleAnalysis analyze_idle_power(const AnalysisContext& ctx) {

@@ -8,8 +8,8 @@
 
 namespace epserve::analysis {
 
-std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
-                                     std::size_t min_count) {
+std::vector<MpcRow> mpc_distribution_uncached(
+    const dataset::ResultRepository& repo, std::size_t min_count) {
   std::vector<MpcRow> out;
   for (const auto& [mpc_centi, view] : repo.by_memory_per_core()) {
     if (view.size() < min_count) continue;
@@ -22,6 +22,11 @@ std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
     out.push_back(row);
   }
   return out;
+}
+
+std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
+                                     std::size_t min_count) {
+  return mpc_distribution_uncached(repo, min_count);
 }
 
 std::vector<MpcRow> mpc_distribution(const AnalysisContext& ctx,

@@ -19,12 +19,15 @@ struct MpcRow {
 };
 
 /// All observed ratios, ascending. `min_count` filters the long tail the way
-/// Table I keeps only ratios with more than 10 results. The repository
-/// overload rebuilds the MPC grouping and re-derives every metric; the
-/// context overload reads the cached MPC group index. Byte-identical.
-std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
-                                     std::size_t min_count = 0);
+/// Table I keeps only ratios with more than 10 results. AnalysisContext is
+/// the entry point: the ctx overload reads the cached MPC group index.
+/// `mpc_distribution_uncached` rebuilds the grouping and re-derives every
+/// metric; the plain repository overload delegates to it. Byte-identical.
 std::vector<MpcRow> mpc_distribution(const AnalysisContext& ctx,
+                                     std::size_t min_count = 0);
+std::vector<MpcRow> mpc_distribution_uncached(
+    const dataset::ResultRepository& repo, std::size_t min_count = 0);
+std::vector<MpcRow> mpc_distribution(const dataset::ResultRepository& repo,
                                      std::size_t min_count = 0);
 
 /// Ratio with the highest mean EP / highest mean EE among rows with at least

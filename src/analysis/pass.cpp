@@ -5,6 +5,7 @@
 #include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace epserve::analysis {
 
@@ -55,8 +56,14 @@ FullReport run_passes(const AnalysisContext& ctx,
   // every pass is a pure function, so the report does not depend on the
   // thread count.
   const auto pool = make_worker_pool(resolve_thread_count(threads));
-  parallel_for(pool.get(), passes.size(),
-               [&](std::size_t i) { passes[i]->run(ctx, report); });
+  parallel_for(pool.get(), passes.size(), [&](std::size_t i) {
+    // kRoot: a pass may run on the calling thread or a pool worker; the
+    // root scope keeps its span path identical either way (the per-span
+    // thread count still shows how many distinct threads ran passes).
+    const telemetry::Span span("report/pass/", passes[i]->name(),
+                               telemetry::Span::Scope::kRoot);
+    passes[i]->run(ctx, report);
+  });
   return report;
 }
 

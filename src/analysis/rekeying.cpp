@@ -69,11 +69,16 @@ RekeyingResult analyze(const dataset::ResultRepository& repo,
 
 }  // namespace
 
-RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo) {
+RekeyingResult rekeying_analysis_uncached(
+    const dataset::ResultRepository& repo) {
   return analyze(repo, repo.by_year(dataset::YearKey::kHardwareAvailability),
                  repo.by_year(dataset::YearKey::kPublished),
                  &dataset::ResultRepository::ep_values,
                  &dataset::ResultRepository::score_values);
+}
+
+RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo) {
+  return rekeying_analysis_uncached(repo);
 }
 
 RekeyingResult rekeying_analysis(const AnalysisContext& ctx) {

@@ -34,9 +34,13 @@ struct RekeyingResult {
   double min_med_ee_delta = 0.0, max_med_ee_delta = 0.0;
 };
 
-/// Repository overload rebuilds both year groupings and re-derives every
-/// metric; the context overload reads the shared caches. Byte-identical.
-RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo);
+/// AnalysisContext is the entry point: the ctx overload reads the shared
+/// caches. `rekeying_analysis_uncached` rebuilds both year groupings and
+/// re-derives every metric; the plain repository overload delegates to it.
+/// Byte-identical.
 RekeyingResult rekeying_analysis(const AnalysisContext& ctx);
+RekeyingResult rekeying_analysis_uncached(
+    const dataset::ResultRepository& repo);
+RekeyingResult rekeying_analysis(const dataset::ResultRepository& repo);
 
 }  // namespace epserve::analysis

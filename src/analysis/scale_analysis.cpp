@@ -74,7 +74,8 @@ TwoChipComparison compare_two_chip(
 
 }  // namespace
 
-std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo) {
+std::vector<ScaleRow> ep_ee_by_nodes_uncached(
+    const dataset::ResultRepository& repo) {
   std::vector<ScaleRow> out;
   for (const auto& [nodes, view] : repo.by_nodes()) {
     out.push_back(make_row(nodes, view));
@@ -82,12 +83,21 @@ std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo) {
   return out;
 }
 
-std::vector<ScaleRow> ep_ee_by_chips(const dataset::ResultRepository& repo) {
+std::vector<ScaleRow> ep_ee_by_nodes(const dataset::ResultRepository& repo) {
+  return ep_ee_by_nodes_uncached(repo);
+}
+
+std::vector<ScaleRow> ep_ee_by_chips_uncached(
+    const dataset::ResultRepository& repo) {
   std::vector<ScaleRow> out;
   for (const auto& [chips, view] : repo.single_node_by_chips()) {
     out.push_back(make_row(chips, view));
   }
   return out;
+}
+
+std::vector<ScaleRow> ep_ee_by_chips(const dataset::ResultRepository& repo) {
+  return ep_ee_by_chips_uncached(repo);
 }
 
 namespace {
@@ -127,10 +137,15 @@ std::vector<ScaleRow> ep_ee_by_chips(const AnalysisContext& ctx) {
   return out;
 }
 
-TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
+TwoChipComparison two_chip_vs_all_uncached(
+    const dataset::ResultRepository& repo) {
   return compare_two_chip(repo.by_year(),
                           &dataset::ResultRepository::ep_values,
                           &dataset::ResultRepository::score_values);
+}
+
+TwoChipComparison two_chip_vs_all(const dataset::ResultRepository& repo) {
+  return two_chip_vs_all_uncached(repo);
 }
 
 TwoChipComparison two_chip_vs_all(const AnalysisContext& ctx) {

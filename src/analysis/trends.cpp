@@ -22,8 +22,8 @@ YearTrendRow make_row(int year, std::size_t count, std::vector<double> eps,
 
 }  // namespace
 
-std::vector<YearTrendRow> year_trends(const dataset::ResultRepository& repo,
-                                      dataset::YearKey key) {
+std::vector<YearTrendRow> year_trends_uncached(
+    const dataset::ResultRepository& repo, dataset::YearKey key) {
   std::vector<YearTrendRow> rows;
   for (const auto& [year, view] : repo.by_year(key)) {
     rows.push_back(make_row(
@@ -35,6 +35,11 @@ std::vector<YearTrendRow> year_trends(const dataset::ResultRepository& repo,
             })));
   }
   return rows;
+}
+
+std::vector<YearTrendRow> year_trends(const dataset::ResultRepository& repo,
+                                      dataset::YearKey key) {
+  return year_trends_uncached(repo, key);
 }
 
 std::vector<YearTrendRow> year_trends(const AnalysisContext& ctx,

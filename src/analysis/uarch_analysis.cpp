@@ -33,7 +33,8 @@ std::vector<CodenameEp> rank_codenames(
 
 }  // namespace
 
-std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo) {
+std::vector<FamilyCount> family_counts_uncached(
+    const dataset::ResultRepository& repo) {
   std::vector<FamilyCount> out;
   for (const auto& [family, view] : repo.by_family()) {
     out.push_back({family, view.size()});
@@ -44,10 +45,19 @@ std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo) {
   return out;
 }
 
-std::vector<CodenameEp> codename_ep_ranking(
+std::vector<FamilyCount> family_counts(const dataset::ResultRepository& repo) {
+  return family_counts_uncached(repo);
+}
+
+std::vector<CodenameEp> codename_ep_ranking_uncached(
     const dataset::ResultRepository& repo) {
   return rank_codenames(repo.by_codename(),
                         &dataset::ResultRepository::ep_values);
+}
+
+std::vector<CodenameEp> codename_ep_ranking(
+    const dataset::ResultRepository& repo) {
+  return codename_ep_ranking_uncached(repo);
 }
 
 std::vector<CodenameEp> codename_ep_ranking(const AnalysisContext& ctx) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/telemetry.h"
+
 namespace epserve::cluster {
 
 DemandTrace DemandTrace::diurnal(double base, double amplitude) {
@@ -30,6 +32,8 @@ Result<DayResult> simulate_day(const PlacementPolicy& policy,
   if (!(trace.slot_hours > 0.0)) {
     return Error::invalid_argument("slot length must be positive");
   }
+  const telemetry::Span span("simulate_day");
+  telemetry::count("cluster.day.slots", trace.demand.size());
   DayResult result;
   result.policy = policy.name();
   // One batched evaluation for the whole trace: every server's interpolation

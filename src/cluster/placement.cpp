@@ -6,6 +6,7 @@
 
 #include "metrics/efficiency.h"
 #include "util/contracts.h"
+#include "util/telemetry.h"
 
 namespace epserve::cluster {
 
@@ -123,6 +124,9 @@ Result<std::vector<Assignment>> evaluate_batch(
     const std::vector<dataset::ServerRecord>& fleet,
     std::span<const double> demands) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  const telemetry::Span span("evaluate_batch");
+  telemetry::count("cluster.evaluate_batch.calls");
+  telemetry::count("cluster.evaluations", fleet.size() * demands.size());
   std::vector<Assignment> out(demands.size());
   for (std::size_t d = 0; d < demands.size(); ++d) {
     if (demands[d] < 0.0 || demands[d] > 1.0) {

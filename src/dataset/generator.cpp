@@ -14,6 +14,7 @@
 #include "util/contracts.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace epserve::dataset {
 
@@ -167,7 +168,10 @@ CurveBuild build_curve(const metrics::TwoSegmentPowerModel& model,
     if (dual_peak) {
       // Tie EE at 90% to EE at 80% exactly: w(0.9) = (0.9/0.8) * w(0.8).
       norm[8] = norm[7] * (0.9 / 0.8);
-      if (norm[8] > 1.0) continue;  // infeasible jitter draw; retry
+      if (norm[8] > 1.0) {
+        telemetry::count("generate.jitter_retries");
+        continue;  // infeasible jitter draw; retry
+      }
     }
 
     // The jitter must not move the peak-EE level (ops are linear in load, so
@@ -181,7 +185,10 @@ CurveBuild build_curve(const metrics::TwoSegmentPowerModel& model,
         argmax = i;
       }
     }
-    if (argmax != spot_level && attempt < 8) continue;
+    if (argmax != spot_level && attempt < 8) {
+      telemetry::count("generate.jitter_retries");
+      continue;
+    }
 
     const double idle_norm =
         std::min(model.power(0.0), norm.front() * 0.999);
@@ -215,6 +222,12 @@ Result<std::vector<ServerRecord>> generate_population(
         "dataset calibration plan is internally inconsistent");
   }
   Rng plan_rng(config.seed);
+  // Per-phase wall time; "generate" is the whole pipeline. Counters under
+  // "generate.*" are pure functions of the config, so they merge to the same
+  // totals at every thread count (docs/OBSERVABILITY.md).
+  const telemetry::Span generate_span("generate");
+  std::optional<telemetry::Span> phase_span;
+  phase_span.emplace("phase1_cohorts");
 
   // ---- Phase 1: drafts per year (cohorts, exemplars, EP, spots). ----------
   std::vector<Draft> drafts;
@@ -323,6 +336,7 @@ Result<std::vector<ServerRecord>> generate_population(
     for (auto& d : year_drafts) drafts.push_back(std::move(d));
   }
   EPSERVE_ENSURES(static_cast<int>(drafts.size()) == kTotalServers);
+  phase_span.emplace("phase2_chips");
 
   // ---- Phase 2: chip counts for single-node servers (global quotas). ------
   {
@@ -358,6 +372,8 @@ Result<std::vector<ServerRecord>> generate_population(
     }
   }
 
+  phase_span.emplace("phase3_mpc");
+
   // ---- Phase 3: memory-per-core assignment (global Table I quotas). -------
   {
     std::vector<MpcQuota> mpc_pool(mpc_quotas().begin(), mpc_quotas().end());
@@ -378,6 +394,9 @@ Result<std::vector<ServerRecord>> generate_population(
       }
     }
   }
+
+  phase_span.emplace("phase4_curves");
+  telemetry::count("generate.records", drafts.size());
 
   // ---- Phase 4: synthesize curves and assemble records. -------------------
   // The per-server solve loop is the generator's hot path and every solve is
@@ -484,6 +503,8 @@ Result<std::vector<ServerRecord>> generate_population(
   for (const auto& error : solve_errors) {
     if (error.has_value()) return *error;
   }
+
+  phase_span.emplace("phase5_mismatches");
 
   // ---- Phase 5: published-year mismatches (74 results). -------------------
   {

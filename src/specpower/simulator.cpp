@@ -85,7 +85,9 @@ SpecPowerSimulator::IntervalStats SpecPowerSimulator::simulate_interval(
         t = start;
       } else {
         free_at.pop();
-        const double work = transaction_work(sample_transaction(rng)) /
+        // sample_transaction only yields mix members, so the lookup
+        // cannot fail; value() documents that invariant.
+        const double work = transaction_work(sample_transaction(rng)).value() /
                             mean_transaction_work();
         const double service = work / core_tx_rate(freq);
         free_at.push(start + service);
@@ -103,7 +105,9 @@ SpecPowerSimulator::IntervalStats SpecPowerSimulator::simulate_interval(
       } else {
         const double start = std::max(free_at.top(), next_arrival);
         free_at.pop();
-        const double work = transaction_work(sample_transaction(rng)) /
+        // sample_transaction only yields mix members, so the lookup
+        // cannot fail; value() documents that invariant.
+        const double work = transaction_work(sample_transaction(rng)).value() /
                             mean_transaction_work();
         const double service = work / core_tx_rate(freq);
         free_at.push(start + service);

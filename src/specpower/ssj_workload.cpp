@@ -1,7 +1,5 @@
 #include "specpower/ssj_workload.h"
 
-#include "util/contracts.h"
-
 namespace epserve::specpower {
 
 namespace {
@@ -34,11 +32,12 @@ TransactionType sample_transaction(epserve::Rng& rng) {
   return kMix.back().type;
 }
 
-double transaction_work(TransactionType type) {
+epserve::Result<double> transaction_work(TransactionType type) {
   for (const auto& spec : kMix) {
     if (spec.type == type) return spec.relative_work;
   }
-  throw ContractViolation("unknown transaction type");
+  return Error::not_found("unknown transaction type " +
+                          std::to_string(static_cast<int>(type)));
 }
 
 double mean_transaction_work() { return kMeanWork; }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace epserve::specpower {
@@ -40,8 +41,11 @@ std::array<TransactionSpec, kNumTransactionTypes> transaction_mix();
 /// Samples a transaction type according to the mix.
 TransactionType sample_transaction(epserve::Rng& rng);
 
-/// Work units of a transaction type (relative service demand).
-double transaction_work(TransactionType type);
+/// Work units of a transaction type (relative service demand). kNotFound on
+/// a type value outside the mix (e.g. deserialised from untrusted input) —
+/// the level_of_utilization convention: recoverable lookups return Result<>
+/// instead of throwing. Types from sample_transaction() always succeed.
+epserve::Result<double> transaction_work(TransactionType type);
 
 /// Mean work units across the mix (used to convert ops/sec into a per-
 /// transaction service rate).

@@ -1,0 +1,150 @@
+#include "util/args.h"
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace epserve {
+
+ArgParser::ArgParser(std::string command) : command_(std::move(command)) {}
+
+ArgParser& ArgParser::flag(std::string name, bool* out, std::string help) {
+  EPSERVE_EXPECTS(starts_with(name, "--") && out != nullptr);
+  Flag f;
+  f.name = std::move(name);
+  f.out_bool = out;
+  f.help = std::move(help);
+  flags_.push_back(std::move(f));
+  return *this;
+}
+
+ArgParser& ArgParser::value_flag(std::string name, std::string* out,
+                                 bool* present, std::string help) {
+  EPSERVE_EXPECTS(starts_with(name, "--") && out != nullptr);
+  Flag f;
+  f.name = std::move(name);
+  f.out_value = out;
+  f.present = present;
+  f.help = std::move(help);
+  flags_.push_back(std::move(f));
+  return *this;
+}
+
+ArgParser& ArgParser::positional(std::string name, std::string* out,
+                                 std::string help) {
+  EPSERVE_EXPECTS(out != nullptr);
+  // A required positional after an optional one would be unreachable.
+  EPSERVE_EXPECTS(positionals_.empty() || positionals_.back().required);
+  Positional p;
+  p.name = std::move(name);
+  p.out_text = out;
+  p.help = std::move(help);
+  positionals_.push_back(std::move(p));
+  return *this;
+}
+
+ArgParser& ArgParser::positional_u64(std::string name, std::uint64_t* out,
+                                     std::string help) {
+  EPSERVE_EXPECTS(out != nullptr);
+  EPSERVE_EXPECTS(positionals_.empty() || positionals_.back().required);
+  Positional p;
+  p.name = std::move(name);
+  p.out_u64 = out;
+  p.help = std::move(help);
+  positionals_.push_back(std::move(p));
+  return *this;
+}
+
+ArgParser& ArgParser::optional_u64(std::string name, std::uint64_t* out,
+                                   std::string help) {
+  EPSERVE_EXPECTS(out != nullptr);
+  Positional p;
+  p.name = std::move(name);
+  p.out_u64 = out;
+  p.required = false;
+  p.help = std::move(help);
+  positionals_.push_back(std::move(p));
+  return *this;
+}
+
+ArgParser::Flag* ArgParser::find_flag(std::string_view name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Result<bool> ArgParser::parse(int argc, const char* const* argv) {
+  std::size_t next_positional = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (starts_with(arg, "--")) {
+      // Split an inline "--name=value" form before the registry lookup.
+      const std::size_t eq = arg.find('=');
+      const std::string_view name =
+          eq == std::string_view::npos ? arg : arg.substr(0, eq);
+      Flag* f = find_flag(name);
+      if (f == nullptr) {
+        return Error::invalid_argument("unknown " + command_ + " flag '" +
+                                       std::string(name) + "'");
+      }
+      if (!f->takes_value()) {
+        if (eq != std::string_view::npos) {
+          return Error::invalid_argument(f->name + " takes no value");
+        }
+        *f->out_bool = true;
+        continue;
+      }
+      if (eq != std::string_view::npos) {
+        *f->out_value = std::string(arg.substr(eq + 1));
+      } else {
+        if (i + 1 >= argc) {
+          return Error::invalid_argument(f->name + " needs a value");
+        }
+        *f->out_value = argv[++i];
+      }
+      if (f->present != nullptr) *f->present = true;
+      continue;
+    }
+    if (next_positional >= positionals_.size()) {
+      return Error::invalid_argument("unexpected " + command_ + " argument '" +
+                                     std::string(arg) + "'");
+    }
+    Positional& p = positionals_[next_positional++];
+    if (p.out_u64 != nullptr) {
+      auto parsed = parse_u64(arg);
+      if (!parsed.ok()) {
+        return Error::parse("invalid " + p.name + " '" + std::string(arg) +
+                            "': " + parsed.error().message);
+      }
+      *p.out_u64 = parsed.value();
+    } else {
+      *p.out_text = std::string(arg);
+    }
+  }
+  if (next_positional < positionals_.size() &&
+      positionals_[next_positional].required) {
+    return Error::invalid_argument(command_ + " needs <" +
+                                   positionals_[next_positional].name + ">");
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::string line = "usage: epserve_cli " + command_;
+  for (const auto& p : positionals_) {
+    line += p.required ? " <" + p.name + ">" : " [" + p.name + "]";
+  }
+  for (const auto& f : flags_) {
+    line += " [" + f.name + (f.takes_value() ? " <value>]" : "]");
+  }
+  line += "\n";
+  for (const auto& p : positionals_) {
+    line += "  " + p.name + ": " + p.help + "\n";
+  }
+  for (const auto& f : flags_) {
+    line += "  " + f.name + ": " + f.help + "\n";
+  }
+  return line;
+}
+
+}  // namespace epserve

@@ -1,0 +1,74 @@
+// Declarative command-line parsing for one subcommand: a flag registry with
+// typed getters and auto-generated usage text. All epserve_cli subcommands
+// share this one parsing path, so conventions (strict numeric positionals,
+// `--flag value` and `--flag=value` both accepted, unknown flags rejected)
+// hold everywhere and a global flag is defined exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace epserve {
+
+class ArgParser {
+ public:
+  /// `command` is the usage line's subcommand name (e.g. "report").
+  explicit ArgParser(std::string command);
+
+  /// Boolean flag: `--name`. Sets *out to true when present.
+  ArgParser& flag(std::string name, bool* out, std::string help);
+
+  /// Valued flag: `--name <value>` or `--name=<value>`. Sets *out and, when
+  /// given, *present.
+  ArgParser& value_flag(std::string name, std::string* out, bool* present,
+                        std::string help);
+
+  /// Required positional string argument (declaration order).
+  ArgParser& positional(std::string name, std::string* out, std::string help);
+
+  /// Required positional parsed strictly as u64 (parse_u64: digits only —
+  /// no silent atoi-style zero on garbage).
+  ArgParser& positional_u64(std::string name, std::uint64_t* out,
+                            std::string help);
+
+  /// Optional positional u64; *out keeps its prior value when absent.
+  ArgParser& optional_u64(std::string name, std::uint64_t* out,
+                          std::string help);
+
+  /// Parses `args` (the argv slice after the subcommand). kInvalidArgument /
+  /// kParse on unknown flags, missing required positionals, surplus
+  /// positionals, or malformed numbers. Returns true on success.
+  [[nodiscard]] Result<bool> parse(int argc, const char* const* argv);
+
+  /// One usage line plus one indented line per registered flag/positional.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;   // including leading "--"
+    bool* out_bool = nullptr;
+    std::string* out_value = nullptr;
+    bool* present = nullptr;
+    std::string help;
+    [[nodiscard]] bool takes_value() const { return out_value != nullptr; }
+  };
+  struct Positional {
+    std::string name;
+    std::string* out_text = nullptr;
+    std::uint64_t* out_u64 = nullptr;
+    bool required = true;
+    std::string help;
+  };
+
+  Flag* find_flag(std::string_view name);
+
+  std::string command_;
+  std::vector<Flag> flags_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace epserve

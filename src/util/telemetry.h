@@ -1,0 +1,190 @@
+// Process-wide structured telemetry: counters, timers, and hierarchical
+// spans, with near-zero overhead while disabled.
+//
+// Design rules (docs/OBSERVABILITY.md):
+//  * one global enabled flag; every primitive starts with an inlined relaxed
+//    atomic load, so a disabled call site costs a predictable branch and
+//    nothing else — no clock read, no allocation, no lock;
+//  * the hot path is lock-free: every record lands in a thread-local buffer;
+//    the buffer merges into the global table (one mutex) only when the
+//    thread's outermost span/timer scope closes, or immediately when the
+//    thread has no open scope. Instrumentation nested inside a span
+//    therefore never contends, mirroring the Rng::substream discipline of
+//    keeping per-lane state private until the stage completes;
+//  * telemetry observes, never perturbs: instrumented code produces
+//    byte-identical results with telemetry on or off, at any thread count
+//    (pinned by tests/telemetry_invariance_test.cpp). Counter totals and
+//    span counts are themselves deterministic across thread counts; wall
+//    times and per-span thread counts are the only nondeterministic fields.
+//
+// Span paths are '/'-joined from the thread's open-span stack. A span that
+// may execute on a pool worker (whose stack is empty) as well as on the
+// calling thread must use Scope::kRoot so its path does not depend on which
+// thread ran it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epserve::telemetry {
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+std::uint64_t now_ns();
+void record_counter(std::string_view name, std::uint64_t delta);
+void record_timer(std::string_view name, std::uint64_t ns);
+/// Pushes a nested span segment; returns the previous path length.
+std::size_t span_enter(std::string_view name);
+/// Replaces the thread's path with `name`; returns the displaced path.
+std::string span_enter_root(std::string_view name);
+void span_exit(std::size_t prev_len, std::uint64_t ns);
+void span_exit_root(std::string prev_path, std::uint64_t ns);
+
+}  // namespace detail
+
+/// Whether telemetry is currently recording. Inlined so a disabled
+/// instrumentation point compiles to one relaxed load plus a branch.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off. Data recorded so far is kept either way.
+void set_enabled(bool on);
+
+/// Clears the global table. Call only while no instrumented scope is open
+/// on any thread (tests and CLI startup; pending thread-local buffers of
+/// open scopes are not reachable from here).
+void reset();
+
+/// Monotonic clock used by all telemetry timing.
+inline std::uint64_t now_ns() { return detail::now_ns(); }
+
+/// Adds `delta` to the named counter. No-op while disabled.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (enabled()) detail::record_counter(name, delta);
+}
+
+/// Adds one observation of `ns` nanoseconds to the named timer.
+inline void timer_add(std::string_view name, std::uint64_t ns) {
+  if (enabled()) detail::record_timer(name, ns);
+}
+
+/// Records one hit or miss of a memoized member as `<member>.hits` /
+/// `<member>.misses` (the AnalysisContext cache instrumentation).
+void count_cache(std::string_view member, bool hit);
+
+/// RAII timer: accumulates the scope's wall time under a flat name.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name) {
+    if (enabled()) start(name, {});
+  }
+  /// Name is `prefix + suffix`, concatenated only when enabled.
+  ScopedTimer(std::string_view prefix, std::string_view suffix) {
+    if (enabled()) start(prefix, suffix);
+  }
+  ~ScopedTimer() {
+    if (start_ns_ != 0) {
+      detail::record_timer(name_, detail::now_ns() - start_ns_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  void start(std::string_view prefix, std::string_view suffix) {
+    name_.reserve(prefix.size() + suffix.size());
+    name_ = prefix;
+    name_ += suffix;
+    start_ns_ = detail::now_ns();
+  }
+
+  std::string name_;
+  std::uint64_t start_ns_ = 0;  // 0 = inert (telemetry was off at entry)
+};
+
+/// RAII hierarchical span. Nested spans extend the thread's '/'-joined path;
+/// a kRoot span ignores the surrounding stack so its path is stable whether
+/// it runs on the calling thread or on a pool worker.
+class Span {
+ public:
+  enum class Scope { kNested, kRoot };
+
+  explicit Span(std::string_view name, Scope scope = Scope::kNested) {
+    if (enabled()) enter(name, {}, scope);
+  }
+  /// Name is `prefix + suffix`, concatenated only when enabled.
+  Span(std::string_view prefix, std::string_view suffix,
+       Scope scope = Scope::kNested) {
+    if (enabled()) enter(prefix, suffix, scope);
+  }
+  ~Span() {
+    if (!active_) return;
+    const std::uint64_t elapsed = detail::now_ns() - start_ns_;
+    if (root_) {
+      detail::span_exit_root(std::move(saved_path_), elapsed);
+    } else {
+      detail::span_exit(prev_len_, elapsed);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void enter(std::string_view prefix, std::string_view suffix, Scope scope);
+
+  bool active_ = false;
+  bool root_ = false;
+  std::size_t prev_len_ = 0;
+  std::string saved_path_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// One merged counter / timer / span, as exposed by snapshot().
+struct CounterStat {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct TimerStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
+
+struct SpanStat {
+  std::string path;           // '/'-joined hierarchical name
+  std::uint64_t count = 0;    // completed executions
+  double total_ms = 0.0;      // inclusive wall time
+  int threads = 0;            // distinct threads that contributed
+};
+
+/// A merged, immutable view of everything recorded so far. Entries are
+/// sorted by name/path, so two snapshots of deterministic counts compare
+/// equal field-for-field (modulo times and thread counts).
+struct Snapshot {
+  std::vector<CounterStat> counters;
+  std::vector<TimerStat> timers;
+  std::vector<SpanStat> spans;
+
+  [[nodiscard]] const CounterStat* find_counter(std::string_view name) const;
+  [[nodiscard]] const TimerStat* find_timer(std::string_view name) const;
+  [[nodiscard]] const SpanStat* find_span(std::string_view path) const;
+
+  /// Human-readable rendering (the CLI's `--trace` output).
+  [[nodiscard]] std::string render_text() const;
+  /// Machine-readable rendering via util/json_writer (`--trace=json`).
+  [[nodiscard]] std::string render_json() const;
+};
+
+/// Merges every thread's flushed data (plus the calling thread's pending
+/// buffer) into one Snapshot. Scopes still open on other threads are not
+/// included until they close.
+Snapshot snapshot();
+
+}  // namespace epserve::telemetry

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
+
+#include "util/telemetry.h"
 
 namespace epserve {
 
@@ -22,6 +25,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (telemetry::enabled()) {
+    // Queue wait is enqueue-to-start; task_run is busy time on whichever
+    // thread executes (a worker, or a waiter helping via try_run_one).
+    task = [enqueued_ns = telemetry::now_ns(), inner = std::move(task)] {
+      telemetry::timer_add("pool.queue_wait",
+                           telemetry::now_ns() - enqueued_ns);
+      telemetry::count("pool.tasks");
+      const telemetry::ScopedTimer busy("pool.task_run");
+      inner();
+    };
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

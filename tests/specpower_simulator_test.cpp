@@ -79,8 +79,16 @@ TEST(SsjWorkload, SamplerHitsMixFrequencies) {
 TEST(SsjWorkload, EveryTypeHasNameAndWork) {
   for (const auto& spec : transaction_mix()) {
     EXPECT_FALSE(transaction_name(spec.type).empty());
-    EXPECT_GT(transaction_work(spec.type), 0.0);
+    const auto work = transaction_work(spec.type);
+    ASSERT_TRUE(work.ok());
+    EXPECT_GT(work.value(), 0.0);
   }
+}
+
+TEST(SsjWorkload, UnknownTypeIsNotFoundInsteadOfThrow) {
+  const auto work = transaction_work(static_cast<TransactionType>(250));
+  ASSERT_FALSE(work.ok());
+  EXPECT_EQ(work.error().code, Error::Code::kNotFound);
 }
 
 // --- ThroughputModel ----------------------------------------------------------

@@ -1,0 +1,102 @@
+// Telemetry observes, never perturbs: the full population study renders
+// byte-identical text and JSON with telemetry enabled or disabled, at one
+// thread and at eight. This is the acceptance gate for every instrumentation
+// point added to the generator/analysis/cluster paths — if an instrumented
+// branch ever influences iteration order, rounding, or output, this suite
+// catches it as a string mismatch.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/pass.h"
+#include "analysis/report.h"
+#include "analysis/report_json.h"
+#include "core/epserve.h"
+#include "util/telemetry.h"
+
+namespace epserve {
+namespace {
+
+struct Rendered {
+  std::string text;
+  std::string json;
+};
+
+Rendered render_study(int threads, bool telemetry_on) {
+  telemetry::set_enabled(false);
+  telemetry::reset();
+  telemetry::set_enabled(telemetry_on);
+  StudyOptions options;
+  options.threads = threads;
+  auto study = run_population_study({}, options);
+  telemetry::set_enabled(false);
+  EXPECT_TRUE(study.ok());
+  Rendered out;
+  out.text = analysis::render_report(study.value().report);
+  out.json = analysis::render_report_json(study.value().report);
+  return out;
+}
+
+TEST(TelemetryInvariance, ReportIdenticalWithTelemetryOnOrOff) {
+  const auto off = render_study(/*threads=*/1, /*telemetry_on=*/false);
+  const auto on = render_study(/*threads=*/1, /*telemetry_on=*/true);
+  EXPECT_EQ(off.text, on.text);
+  EXPECT_EQ(off.json, on.json);
+}
+
+TEST(TelemetryInvariance, ReportIdenticalAcrossThreadCountsWithTelemetryOn) {
+  const auto serial_off = render_study(/*threads=*/1, /*telemetry_on=*/false);
+  const auto parallel_on = render_study(/*threads=*/8, /*telemetry_on=*/true);
+  EXPECT_EQ(serial_off.text, parallel_on.text);
+  EXPECT_EQ(serial_off.json, parallel_on.json);
+}
+
+TEST(TelemetryInvariance, StudyPopulatesTheExpectedInstrumentationPoints) {
+  telemetry::set_enabled(false);
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  StudyOptions options;
+  options.threads = 8;
+  auto study = run_population_study({}, options);
+  telemetry::set_enabled(false);
+  ASSERT_TRUE(study.ok());
+  const auto snap = telemetry::snapshot();
+
+  // Generator phases, one execution each, nested under "generate".
+  for (const char* phase :
+       {"generate", "generate/phase1_cohorts", "generate/phase2_chips",
+        "generate/phase3_mpc", "generate/phase4_curves",
+        "generate/phase5_mismatches"}) {
+    const auto* span = snap.find_span(phase);
+    ASSERT_NE(span, nullptr) << phase;
+    EXPECT_EQ(span->count, 1u) << phase;
+  }
+
+  // One kRoot span per registered pass, path independent of which thread
+  // (caller or worker) executed it.
+  for (const auto& name : analysis::pass_names()) {
+    const auto* span = snap.find_span("report/pass/" + name);
+    ASSERT_NE(span, nullptr) << name;
+    EXPECT_EQ(span->count, 1u) << name;
+  }
+
+  // AnalysisContext cache instrumentation: exactly one miss (the call that
+  // ran the build) for members every pass bundle touches, and hits from the
+  // other callers. This is the telemetry view of CacheStats.
+  const auto* misses = snap.find_counter("ctx.columnar.misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_EQ(misses->value, 1u);
+  const auto* hits = snap.find_counter("ctx.columnar.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GE(hits->value, 1u);
+  EXPECT_NE(snap.find_timer("ctx.columnar.build"), nullptr);
+  EXPECT_NE(snap.find_timer("ctx.derived.build"), nullptr);
+
+  // Population size flows through the generator counter.
+  const auto* records = snap.find_counter("generate.records");
+  ASSERT_NE(records, nullptr);
+  EXPECT_EQ(records->value, study.value().repository->size());
+}
+
+}  // namespace
+}  // namespace epserve

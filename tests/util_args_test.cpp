@@ -1,0 +1,105 @@
+// util/args: the shared subcommand parser behind epserve_cli — typed
+// getters, strict numerics, --flag value / --flag=value spellings, unknown
+// flag rejection, and generated usage text.
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace epserve {
+namespace {
+
+Result<bool> parse(ArgParser& parser, const std::vector<const char*>& args) {
+  return parser.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, ParsesPositionalsFlagsAndValues) {
+  std::string path;
+  std::uint64_t id = 0;
+  bool json = false;
+  std::string only;
+  bool only_given = false;
+  ArgParser parser("demo");
+  parser.positional("in.csv", &path, "input")
+      .positional_u64("id", &id, "record id")
+      .flag("--json", &json, "json output")
+      .value_flag("--only", &only, &only_given, "subset");
+  const auto result =
+      parse(parser, {"data.csv", "42", "--json", "--only", "idle"});
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(path, "data.csv");
+  EXPECT_EQ(id, 42u);
+  EXPECT_TRUE(json);
+  EXPECT_TRUE(only_given);
+  EXPECT_EQ(only, "idle");
+}
+
+TEST(ArgParser, AcceptsEqualsSpellingForValuedFlags) {
+  std::string only;
+  bool only_given = false;
+  ArgParser parser("demo");
+  parser.value_flag("--only", &only, &only_given, "subset");
+  ASSERT_TRUE(parse(parser, {"--only=idle,scale"}).ok());
+  EXPECT_EQ(only, "idle,scale");
+}
+
+TEST(ArgParser, OptionalPositionalKeepsDefaultWhenAbsent) {
+  std::uint64_t seed = 7;
+  ArgParser parser("demo");
+  parser.optional_u64("seed", &seed, "population seed");
+  ASSERT_TRUE(parse(parser, {}).ok());
+  EXPECT_EQ(seed, 7u);
+  ASSERT_TRUE(parse(parser, {"123"}).ok());
+  EXPECT_EQ(seed, 123u);
+}
+
+TEST(ArgParser, RejectsGarbageNumbersInsteadOfSilentZero) {
+  std::uint64_t id = 99;
+  ArgParser parser("demo");
+  parser.positional_u64("id", &id, "record id");
+  const auto result = parse(parser, {"12abc"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Error::Code::kParse);
+  EXPECT_EQ(id, 99u);  // untouched on failure
+}
+
+TEST(ArgParser, RejectsUnknownFlagsMissingAndSurplusArguments) {
+  std::string path;
+  ArgParser parser("demo");
+  parser.positional("in.csv", &path, "input");
+  EXPECT_FALSE(parse(parser, {"a.csv", "--bogus"}).ok());
+  EXPECT_FALSE(parse(parser, {}).ok());                  // missing required
+  EXPECT_FALSE(parse(parser, {"a.csv", "extra"}).ok());  // surplus
+}
+
+TEST(ArgParser, RejectsValueOnBooleanFlagAndMissingValue) {
+  bool json = false;
+  std::string only;
+  bool only_given = false;
+  ArgParser parser("demo");
+  parser.flag("--json", &json, "json output")
+      .value_flag("--only", &only, &only_given, "subset");
+  EXPECT_FALSE(parse(parser, {"--json=yes"}).ok());
+  EXPECT_FALSE(parse(parser, {"--only"}).ok());  // value missing
+}
+
+TEST(ArgParser, UsageListsEverythingRegistered) {
+  std::string path;
+  std::uint64_t seed = 0;
+  bool json = false;
+  ArgParser parser("demo");
+  parser.positional("in.csv", &path, "input file")
+      .optional_u64("seed", &seed, "population seed")
+      .flag("--json", &json, "json output");
+  const auto usage = parser.usage();
+  EXPECT_NE(usage.find("usage: epserve_cli demo"), std::string::npos);
+  EXPECT_NE(usage.find("<in.csv>"), std::string::npos);
+  EXPECT_NE(usage.find("[seed]"), std::string::npos);
+  EXPECT_NE(usage.find("--json"), std::string::npos);
+  EXPECT_NE(usage.find("input file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epserve

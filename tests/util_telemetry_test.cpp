@@ -1,0 +1,252 @@
+// util/telemetry: counter/timer/span correctness, hierarchical paths, root
+// spans, disabled no-ops, and the determinism contract — counter totals and
+// span counts are identical at every thread count; only wall times and
+// per-span thread counts may vary (and those the tests only range-check).
+#include "util/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/parallel.h"
+
+namespace epserve::telemetry {
+namespace {
+
+/// Every test starts from a clean, enabled registry and leaves telemetry
+/// disabled so unrelated tests in this binary stay unaffected.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+// --- counters ---------------------------------------------------------------
+
+TEST_F(TelemetryTest, CounterAccumulatesDeltas) {
+  count("t.counter");
+  count("t.counter", 5);
+  count("t.other", 2);
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_counter("t.counter"), nullptr);
+  EXPECT_EQ(snap.find_counter("t.counter")->value, 6u);
+  ASSERT_NE(snap.find_counter("t.other"), nullptr);
+  EXPECT_EQ(snap.find_counter("t.other")->value, 2u);
+  EXPECT_EQ(snap.find_counter("t.absent"), nullptr);
+}
+
+TEST_F(TelemetryTest, CacheCounterSplitsHitsAndMisses) {
+  count_cache("t.member", /*hit=*/false);
+  count_cache("t.member", /*hit=*/true);
+  count_cache("t.member", /*hit=*/true);
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_counter("t.member.hits"), nullptr);
+  EXPECT_EQ(snap.find_counter("t.member.hits")->value, 2u);
+  ASSERT_NE(snap.find_counter("t.member.misses"), nullptr);
+  EXPECT_EQ(snap.find_counter("t.member.misses")->value, 1u);
+}
+
+// --- timers -----------------------------------------------------------------
+
+TEST_F(TelemetryTest, ScopedTimerRecordsOneObservationPerScope) {
+  { const ScopedTimer t("t.timer"); }
+  { const ScopedTimer t("t.", "timer"); }  // prefix+suffix spelling
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_timer("t.timer"), nullptr);
+  EXPECT_EQ(snap.find_timer("t.timer")->count, 2u);
+  EXPECT_GE(snap.find_timer("t.timer")->total_ms, 0.0);
+}
+
+TEST_F(TelemetryTest, TimerAddAccumulates) {
+  timer_add("t.manual", 1'000'000);  // 1 ms
+  timer_add("t.manual", 2'000'000);  // 2 ms
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_timer("t.manual"), nullptr);
+  EXPECT_EQ(snap.find_timer("t.manual")->count, 2u);
+  EXPECT_NEAR(snap.find_timer("t.manual")->total_ms, 3.0, 1e-9);
+}
+
+// --- spans ------------------------------------------------------------------
+
+TEST_F(TelemetryTest, NestedSpansJoinPathsWithSlash) {
+  {
+    const Span outer("outer");
+    { const Span inner("inner"); }
+    { const Span inner("inner"); }
+  }
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_span("outer"), nullptr);
+  EXPECT_EQ(snap.find_span("outer")->count, 1u);
+  ASSERT_NE(snap.find_span("outer/inner"), nullptr);
+  EXPECT_EQ(snap.find_span("outer/inner")->count, 2u);
+  EXPECT_EQ(snap.find_span("inner"), nullptr);
+}
+
+TEST_F(TelemetryTest, RootSpanIgnoresSurroundingStack) {
+  {
+    const Span outer("outer");
+    const Span rooted("pass/", "x", Span::Scope::kRoot);
+    // A span nested inside the root span extends the root's path, not the
+    // displaced outer path.
+    const Span inner("inner");
+    const auto* unused = &inner;
+    (void)unused;
+  }
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_span("pass/x"), nullptr);
+  ASSERT_NE(snap.find_span("pass/x/inner"), nullptr);
+  EXPECT_EQ(snap.find_span("outer/pass/x"), nullptr);
+  // The outer span resumes its own path once the root span closes.
+  ASSERT_NE(snap.find_span("outer"), nullptr);
+}
+
+TEST_F(TelemetryTest, SpanTimesAreInclusive) {
+  {
+    const Span outer("outer");
+    const Span inner("inner");
+  }
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_span("outer"), nullptr);
+  ASSERT_NE(snap.find_span("outer/inner"), nullptr);
+  EXPECT_GE(snap.find_span("outer")->total_ms,
+            snap.find_span("outer/inner")->total_ms);
+}
+
+// --- disabled no-ops --------------------------------------------------------
+
+TEST_F(TelemetryTest, DisabledPrimitivesRecordNothing) {
+  set_enabled(false);
+  count("t.counter");
+  timer_add("t.timer", 123);
+  { const ScopedTimer t("t.scoped"); }
+  { const Span s("t.span"); }
+  count_cache("t.member", true);
+  set_enabled(true);
+  const auto snap = snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.timers.empty());
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST_F(TelemetryTest, ScopeEnteredWhileDisabledStaysInert) {
+  // Enabling mid-scope must not produce a bogus record at scope exit.
+  set_enabled(false);
+  {
+    const ScopedTimer t("t.timer");
+    const Span s("t.span");
+    set_enabled(true);
+  }
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.find_timer("t.timer"), nullptr);
+  EXPECT_EQ(snap.find_span("t.span"), nullptr);
+}
+
+// --- rendering --------------------------------------------------------------
+
+TEST_F(TelemetryTest, SnapshotEntriesAreSortedAndRender) {
+  count("t.b");
+  count("t.a");
+  { const Span s("zeta"); }
+  { const Span s("alpha"); }
+  const auto snap = snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "t.a");
+  EXPECT_EQ(snap.counters[1].name, "t.b");
+  ASSERT_EQ(snap.spans.size(), 2u);
+  EXPECT_EQ(snap.spans[0].path, "alpha");
+  EXPECT_EQ(snap.spans[1].path, "zeta");
+
+  const auto text = snap.render_text();
+  EXPECT_NE(text.find("t.a"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  const auto json = snap.render_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+// --- multi-thread merge determinism -----------------------------------------
+
+/// Runs the same instrumented workload at a given thread count and returns
+/// the resulting snapshot. Counter totals and span counts must not depend on
+/// the thread count (docs/OBSERVABILITY.md).
+Snapshot run_instrumented(std::size_t threads, std::size_t n) {
+  set_enabled(false);
+  reset();
+  set_enabled(true);
+  const auto pool = make_worker_pool(threads);
+  parallel_for(pool.get(), n, [](std::size_t i) {
+    // kRoot: the span path must not depend on which thread ran index i.
+    const Span span("work/item", Span::Scope::kRoot);
+    count("work.items");
+    count("work.units", i % 3);
+    timer_add("work.t", 1000);
+  });
+  return snapshot();
+}
+
+TEST_F(TelemetryTest, MergeIsDeterministicAcrossThreadCounts) {
+  constexpr std::size_t kN = 500;
+  const auto serial = run_instrumented(1, kN);
+  std::uint64_t expected_units = 0;
+  for (std::size_t i = 0; i < kN; ++i) expected_units += i % 3;
+
+  for (const std::size_t threads : {2UL, 8UL}) {
+    const auto snap = run_instrumented(threads, kN);
+    ASSERT_NE(snap.find_counter("work.items"), nullptr) << threads;
+    EXPECT_EQ(snap.find_counter("work.items")->value, kN) << threads;
+    EXPECT_EQ(snap.find_counter("work.units")->value, expected_units)
+        << threads;
+    ASSERT_NE(snap.find_span("work/item"), nullptr) << threads;
+    EXPECT_EQ(snap.find_span("work/item")->count, kN) << threads;
+    ASSERT_NE(snap.find_timer("work.t"), nullptr) << threads;
+    EXPECT_EQ(snap.find_timer("work.t")->count, kN) << threads;
+
+    // Workload counters merge to the same names and totals as the serial
+    // run. (The pool's own pool.* counters are exempt: they measure the
+    // scheduling infrastructure, which legitimately varies with the thread
+    // count — a serial run has no pool at all.)
+    const auto work_counters = [](const Snapshot& s) {
+      std::vector<CounterStat> out;
+      for (const auto& c : s.counters) {
+        if (c.name.starts_with("work.")) out.push_back(c);
+      }
+      return out;
+    };
+    const auto got = work_counters(snap);
+    const auto want = work_counters(serial);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].name, want[i].name);
+      EXPECT_EQ(got[i].value, want[i].value);
+    }
+
+    // The thread attribution is the one legitimately nondeterministic
+    // field: only its range is pinned.
+    EXPECT_GE(snap.find_span("work/item")->threads, 1);
+    EXPECT_LE(snap.find_span("work/item")->threads,
+              static_cast<int>(threads));
+  }
+  EXPECT_EQ(serial.find_span("work/item")->threads, 1);
+}
+
+TEST_F(TelemetryTest, UnscopedWorkerRecordsSurviveThePoolsLifetime) {
+  // Counters recorded with no open scope flush immediately, so they are
+  // visible in a snapshot taken while the pool is still alive.
+  const auto pool = make_worker_pool(4);
+  parallel_for(pool.get(), 64, [](std::size_t) { count("bare.count"); });
+  const auto snap = snapshot();
+  ASSERT_NE(snap.find_counter("bare.count"), nullptr);
+  EXPECT_EQ(snap.find_counter("bare.count")->value, 64u);
+}
+
+}  // namespace
+}  // namespace epserve::telemetry
