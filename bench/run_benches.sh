@@ -17,6 +17,7 @@ benches=(
   bench_columnar_groupby
   bench_report_cache
   bench_telemetry_overhead
+  bench_fleet_day
 )
 
 entries=()

@@ -7,6 +7,9 @@
 //   epserve_cli validate <in.csv>           structural validation of a CSV
 //   epserve_cli sweep   <server 1..4>       §V testbed sweep (Fig.18-21)
 //   epserve_cli guide   [fleet_size] [seed] §V.C operating guide
+//   epserve_cli day     [fleet_size] [seed] 24h energy under each placement
+//                                           policy plus the ensemble
+//                                           autoscaler, on one shared Fleet
 //   epserve_cli fit     <in.csv> <id>       fit the two-segment model to one
 //                                           server's measured curve
 //
@@ -23,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/autoscaler.h"
+#include "cluster/day_simulation.h"
+#include "cluster/fleet.h"
 #include "cluster/operating_guide.h"
 #include "analysis/report_json.h"
 #include "core/epserve.h"
@@ -39,10 +45,22 @@ using namespace epserve;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: epserve_cli <report|export|validate|sweep|guide|fit> "
-               "[args] [--trace[=json]]\n"
+               "usage: epserve_cli <report|export|validate|sweep|guide|day|"
+               "fit> [args] [--trace[=json]]\n"
                "  see the header comment of examples/epserve_cli.cpp\n");
   return 2;
+}
+
+/// The guide/day fleet: the first `fleet_size` servers with 2012+ hardware
+/// (the §V.C audience operates a current fleet, not the 2007 long tail).
+std::vector<dataset::ServerRecord> modern_fleet(
+    const std::vector<dataset::ServerRecord>& population,
+    std::uint64_t fleet_size) {
+  std::vector<dataset::ServerRecord> fleet;
+  for (const auto& r : population) {
+    if (r.hw_year >= 2012 && fleet.size() < fleet_size) fleet.push_back(r);
+  }
+  return fleet;
 }
 
 /// Parse failure: diagnostic plus the subcommand's usage, exit 2.
@@ -183,16 +201,69 @@ int cmd_guide(int argc, const char* const* argv) {
     std::fprintf(stderr, "%s\n", population.error().message.c_str());
     return 1;
   }
-  std::vector<dataset::ServerRecord> fleet;
-  for (const auto& r : population.value()) {
-    if (r.hw_year >= 2012 && fleet.size() < fleet_size) fleet.push_back(r);
+  const auto fleet = modern_fleet(population.value(), fleet_size);
+  // One validated Fleet for the whole invocation (`fleet.builds` is 1 under
+  // --trace); the guide reads every derived metric off its columns.
+  const auto handle = cluster::Fleet::build(fleet);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "%s\n", handle.error().message.c_str());
+    return 1;
   }
-  auto guide = cluster::build_operating_guide(fleet);
+  auto guide = cluster::build_operating_guide(handle.value());
   if (!guide.ok()) {
     std::fprintf(stderr, "%s\n", guide.error().message.c_str());
     return 1;
   }
   std::cout << cluster::render_guide(guide.value());
+  return 0;
+}
+
+int cmd_day(int argc, const char* const* argv) {
+  std::uint64_t fleet_size = 24;
+  dataset::GeneratorConfig config;
+  ArgParser parser("day");
+  parser.optional_u64("fleet_size", &fleet_size, "servers in the fleet")
+      .optional_u64("seed", &config.seed, "population seed");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
+  auto population = dataset::generate_population(config);
+  if (!population.ok()) {
+    std::fprintf(stderr, "%s\n", population.error().message.c_str());
+    return 1;
+  }
+  const auto fleet = modern_fleet(population.value(), fleet_size);
+  // One Fleet shared by all four subsystems below — the placement policies
+  // and the autoscaler evaluate the same cached columns and tables.
+  const auto handle = cluster::Fleet::build(fleet);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "%s\n", handle.error().message.c_str());
+    return 1;
+  }
+  const auto trace = cluster::DemandTrace::diurnal();
+  auto days = cluster::compare_policies_over_day(handle.value(), trace);
+  if (!days.ok()) {
+    std::fprintf(stderr, "%s\n", days.error().message.c_str());
+    return 1;
+  }
+  auto scaled = cluster::autoscale_over_day(handle.value(), trace);
+  if (!scaled.ok()) {
+    std::fprintf(stderr, "%s\n", scaled.error().message.c_str());
+    return 1;
+  }
+  TextTable table;
+  table.columns({"policy", "kWh/day", "served Gops", "ops/J"});
+  for (const auto& day : days.value()) {
+    table.row({day.policy, format_fixed(day.energy_kwh, 2),
+               format_fixed(day.served_gops, 1),
+               format_fixed(day.avg_efficiency, 1)});
+  }
+  table.row({"autoscaler", format_fixed(scaled.value().energy_kwh, 2),
+             format_fixed(scaled.value().served_gops, 1),
+             format_fixed(scaled.value().avg_efficiency, 1)});
+  std::cout << handle.value().size() << " servers over "
+            << trace.demand.size() << " slots\n"
+            << table.render();
   return 0;
 }
 
@@ -275,6 +346,8 @@ int main(int argc, char** argv) {
     exit_code = cmd_sweep(sub_argc, sub_argv);
   } else if (command == "guide") {
     exit_code = cmd_guide(sub_argc, sub_argv);
+  } else if (command == "day") {
+    exit_code = cmd_day(sub_argc, sub_argv);
   } else if (command == "fit") {
     exit_code = cmd_fit(sub_argc, sub_argv);
   } else {

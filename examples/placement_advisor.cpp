@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/epserve.h"
+#include "cluster/fleet.h"
 #include "cluster/operating_guide.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -40,9 +41,18 @@ int main(int argc, char** argv) {
   std::cout << "epserve " << version() << " — placement advisor, "
             << fleet.size() << " servers\n";
 
+  // One validated Fleet handle shared by the guide, the demand sweep, and
+  // the cluster-EP section below.
+  const auto built = cluster::Fleet::build(fleet);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.error().message.c_str());
+    return 1;
+  }
+  const cluster::Fleet& handle = built.value();
+
   // The §V.C operating guide: clusters, shared regions, recommended targets.
   std::cout << section_banner("Operating guide (logical clusters, §V.C)");
-  const auto guide = cluster::build_operating_guide(fleet);
+  const auto guide = cluster::build_operating_guide(handle);
   if (!guide.ok()) {
     std::fprintf(stderr, "%s\n", guide.error().message.c_str());
     return 1;
@@ -64,7 +74,7 @@ int main(int argc, char** argv) {
     for (const cluster::PlacementPolicy* policy :
          std::initializer_list<const cluster::PlacementPolicy*>{
              &pack, &balanced, &optimal}) {
-      const auto a = cluster::evaluate(*policy, fleet, demand);
+      const auto a = cluster::evaluate(*policy, handle, demand);
       if (!a.ok()) {
         std::fprintf(stderr, "%s\n", a.error().message.c_str());
         return 1;
@@ -85,7 +95,7 @@ int main(int argc, char** argv) {
   for (const cluster::PlacementPolicy* policy :
        std::initializer_list<const cluster::PlacementPolicy*>{&pack, &balanced,
                                                               &optimal}) {
-    const auto curve = cluster::cluster_power_curve(*policy, fleet);
+    const auto curve = cluster::cluster_power_curve(*policy, handle);
     if (!curve.ok()) {
       std::fprintf(stderr, "%s\n", curve.error().message.c_str());
       return 1;

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
-#include "metrics/efficiency.h"
+#include "util/telemetry.h"
 
 namespace epserve::cluster {
 
-Result<AutoscaleResult> autoscale_over_day(
-    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace,
-    const AutoscalerConfig& config) {
+Result<AutoscaleResult> autoscale_over_day(const Fleet& fleet,
+                                           const DemandTrace& trace,
+                                           const AutoscalerConfig& config) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
   if (trace.demand.empty()) return Error::invalid_argument("trace is empty");
   if (!(trace.slot_hours > 0.0)) {
@@ -22,23 +23,44 @@ Result<AutoscaleResult> autoscale_over_day(
   if (config.wake_penalty_wh < 0.0 || config.hysteresis_servers < 0) {
     return Error::invalid_argument("penalty/hysteresis must be non-negative");
   }
+  const telemetry::Span policy_span("cluster/policy/autoscaler",
+                                    telemetry::Span::Scope::kRoot);
+  const telemetry::Span span("autoscale_over_day");
+  telemetry::count("cluster.autoscale.slots", trace.demand.size());
+
+  const std::size_t n = fleet.size();
+  const std::size_t num_slots = trace.demand.size();
 
   // Order servers best-overall-EE first; the active set is always a prefix.
-  std::vector<std::size_t> order(fleet.size());
+  const std::span<const double> score = fleet.overall_score();
+  std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double ea = metrics::overall_score(fleet[a].curve);
-    const double eb = metrics::overall_score(fleet[b].curve);
-    if (ea != eb) return ea > eb;
-    return fleet[a].id < fleet[b].id;
+    if (score[a] != score[b]) return score[a] > score[b];
+    return fleet.record(a).id < fleet.record(b).id;
   });
 
-  double fleet_capacity = 0.0;
-  for (const auto& s : fleet) fleet_capacity += s.curve.peak_ops();
+  // prefix[k] = capacity of the k best servers, accumulated in prefix order —
+  // the same additions (and therefore the same doubles) as growing the
+  // active prefix one server at a time.
+  const std::span<const double> peak_ops = fleet.peak_ops();
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    prefix[k + 1] = prefix[k] + peak_ops[order[k]];
+  }
 
+  const double fleet_capacity = fleet.capacity_ops();
+
+  // Pass 1 — per-slot scaling decisions (scalar, no curve evaluations):
+  // validate demand, size the active prefix, apply hysteresis, record
+  // utilisation and served ops.
   AutoscaleResult result;
+  result.slots.resize(num_slots);
+  std::vector<double> slot_utilization(num_slots, 0.0);
+  std::vector<double> slot_served_ops(num_slots, 0.0);
   int active = 0;
-  for (const double demand : trace.demand) {
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    const double demand = trace.demand[s];
     if (demand < 0.0 || demand > 1.0) {
       return Error::invalid_argument("trace demand outside [0, 1]");
     }
@@ -47,15 +69,15 @@ Result<AutoscaleResult> autoscale_over_day(
     // Smallest prefix whose capacity at the target utilisation covers the
     // demand (the whole fleet at full tilt as a last resort).
     int needed = 0;
-    double prefix_capacity = 0.0;
-    while (needed < static_cast<int>(fleet.size()) &&
-           prefix_capacity * config.target_utilization < demand_ops) {
-      prefix_capacity +=
-          fleet[order[static_cast<std::size_t>(needed)]].curve.peak_ops();
+    while (needed < static_cast<int>(n) &&
+           prefix[static_cast<std::size_t>(needed)] *
+                   config.target_utilization <
+               demand_ops) {
       ++needed;
     }
-    if (prefix_capacity * config.target_utilization < demand_ops) {
-      needed = static_cast<int>(fleet.size());  // serve above target util
+    if (prefix[static_cast<std::size_t>(needed)] * config.target_utilization <
+        demand_ops) {
+      needed = static_cast<int>(n);  // serve above target util
     }
 
     // Hysteresis: grow immediately, shrink only past the band.
@@ -69,39 +91,68 @@ Result<AutoscaleResult> autoscale_over_day(
     active = std::max(next_active, demand_ops > 0.0 ? 1 : 0);
 
     // Spread the demand over the active prefix proportionally to capacity.
-    double active_capacity = 0.0;
-    for (int i = 0; i < active; ++i) {
-      active_capacity +=
-          fleet[order[static_cast<std::size_t>(i)]].curve.peak_ops();
-    }
+    const double active_capacity = prefix[static_cast<std::size_t>(active)];
     const double utilization =
         active_capacity > 0.0
             ? std::min(1.0, demand_ops / active_capacity)
             : 0.0;
-    double power = 0.0;
-    for (int i = 0; i < active; ++i) {
-      const auto& server = fleet[order[static_cast<std::size_t>(i)]];
-      power += server.curve.normalized_power(utilization) *
-               server.curve.peak_watts();
-    }
+    slot_utilization[s] = utilization;
+    slot_served_ops[s] = std::min(demand_ops, active_capacity);
 
-    ScaleSlot slot;
+    ScaleSlot& slot = result.slots[s];
     slot.demand = demand;
     slot.active_servers = active;
-    slot.power_watts = power;
     slot.wakes = wakes;
-    result.slots.push_back(slot);
+  }
 
-    result.energy_kwh += power * trace.slot_hours / 1000.0 +
-                         wakes * config.wake_penalty_wh / 1000.0;
-    result.served_gops +=
-        std::min(demand_ops, active_capacity) * trace.slot_hours * 3600.0 /
-        1e9;
+  // Pass 2 — server-major power: for each prefix position j, one batched
+  // table evaluation covers every slot whose active set includes order[j].
+  // Scattering in ascending j adds each slot's contributions in the same
+  // order the scalar per-slot loop did, so slot powers match bitwise.
+  const std::span<const double> peak_watts = fleet.peak_watts();
+  std::vector<std::size_t> slots_on;
+  std::vector<double> utils;
+  std::vector<double> norm;
+  slots_on.reserve(num_slots);
+  utils.reserve(num_slots);
+  norm.reserve(num_slots);
+  for (std::size_t j = 0; j < n; ++j) {
+    slots_on.clear();
+    utils.clear();
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      if (static_cast<std::size_t>(result.slots[s].active_servers) > j) {
+        slots_on.push_back(s);
+        utils.push_back(slot_utilization[s]);
+      }
+    }
+    if (slots_on.empty()) continue;
+    norm.resize(slots_on.size());
+    fleet.normalized_power_batch(order[j], utils, norm);
+    const double watts = peak_watts[order[j]];
+    for (std::size_t k = 0; k < slots_on.size(); ++k) {
+      result.slots[slots_on[k]].power_watts += norm[k] * watts;
+    }
+  }
+
+  // Pass 3 — energy/served accounting in slot order (the legacy per-slot
+  // accumulation sequence).
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    result.energy_kwh +=
+        result.slots[s].power_watts * trace.slot_hours / 1000.0 +
+        result.slots[s].wakes * config.wake_penalty_wh / 1000.0;
+    result.served_gops += slot_served_ops[s] * trace.slot_hours * 3600.0 / 1e9;
   }
   const double joules = result.energy_kwh * 3.6e6;
   result.avg_efficiency =
       joules > 0.0 ? result.served_gops * 1e9 / joules : 0.0;
   return result;
+}
+
+Result<AutoscaleResult> autoscale_over_day(
+    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace,
+    const AutoscalerConfig& config) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  return autoscale_over_day(Fleet::unchecked(fleet), trace, config);
 }
 
 }  // namespace epserve::cluster

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/day_simulation.h"
+#include "cluster/fleet.h"
 #include "dataset/record.h"
 #include "util/result.h"
 
@@ -39,10 +40,17 @@ struct AutoscaleResult {
   double avg_efficiency = 0.0;  // ops per joule
 };
 
-/// Runs the autoscaler over a demand trace. Servers are ordered by overall
-/// EE (best first) and the active prefix serves the demand, each active
-/// machine at min(1, demand_ops / active_capacity). Fails on an empty fleet
-/// or trace, or an out-of-range target.
+/// Runs the autoscaler over a demand trace against a prebuilt Fleet. Servers
+/// are ordered by overall EE (best first) and the active prefix serves the
+/// demand, each active machine at min(1, demand_ops / active_capacity).
+/// Power is accounted server-major through the fleet's cached interpolation
+/// tables: one batched evaluation per server covers every slot it is active
+/// in. Fails on an empty fleet or trace, or an out-of-range target.
+epserve::Result<AutoscaleResult> autoscale_over_day(
+    const Fleet& fleet, const DemandTrace& trace,
+    const AutoscalerConfig& config = {});
+
+/// Legacy wrapper: builds a throwaway unchecked Fleet and delegates.
 epserve::Result<AutoscaleResult> autoscale_over_day(
     const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace,
     const AutoscalerConfig& config = {});

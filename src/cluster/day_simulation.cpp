@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <numbers>
 
 #include "util/telemetry.h"
@@ -24,20 +25,23 @@ DemandTrace DemandTrace::diurnal(double base, double amplitude) {
 }
 
 Result<DayResult> simulate_day(const PlacementPolicy& policy,
-                               const std::vector<dataset::ServerRecord>& fleet,
-                               const DemandTrace& trace) {
+                               const Fleet& fleet, const DemandTrace& trace) {
   if (trace.demand.empty()) {
     return Error::invalid_argument("trace has no slots");
   }
   if (!(trace.slot_hours > 0.0)) {
     return Error::invalid_argument("slot length must be positive");
   }
+  // Root scope: the policy's whole day reads as `cluster/policy/<name>`
+  // whether it runs on the calling thread or a pool worker.
+  const telemetry::Span policy_span("cluster/policy/", policy.name(),
+                                    telemetry::Span::Scope::kRoot);
   const telemetry::Span span("simulate_day");
   telemetry::count("cluster.day.slots", trace.demand.size());
   DayResult result;
   result.policy = policy.name();
-  // One batched evaluation for the whole trace: every server's interpolation
-  // table is built once per day instead of once per (server, slot) pair.
+  // One batched evaluation for the whole trace: the fleet's cached
+  // interpolation tables serve every (server, slot) pair.
   auto assignments = evaluate_batch(policy, fleet, trace.demand);
   if (!assignments.ok()) return assignments.error();
   for (const auto& assignment : assignments.value()) {
@@ -51,9 +55,14 @@ Result<DayResult> simulate_day(const PlacementPolicy& policy,
   return result;
 }
 
+Result<DayResult> simulate_day(const PlacementPolicy& policy,
+                               const std::vector<dataset::ServerRecord>& fleet,
+                               const DemandTrace& trace) {
+  return simulate_day(policy, Fleet::unchecked(fleet), trace);
+}
+
 Result<std::vector<DayResult>> compare_policies_over_day(
-    const std::vector<dataset::ServerRecord>& fleet,
-    const DemandTrace& trace) {
+    const Fleet& fleet, const DemandTrace& trace) {
   const PackToFullPolicy pack;
   const BalancedPolicy balanced;
   const OptimalRegionPolicy optimal;
@@ -66,6 +75,12 @@ Result<std::vector<DayResult>> compare_policies_over_day(
     results.push_back(std::move(day).take());
   }
   return results;
+}
+
+Result<std::vector<DayResult>> compare_policies_over_day(
+    const std::vector<dataset::ServerRecord>& fleet,
+    const DemandTrace& trace) {
+  return compare_policies_over_day(Fleet::unchecked(fleet), trace);
 }
 
 }  // namespace epserve::cluster

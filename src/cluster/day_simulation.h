@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fleet.h"
 #include "cluster/placement.h"
 #include "util/result.h"
 
@@ -18,7 +19,9 @@ struct DemandTrace {
   double slot_hours = 1.0;
 
   /// Classic diurnal shape: trough at night, peak in the evening.
-  /// demand(t) = base + amplitude * sin-shaped day profile, 24 slots.
+  /// demand(t) = base + amplitude * sin-shaped day profile, 24 slots,
+  /// clamped into [0, 1] (extreme base/amplitude combinations would
+  /// otherwise leave the valid demand range and fail evaluation).
   static DemandTrace diurnal(double base = 0.25, double amplitude = 0.45);
 };
 
@@ -30,13 +33,25 @@ struct DayResult {
   double avg_efficiency = 0.0;   // served ops per joule (ops/J)
 };
 
-/// Runs the trace under a policy. Fails on empty fleet/trace or demand
-/// outside [0, 1].
+/// Runs the trace under a policy against a prebuilt Fleet — the whole day is
+/// one evaluate_batch over the fleet's cached tables, recorded under the
+/// `cluster/policy/<name>` root telemetry span. Fails on empty fleet/trace
+/// or demand outside [0, 1].
+epserve::Result<DayResult> simulate_day(const PlacementPolicy& policy,
+                                        const Fleet& fleet,
+                                        const DemandTrace& trace);
+
+/// Legacy wrapper: builds a throwaway unchecked Fleet and delegates.
 epserve::Result<DayResult> simulate_day(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace);
 
-/// Convenience: all three built-in policies on the same fleet/trace.
+/// Convenience: all three built-in policies on the same fleet/trace. The
+/// Fleet is shared across the three runs (built once by the caller).
+epserve::Result<std::vector<DayResult>> compare_policies_over_day(
+    const Fleet& fleet, const DemandTrace& trace);
+
+/// Legacy wrapper: builds one unchecked Fleet for all three policies.
 epserve::Result<std::vector<DayResult>> compare_policies_over_day(
     const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace);
 

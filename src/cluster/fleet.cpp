@@ -1,0 +1,65 @@
+#include "cluster/fleet.h"
+
+#include <string>
+
+#include "cluster/working_region.h"
+#include "metrics/efficiency.h"
+#include "metrics/load_level.h"
+#include "util/telemetry.h"
+
+namespace epserve::cluster {
+
+Fleet Fleet::make(std::span<const dataset::ServerRecord> servers) {
+  telemetry::Span span("fleet.build");
+  telemetry::count("fleet.builds");
+  telemetry::count("fleet.servers", servers.size());
+
+  Fleet fleet;
+  fleet.servers_ = servers;
+  fleet.snapshot_ = dataset::ColumnarSnapshot::build(servers);
+  fleet.tables_.reserve(servers.size());
+  fleet.ee_at_full_.reserve(servers.size());
+  for (const auto& server : servers) {
+    fleet.tables_.push_back(server.curve.interpolation_table());
+    fleet.ee_at_full_.push_back(
+        metrics::ee_at_level(server.curve, metrics::kNumLoadLevels - 1));
+    fleet.capacity_ops_ += server.curve.peak_ops();
+    fleet.total_idle_watts_ += server.curve.idle_watts();
+  }
+  return fleet;
+}
+
+epserve::Result<Fleet> Fleet::build(
+    std::span<const dataset::ServerRecord> servers) {
+  if (servers.empty()) {
+    return Error::invalid_argument("fleet is empty");
+  }
+  for (const auto& server : servers) {
+    if (auto valid = server.curve.validate(); !valid.ok()) {
+      return Error{valid.error().code, "server " + std::to_string(server.id) +
+                                           ": " + valid.error().message};
+    }
+  }
+  return make(servers);
+}
+
+Fleet Fleet::unchecked(std::span<const dataset::ServerRecord> servers) {
+  return make(servers);
+}
+
+std::vector<double> Fleet::optimal_region_tops(double ee_threshold) const {
+  std::vector<double> tops;
+  tops.reserve(size());
+  for (const auto& server : servers_) {
+    const Region region = optimal_region(server.curve, ee_threshold);
+    tops.push_back(region.empty() ? 1.0 : region.hi);
+  }
+  return tops;
+}
+
+const epserve::Result<Fleet>& LazyFleet::get() const {
+  std::call_once(once_, [this] { fleet_.emplace(Fleet::build(servers_)); });
+  return *fleet_;
+}
+
+}  // namespace epserve::cluster

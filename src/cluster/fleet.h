@@ -1,0 +1,156 @@
+// cluster::Fleet — the shared, immutable fleet handle every cluster
+// subsystem evaluates against (paper §V.C operationalised at fleet scale).
+//
+// The cluster layer used to re-derive the same per-server state on every
+// call: each placement evaluation rebuilt each server's power interpolation
+// table, each policy re-sorted the fleet from raw ServerRecord fields, and
+// each subsystem (placement, day simulation, autoscaler, knightshift, power
+// cap, working regions, operating guide) walked its own
+// std::vector<ServerRecord> copy record by record. A Fleet is built once —
+// columnar snapshot (dataset::ColumnarSnapshot) plus one cached
+// PowerCurve::InterpolationTable per server and the fleet-level aggregates —
+// and then shared, read-only, across every policy, slot, and thread.
+//
+// Determinism contract (docs/CLUSTER.md): every column is a bitwise copy of
+// the corresponding per-record computation, and the table kernel is the same
+// one PowerCurve::normalized_power runs, so anything evaluated through a
+// Fleet is byte-identical to the legacy record-at-a-time path (pinned by
+// tests/cluster_fleet_test.cpp at fleet sizes 1/100/5000, 1 and 8 threads).
+//
+// Lifetime: a Fleet *views* the caller's records (like AnalysisContext views
+// its repository) — it must not outlive the vector it was built from.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dataset/columnar.h"
+#include "dataset/record.h"
+#include "metrics/power_curve.h"
+#include "util/result.h"
+
+namespace epserve::cluster {
+
+class Fleet {
+ public:
+  /// Validated build: fails on an empty fleet ("fleet is empty", the same
+  /// message the legacy entry points return) or on any record whose
+  /// measurement sheet fails PowerCurve::validate(). Emits a `fleet.build`
+  /// telemetry span and bumps the `fleet.builds` counter.
+  static epserve::Result<Fleet> build(
+      std::span<const dataset::ServerRecord> servers);
+
+  /// Unvalidated build for the legacy delegating wrappers, whose original
+  /// scalar paths never validated curves — keeps their behaviour (and their
+  /// error surfaces) exactly as before the refactor. Prefer build().
+  static Fleet unchecked(std::span<const dataset::ServerRecord> servers);
+
+  [[nodiscard]] std::size_t size() const { return tables_.size(); }
+  [[nodiscard]] bool empty() const { return tables_.empty(); }
+
+  /// The viewed records (index-aligned with every column below).
+  [[nodiscard]] std::span<const dataset::ServerRecord> records() const {
+    return servers_;
+  }
+  [[nodiscard]] const dataset::ServerRecord& record(std::size_t i) const {
+    return servers_[i];
+  }
+
+  /// The columnar snapshot backing the record/derived columns.
+  [[nodiscard]] const dataset::ColumnarSnapshot& snapshot() const {
+    return snapshot_;
+  }
+
+  // --- Fleet aggregates (summed in ascending server order, exactly as the
+  // --- legacy per-call loops did) ------------------------------------------
+  [[nodiscard]] double capacity_ops() const { return capacity_ops_; }
+  [[nodiscard]] double total_idle_watts() const { return total_idle_watts_; }
+
+  // --- Per-server columns ---------------------------------------------------
+  [[nodiscard]] std::span<const double> peak_ops() const {
+    return snapshot_.peak_ops();
+  }
+  [[nodiscard]] std::span<const double> peak_watts() const {
+    return snapshot_.peak_watts();
+  }
+  [[nodiscard]] std::span<const double> idle_watts() const {
+    return snapshot_.idle_watts();
+  }
+  [[nodiscard]] std::span<const double> ep() const { return snapshot_.ep(); }
+  [[nodiscard]] std::span<const double> overall_score() const {
+    return snapshot_.overall_score();
+  }
+  [[nodiscard]] std::span<const double> idle_fraction() const {
+    return snapshot_.idle_fraction();
+  }
+  [[nodiscard]] std::span<const double> peak_ee_value() const {
+    return snapshot_.peak_ee_value();
+  }
+  [[nodiscard]] std::span<const double> peak_ee_utilization() const {
+    return snapshot_.peak_ee_utilization();
+  }
+  /// EE at the 100% load level (PackToFullPolicy's ordering score).
+  [[nodiscard]] std::span<const double> ee_at_full() const {
+    return ee_at_full_;
+  }
+
+  // --- Batch power kernels --------------------------------------------------
+  /// normalized_power of server `i`, evaluated against its cached table —
+  /// bitwise identical to record(i).curve.normalized_power(u).
+  [[nodiscard]] double normalized_power(std::size_t i, double utilization) const {
+    return metrics::PowerCurve::normalized_power_from_table(tables_[i],
+                                                            utilization);
+  }
+  /// Batched variant: out[k] = normalized_power(i, utils[k]).
+  void normalized_power_batch(std::size_t i, std::span<const double> utils,
+                              std::span<double> out) const {
+    metrics::PowerCurve::normalized_power_batch_from_table(tables_[i], utils,
+                                                           out);
+  }
+
+  /// Top of each server's optimal working region at `ee_threshold` (1.0 for
+  /// servers whose region is empty) — OptimalRegionPolicy's per-batch cap
+  /// vector, identical to calling optimal_region() per record.
+  [[nodiscard]] std::vector<double> optimal_region_tops(
+      double ee_threshold) const;
+
+ private:
+  // Only the named factories construct fleets. Keeping the default ctor
+  // private also keeps `{}` unambiguous at the legacy vector<ServerRecord>
+  // overloads of evaluate()/evaluate_batch().
+  Fleet() = default;
+
+  static Fleet make(std::span<const dataset::ServerRecord> servers);
+
+  std::span<const dataset::ServerRecord> servers_;
+  dataset::ColumnarSnapshot snapshot_;
+  std::vector<metrics::PowerCurve::InterpolationTable> tables_;
+  std::vector<double> ee_at_full_;
+  double capacity_ops_ = 0.0;
+  double total_idle_watts_ = 0.0;
+};
+
+/// Thread-safe lazy Fleet: many threads may request the fleet concurrently,
+/// the build runs exactly once under std::call_once (the same discipline as
+/// AnalysisContext's memoized members; TSan-checked under `ctest -L
+/// parallel`). Views the records like Fleet does.
+class LazyFleet {
+ public:
+  explicit LazyFleet(std::span<const dataset::ServerRecord> servers)
+      : servers_(servers) {}
+
+  LazyFleet(const LazyFleet&) = delete;
+  LazyFleet& operator=(const LazyFleet&) = delete;
+
+  /// The shared build result (error if the fleet failed validation).
+  const epserve::Result<Fleet>& get() const;
+
+ private:
+  std::span<const dataset::ServerRecord> servers_;
+  mutable std::once_flag once_;
+  mutable std::optional<epserve::Result<Fleet>> fleet_;
+};
+
+}  // namespace epserve::cluster

@@ -8,6 +8,9 @@
 // "wall").
 #pragma once
 
+#include <cstddef>
+
+#include "cluster/fleet.h"
 #include "dataset/record.h"
 #include "metrics/power_curve.h"
 #include "util/result.h"
@@ -30,6 +33,14 @@ struct KnightShiftConfig {
 /// The composite's measurement sheet at the eleven SPECpower points, where
 /// utilisation is relative to the COMPOSITE peak throughput (primary peak +
 /// knight peak). Fails on non-physical configuration.
+///
+/// The Fleet overload takes the primary by index and reads peak ops/watts
+/// from the fleet columns; the shared-regime power lookups run as one batch
+/// against the primary's cached interpolation table. The record overload is
+/// a thin wrapper over a one-server fleet; both produce identical curves.
+epserve::Result<metrics::PowerCurve> knightshift_curve(
+    const Fleet& fleet, std::size_t primary_index,
+    const KnightShiftConfig& config = {});
 epserve::Result<metrics::PowerCurve> knightshift_curve(
     const dataset::ServerRecord& primary, const KnightShiftConfig& config = {});
 
@@ -41,6 +52,11 @@ struct KnightShiftComparison {
   double composite_idle_fraction = 0.0;
 };
 
+/// Fleet overload: the primary's own EP / idle fraction come straight from
+/// the fleet's derived columns instead of being recomputed per call.
+epserve::Result<KnightShiftComparison> compare_knightshift(
+    const Fleet& fleet, std::size_t primary_index,
+    const KnightShiftConfig& config = {});
 epserve::Result<KnightShiftComparison> compare_knightshift(
     const dataset::ServerRecord& primary, const KnightShiftConfig& config = {});
 

@@ -5,15 +5,17 @@
 #include "metrics/efficiency.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace epserve::cluster {
 
 namespace {
 
-/// Normalised EE (vs the machine's peak EE) at an arbitrary utilisation,
-/// interpolating the measured sheet linearly (0 ops at utilisation 0).
-double relative_ee_at(const metrics::PowerCurve& curve, double utilization) {
-  const double peak = metrics::peak_ee(curve).value;
+/// Normalised EE (vs the machine's peak EE, passed in precomputed — the
+/// fleet column) at an arbitrary utilisation, interpolating the measured
+/// sheet linearly (0 ops at utilisation 0).
+double relative_ee_at(const metrics::PowerCurve& curve, double utilization,
+                      double peak) {
   double prev_u = 0.0, prev_ee = 0.0;
   for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
     const double u = metrics::kLoadLevels[i];
@@ -31,9 +33,9 @@ double relative_ee_at(const metrics::PowerCurve& curve, double utilization) {
 
 }  // namespace
 
-Result<OperatingGuide> build_operating_guide(
-    const std::vector<dataset::ServerRecord>& fleet, double ee_threshold,
-    double ep_bucket_width) {
+Result<OperatingGuide> build_operating_guide(const Fleet& fleet,
+                                             double ee_threshold,
+                                             double ep_bucket_width) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
   if (!(ee_threshold > 0.0 && ee_threshold <= 1.0)) {
     return Error::invalid_argument("EE threshold must be in (0, 1]");
@@ -41,10 +43,18 @@ Result<OperatingGuide> build_operating_guide(
   if (!(ep_bucket_width > 0.0)) {
     return Error::invalid_argument("bucket width must be positive");
   }
+  const telemetry::Span span("cluster/guide", telemetry::Span::Scope::kRoot);
 
   OperatingGuide guide;
   double efficient_ops = 0.0;
   double peak_ops = 0.0;
+
+  // Logical-cluster members point into fleet.records(); their offset from
+  // the span base recovers the fleet column index.
+  const dataset::ServerRecord* base = fleet.records().data();
+  const std::span<const double> peak_ops_col = fleet.peak_ops();
+  const std::span<const double> peak_ee_value = fleet.peak_ee_value();
+  const std::span<const double> peak_ee_util = fleet.peak_ee_utilization();
 
   for (const auto& cluster :
        build_logical_clusters(fleet, ep_bucket_width, ee_threshold)) {
@@ -57,16 +67,18 @@ Result<OperatingGuide> build_operating_guide(
     } else {
       double mean_peak_util = 0.0;
       for (const auto* member : cluster.members) {
-        mean_peak_util += metrics::peak_ee_utilization(member->curve);
+        mean_peak_util += peak_ee_util[static_cast<std::size_t>(member - base)];
       }
       entry.target_utilization =
           mean_peak_util / static_cast<double>(cluster.members.size());
     }
     double rel_ee = 0.0;
     for (const auto* member : cluster.members) {
-      rel_ee += relative_ee_at(member->curve, entry.target_utilization);
-      efficient_ops += entry.target_utilization * member->curve.peak_ops();
-      peak_ops += member->curve.peak_ops();
+      const auto idx = static_cast<std::size_t>(member - base);
+      rel_ee += relative_ee_at(member->curve, entry.target_utilization,
+                               peak_ee_value[idx]);
+      efficient_ops += entry.target_utilization * peak_ops_col[idx];
+      peak_ops += peak_ops_col[idx];
     }
     entry.efficiency_at_target =
         rel_ee / static_cast<double>(cluster.members.size());
@@ -75,6 +87,14 @@ Result<OperatingGuide> build_operating_guide(
   guide.efficient_capacity_fraction =
       peak_ops > 0.0 ? efficient_ops / peak_ops : 0.0;
   return guide;
+}
+
+Result<OperatingGuide> build_operating_guide(
+    const std::vector<dataset::ServerRecord>& fleet, double ee_threshold,
+    double ep_bucket_width) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  return build_operating_guide(Fleet::unchecked(fleet), ee_threshold,
+                               ep_bucket_width);
 }
 
 std::string render_guide(const OperatingGuide& guide) {

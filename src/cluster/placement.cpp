@@ -1,10 +1,8 @@
 #include "cluster/placement.h"
 
 #include <algorithm>
-#include <functional>
 #include <numeric>
 
-#include "metrics/efficiency.h"
 #include "util/contracts.h"
 #include "util/telemetry.h"
 
@@ -12,90 +10,105 @@ namespace epserve::cluster {
 
 namespace {
 
-double fleet_capacity(const std::vector<dataset::ServerRecord>& fleet) {
-  double capacity = 0.0;
-  for (const auto& s : fleet) capacity += s.curve.peak_ops();
-  return capacity;
-}
-
-/// Server order by a score, descending.
-std::vector<std::size_t> order_by(
-    const std::vector<dataset::ServerRecord>& fleet,
-    const std::function<double(const dataset::ServerRecord&)>& score) {
+/// Server order by a precomputed score column, descending (record id breaks
+/// ties, as the pre-Fleet comparator did).
+std::vector<std::size_t> order_by(const Fleet& fleet,
+                                  std::span<const double> score) {
   std::vector<std::size_t> order(fleet.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double sa = score(fleet[a]);
-    const double sb = score(fleet[b]);
-    if (sa != sb) return sa > sb;
-    return fleet[a].id < fleet[b].id;
+    if (score[a] != score[b]) return score[a] > score[b];
+    return fleet.record(a).id < fleet.record(b).id;
   });
   return order;
 }
 
 /// Greedy fill: walk servers in `order`, loading each up to its cap (ops),
 /// until `remaining_ops` is exhausted. Adds to existing utilisations.
-void greedy_fill(const std::vector<dataset::ServerRecord>& fleet,
-                 const std::vector<std::size_t>& order,
+void greedy_fill(const Fleet& fleet, const std::vector<std::size_t>& order,
                  const std::vector<double>& cap_util,
                  std::vector<double>& util, double& remaining_ops) {
+  const std::span<const double> peak_ops = fleet.peak_ops();
   for (const auto idx : order) {
     if (remaining_ops <= 0.0) break;
     const double headroom_util = cap_util[idx] - util[idx];
     if (headroom_util <= 0.0) continue;
-    const double headroom_ops = headroom_util * fleet[idx].curve.peak_ops();
+    const double headroom_ops = headroom_util * peak_ops[idx];
     const double take = std::min(headroom_ops, remaining_ops);
-    util[idx] += take / fleet[idx].curve.peak_ops();
+    util[idx] += take / peak_ops[idx];
     remaining_ops -= take;
   }
 }
 
 }  // namespace
 
-std::vector<double> PackToFullPolicy::place(
+std::vector<double> PlacementPolicy::place(const Fleet& fleet,
+                                           double demand) const {
+  auto placed = place_batch(fleet, std::span<const double>(&demand, 1));
+  EPSERVE_ENSURES(placed.size() == 1);
+  return std::move(placed.front());
+}
+
+std::vector<double> PlacementPolicy::place(
     const std::vector<dataset::ServerRecord>& fleet, double demand) const {
-  std::vector<double> util(fleet.size(), 0.0);
-  double remaining = demand * fleet_capacity(fleet);
-  const auto order = order_by(fleet, [](const dataset::ServerRecord& r) {
-    return metrics::ee_at_level(r.curve, metrics::kNumLoadLevels - 1);
-  });
+  return place(Fleet::unchecked(fleet), demand);
+}
+
+std::vector<std::vector<double>> PackToFullPolicy::place_batch(
+    const Fleet& fleet, std::span<const double> demands) const {
+  const auto order = order_by(fleet, fleet.ee_at_full());
   const std::vector<double> caps(fleet.size(), 1.0);
-  greedy_fill(fleet, order, caps, util, remaining);
-  return util;
-}
-
-std::vector<double> BalancedPolicy::place(
-    const std::vector<dataset::ServerRecord>& fleet, double demand) const {
-  return std::vector<double>(fleet.size(), demand);
-}
-
-std::vector<double> OptimalRegionPolicy::place(
-    const std::vector<dataset::ServerRecord>& fleet, double demand) const {
-  std::vector<double> util(fleet.size(), 0.0);
-  double remaining = demand * fleet_capacity(fleet);
-
-  // Stage 1: fill servers up to the top of their optimal region, best peak
-  // EE first.
-  std::vector<double> region_top(fleet.size());
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    const Region region = optimal_region(fleet[i].curve, ee_threshold_);
-    region_top[i] = region.empty() ? 1.0 : region.hi;
-  }
-  const auto order = order_by(fleet, [](const dataset::ServerRecord& r) {
-    return metrics::peak_ee(r.curve).value;
-  });
-  greedy_fill(fleet, order, region_top, util, remaining);
-
-  // Stage 2: demand exceeding the regions' capacity spills into full packing.
-  if (remaining > 0.0) {
-    const std::vector<double> caps(fleet.size(), 1.0);
+  std::vector<std::vector<double>> out;
+  out.reserve(demands.size());
+  for (const double demand : demands) {
+    std::vector<double> util(fleet.size(), 0.0);
+    double remaining = demand * fleet.capacity_ops();
     greedy_fill(fleet, order, caps, util, remaining);
+    out.push_back(std::move(util));
   }
-  return util;
+  return out;
 }
 
-Result<Assignment> evaluate(const PlacementPolicy& policy,
-                            const std::vector<dataset::ServerRecord>& fleet,
+std::vector<std::vector<double>> BalancedPolicy::place_batch(
+    const Fleet& fleet, std::span<const double> demands) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(demands.size());
+  for (const double demand : demands) {
+    out.emplace_back(fleet.size(), demand);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> OptimalRegionPolicy::place_batch(
+    const Fleet& fleet, std::span<const double> demands) const {
+  // Demand-independent state, once per batch: region tops and the peak-EE
+  // order the two greedy stages share.
+  const std::vector<double> region_top =
+      fleet.optimal_region_tops(ee_threshold_);
+  const auto order = order_by(fleet, fleet.peak_ee_value());
+  const std::vector<double> caps(fleet.size(), 1.0);
+
+  std::vector<std::vector<double>> out;
+  out.reserve(demands.size());
+  for (const double demand : demands) {
+    std::vector<double> util(fleet.size(), 0.0);
+    double remaining = demand * fleet.capacity_ops();
+
+    // Stage 1: fill servers up to the top of their optimal region, best peak
+    // EE first.
+    greedy_fill(fleet, order, region_top, util, remaining);
+
+    // Stage 2: demand exceeding the regions' capacity spills into full
+    // packing.
+    if (remaining > 0.0) {
+      greedy_fill(fleet, order, caps, util, remaining);
+    }
+    out.push_back(std::move(util));
+  }
+  return out;
+}
+
+Result<Assignment> evaluate(const PlacementPolicy& policy, const Fleet& fleet,
                             double demand) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
   if (demand < 0.0 || demand > 1.0) {
@@ -106,6 +119,8 @@ Result<Assignment> evaluate(const PlacementPolicy& policy,
   if (assignment.utilization.size() != fleet.size()) {
     return Error::failed_precondition("policy returned a misaligned vector");
   }
+  const std::span<const double> peak_watts = fleet.peak_watts();
+  const std::span<const double> peak_ops = fleet.peak_ops();
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     const double u = assignment.utilization[i];
     if (u < -1e-9 || u > 1.0 + 1e-9) {
@@ -113,26 +128,39 @@ Result<Assignment> evaluate(const PlacementPolicy& policy,
     }
     const double clamped = std::clamp(u, 0.0, 1.0);
     assignment.total_power_watts +=
-        fleet[i].curve.normalized_power(clamped) * fleet[i].curve.peak_watts();
-    assignment.total_ops += clamped * fleet[i].curve.peak_ops();
+        fleet.normalized_power(i, clamped) * peak_watts[i];
+    assignment.total_ops += clamped * peak_ops[i];
   }
   return assignment;
 }
 
-Result<std::vector<Assignment>> evaluate_batch(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet,
-    std::span<const double> demands) {
+Result<Assignment> evaluate(const PlacementPolicy& policy,
+                            const std::vector<dataset::ServerRecord>& fleet,
+                            double demand) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  return evaluate(policy, Fleet::unchecked(fleet), demand);
+}
+
+Result<std::vector<Assignment>> evaluate_batch(const PlacementPolicy& policy,
+                                               const Fleet& fleet,
+                                               std::span<const double> demands) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
   const telemetry::Span span("evaluate_batch");
+  telemetry::count("fleet.batch_evals");
   telemetry::count("cluster.evaluate_batch.calls");
   telemetry::count("cluster.evaluations", fleet.size() * demands.size());
-  std::vector<Assignment> out(demands.size());
-  for (std::size_t d = 0; d < demands.size(); ++d) {
-    if (demands[d] < 0.0 || demands[d] > 1.0) {
+  for (const double demand : demands) {
+    if (demand < 0.0 || demand > 1.0) {
       return Error::invalid_argument("demand must be in [0, 1]");
     }
-    out[d].utilization = policy.place(fleet, demands[d]);
+  }
+  std::vector<Assignment> out(demands.size());
+  auto placed = policy.place_batch(fleet, demands);
+  if (placed.size() != demands.size()) {
+    return Error::failed_precondition("policy returned a misaligned batch");
+  }
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    out[d].utilization = std::move(placed[d]);
     if (out[d].utilization.size() != fleet.size()) {
       return Error::failed_precondition("policy returned a misaligned vector");
     }
@@ -143,18 +171,20 @@ Result<std::vector<Assignment>> evaluate_batch(
       }
     }
   }
-  // Server-major accounting: one interpolation table per server covers every
-  // demand point. Each slot's sums still accumulate in server index order,
-  // so totals match evaluate() bitwise.
+  // Server-major accounting: each server's cached interpolation table covers
+  // every demand point. Each slot's sums still accumulate in server index
+  // order, so totals match evaluate() bitwise.
+  const std::span<const double> peak_watts_col = fleet.peak_watts();
+  const std::span<const double> peak_ops_col = fleet.peak_ops();
   std::vector<double> clamped(demands.size());
   std::vector<double> norm(demands.size());
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     for (std::size_t d = 0; d < demands.size(); ++d) {
       clamped[d] = std::clamp(out[d].utilization[i], 0.0, 1.0);
     }
-    fleet[i].curve.normalized_power_batch(clamped, norm);
-    const double peak_watts = fleet[i].curve.peak_watts();
-    const double peak_ops = fleet[i].curve.peak_ops();
+    fleet.normalized_power_batch(i, clamped, norm);
+    const double peak_watts = peak_watts_col[i];
+    const double peak_ops = peak_ops_col[i];
     for (std::size_t d = 0; d < demands.size(); ++d) {
       out[d].total_power_watts += norm[d] * peak_watts;
       out[d].total_ops += clamped[d] * peak_ops;
@@ -163,9 +193,16 @@ Result<std::vector<Assignment>> evaluate_batch(
   return out;
 }
 
-Result<metrics::PowerCurve> cluster_power_curve(
+Result<std::vector<Assignment>> evaluate_batch(
     const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet) {
+    const std::vector<dataset::ServerRecord>& fleet,
+    std::span<const double> demands) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  return evaluate_batch(policy, Fleet::unchecked(fleet), demands);
+}
+
+Result<metrics::PowerCurve> cluster_power_curve(const PlacementPolicy& policy,
+                                                const Fleet& fleet) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
   std::array<double, metrics::kNumLoadLevels> watts{};
   std::array<double, metrics::kNumLoadLevels> ops{};
@@ -176,8 +213,7 @@ Result<metrics::PowerCurve> cluster_power_curve(
     ops[i] = assignments.value()[i].total_ops;
   }
   // Active idle: every machine idles.
-  double idle = 0.0;
-  for (const auto& s : fleet) idle += s.curve.idle_watts();
+  const double idle = fleet.total_idle_watts();
   // Policies can produce non-monotone aggregate power around the region
   // boundaries; clamp to the physical invariant before validating.
   for (std::size_t i = 1; i < metrics::kNumLoadLevels; ++i) {
@@ -187,6 +223,13 @@ Result<metrics::PowerCurve> cluster_power_curve(
   metrics::PowerCurve curve(watts, ops, idle);
   if (auto valid = curve.validate(); !valid.ok()) return valid.error();
   return curve;
+}
+
+Result<metrics::PowerCurve> cluster_power_curve(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet) {
+  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
+  return cluster_power_curve(policy, Fleet::unchecked(fleet));
 }
 
 }  // namespace epserve::cluster

@@ -6,6 +6,15 @@
 // read off their measured curves. The paper's claim: for a fixed number of
 // racks, EP-aware placement (keep machines inside their optimal working
 // region, e.g. at 70% rather than packed full) maximises throughput per watt.
+//
+// The engine is batch-first over a cluster::Fleet: a policy's core entry
+// point is place_batch(fleet, demands), so demand-independent work (ordering
+// servers by an efficiency score, computing working-region caps) happens once
+// per batch instead of once per demand point, and all power accounting runs
+// through the fleet's cached interpolation tables. The record-at-a-time
+// std::vector<ServerRecord> entry points survive as thin wrappers that build
+// an unchecked Fleet and delegate — their results are byte-identical to the
+// pre-Fleet implementations (pinned by tests/cluster_fleet_test.cpp).
 #pragma once
 
 #include <memory>
@@ -13,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/working_region.h"
+#include "cluster/fleet.h"
 #include "dataset/record.h"
 #include "util/result.h"
 
@@ -30,33 +39,43 @@ struct Assignment {
   }
 };
 
-/// Placement policy interface. `demand` is the requested fraction of the
+/// Placement policy interface. Each demand is the requested fraction of the
 /// fleet's aggregate peak throughput, in [0, 1].
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Produces per-server utilisations whose ops sum to demand * capacity.
-  [[nodiscard]] virtual std::vector<double> place(
-      const std::vector<dataset::ServerRecord>& fleet, double demand) const = 0;
+
+  /// Batch-first core: one utilisation vector (ops summing to
+  /// demand * capacity) per demand point. Demand-independent state (sort
+  /// orders, region caps) is computed once for the whole batch.
+  [[nodiscard]] virtual std::vector<std::vector<double>> place_batch(
+      const Fleet& fleet, std::span<const double> demands) const = 0;
+
+  /// Single-demand convenience over place_batch.
+  [[nodiscard]] std::vector<double> place(const Fleet& fleet,
+                                          double demand) const;
+
+  /// Legacy record-at-a-time entry point: builds a throwaway unchecked Fleet
+  /// and delegates. Prefer the Fleet overloads in loops.
+  [[nodiscard]] std::vector<double> place(
+      const std::vector<dataset::ServerRecord>& fleet, double demand) const;
 };
 
 /// Packs servers to 100% one at a time, most-efficient-at-full-load first.
 class PackToFullPolicy final : public PlacementPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "pack-to-full"; }
-  [[nodiscard]] std::vector<double> place(
-      const std::vector<dataset::ServerRecord>& fleet,
-      double demand) const override;
+  [[nodiscard]] std::vector<std::vector<double>> place_batch(
+      const Fleet& fleet, std::span<const double> demands) const override;
 };
 
 /// Spreads load uniformly: every server runs at the same utilisation.
 class BalancedPolicy final : public PlacementPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "balanced"; }
-  [[nodiscard]] std::vector<double> place(
-      const std::vector<dataset::ServerRecord>& fleet,
-      double demand) const override;
+  [[nodiscard]] std::vector<std::vector<double>> place_batch(
+      const Fleet& fleet, std::span<const double> demands) const override;
 };
 
 /// §V.C policy: fill servers only up to the top of their optimal working
@@ -67,9 +86,8 @@ class OptimalRegionPolicy final : public PlacementPolicy {
   explicit OptimalRegionPolicy(double ee_threshold = 0.95)
       : ee_threshold_(ee_threshold) {}
   [[nodiscard]] std::string name() const override { return "optimal-region"; }
-  [[nodiscard]] std::vector<double> place(
-      const std::vector<dataset::ServerRecord>& fleet,
-      double demand) const override;
+  [[nodiscard]] std::vector<std::vector<double>> place_batch(
+      const Fleet& fleet, std::span<const double> demands) const override;
 
  private:
   double ee_threshold_;
@@ -79,15 +97,20 @@ class OptimalRegionPolicy final : public PlacementPolicy {
 /// interpolation on the measured sheets; active idle at utilisation 0) and
 /// the achieved throughput. Fails if the fleet is empty or demand is out of
 /// [0, 1].
+epserve::Result<Assignment> evaluate(const PlacementPolicy& policy,
+                                     const Fleet& fleet, double demand);
 epserve::Result<Assignment> evaluate(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet, double demand);
 
-/// Evaluates a policy at many demand points in one call. Placement and
-/// validation match evaluate() slot by slot; power runs server-major through
-/// PowerCurve::normalized_power_batch, so each server's interpolation table
-/// is built once for the whole sweep instead of once per (server, demand)
-/// pair. Per-slot results are bit-identical to calling evaluate() per demand.
+/// Evaluates a policy at many demand points in one call: one place_batch for
+/// the placement, then server-major power accounting through the fleet's
+/// cached interpolation tables (one table lookup pass per server for the
+/// whole sweep). Per-slot results are bit-identical to calling evaluate()
+/// per demand.
+epserve::Result<std::vector<Assignment>> evaluate_batch(
+    const PlacementPolicy& policy, const Fleet& fleet,
+    std::span<const double> demands);
 epserve::Result<std::vector<Assignment>> evaluate_batch(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet,
@@ -96,6 +119,8 @@ epserve::Result<std::vector<Assignment>> evaluate_batch(
 /// Aggregate fleet power at a fleet-wide demand under a policy — evaluated
 /// at the eleven SPECpower points this library uses everywhere — exposed as
 /// a PowerCurve so cluster-wide EP (Eq.1) applies directly.
+epserve::Result<metrics::PowerCurve> cluster_power_curve(
+    const PlacementPolicy& policy, const Fleet& fleet);
 epserve::Result<metrics::PowerCurve> cluster_power_curve(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet);

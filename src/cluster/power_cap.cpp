@@ -1,17 +1,21 @@
 #include "cluster/power_cap.h"
 
+#include "util/telemetry.h"
+
 namespace epserve::cluster {
 
-Result<CapResult> max_throughput_under_cap(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet, double cap_watts,
-    double tolerance) {
+Result<CapResult> max_throughput_under_cap(const PlacementPolicy& policy,
+                                           const Fleet& fleet,
+                                           double cap_watts,
+                                           double tolerance) {
   if (!(cap_watts > 0.0)) {
     return Error::invalid_argument("cap must be positive");
   }
   if (!(tolerance > 0.0)) {
     return Error::invalid_argument("tolerance must be positive");
   }
+  const telemetry::Span policy_span("cluster/policy/power-cap",
+                                    telemetry::Span::Scope::kRoot);
   auto idle = evaluate(policy, fleet, 0.0);
   if (!idle.ok()) return idle.error();
   if (idle.value().total_power_watts > cap_watts) {
@@ -49,6 +53,16 @@ Result<CapResult> max_throughput_under_cap(
   result.max_throughput = at_lo.total_ops;
   result.power_at_max = at_lo.total_power_watts;
   return result;
+}
+
+Result<CapResult> max_throughput_under_cap(
+    const PlacementPolicy& policy,
+    const std::vector<dataset::ServerRecord>& fleet, double cap_watts,
+    double tolerance) {
+  // No empty-fleet check here: the legacy path surfaced it from evaluate()
+  // after the cap/tolerance checks, and the Fleet path does the same.
+  return max_throughput_under_cap(policy, Fleet::unchecked(fleet), cap_watts,
+                                  tolerance);
 }
 
 }  // namespace epserve::cluster

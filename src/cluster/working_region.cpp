@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "cluster/fleet.h"
 #include "metrics/efficiency.h"
 #include "metrics/proportionality.h"
 #include "util/contracts.h"
@@ -56,13 +57,15 @@ Region optimal_region(const metrics::PowerCurve& curve, double threshold) {
   return Region{lo, hi};
 }
 
-std::vector<LogicalCluster> build_logical_clusters(
-    const std::vector<dataset::ServerRecord>& servers, double bucket_width,
-    double ee_threshold) {
+std::vector<LogicalCluster> build_logical_clusters(const Fleet& fleet,
+                                                   double bucket_width,
+                                                   double ee_threshold) {
   EPSERVE_EXPECTS(bucket_width > 0.0);
+  const std::span<const double> ep_col = fleet.ep();
   std::map<int, LogicalCluster> buckets;
-  for (const auto& server : servers) {
-    const double ep = metrics::energy_proportionality(server.curve);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const dataset::ServerRecord& server = fleet.record(i);
+    const double ep = ep_col[i];
     const int key = static_cast<int>(std::floor(ep / bucket_width));
     auto [it, inserted] = buckets.try_emplace(key);
     auto& cluster = it->second;
@@ -78,6 +81,13 @@ std::vector<LogicalCluster> build_logical_clusters(
   out.reserve(buckets.size());
   for (auto& [key, cluster] : buckets) out.push_back(std::move(cluster));
   return out;
+}
+
+std::vector<LogicalCluster> build_logical_clusters(
+    const std::vector<dataset::ServerRecord>& servers, double bucket_width,
+    double ee_threshold) {
+  return build_logical_clusters(Fleet::unchecked(servers), bucket_width,
+                                ee_threshold);
 }
 
 }  // namespace epserve::cluster

@@ -12,6 +12,8 @@
 
 namespace epserve::cluster {
 
+class Fleet;
+
 /// A closed utilisation band [lo, hi].
 struct Region {
   double lo = 0.0;
@@ -41,7 +43,11 @@ struct LogicalCluster {
 };
 
 /// Groups servers into EP buckets of `bucket_width` and computes each
-/// bucket's shared optimal region. Buckets ascend by EP.
+/// bucket's shared optimal region. Buckets ascend by EP. The Fleet overload
+/// reads each server's EP off the fleet's derived column instead of
+/// re-integrating the curve per call; members point into fleet.records().
+std::vector<LogicalCluster> build_logical_clusters(
+    const Fleet& fleet, double bucket_width = 0.1, double ee_threshold = 0.95);
 std::vector<LogicalCluster> build_logical_clusters(
     const std::vector<dataset::ServerRecord>& servers,
     double bucket_width = 0.1, double ee_threshold = 0.95);

@@ -8,9 +8,8 @@
 namespace epserve::dataset {
 
 ColumnarSnapshot ColumnarSnapshot::build(
-    const ResultRepository& repo,
+    std::span<const ServerRecord> records,
     std::span<const metrics::DerivedCurveMetrics> derived) {
-  const auto& records = repo.records();
   EPSERVE_EXPECTS(derived.size() == records.size());
   const std::size_t n = records.size();
 
@@ -26,6 +25,7 @@ ColumnarSnapshot ColumnarSnapshot::build(
   snap.memory_per_core_.reserve(n);
   snap.idle_watts_.reserve(n);
   snap.peak_watts_.reserve(n);
+  snap.peak_ops_.reserve(n);
   snap.ep_.reserve(n);
   snap.overall_score_.reserve(n);
   snap.idle_fraction_.reserve(n);
@@ -53,12 +53,15 @@ ColumnarSnapshot ColumnarSnapshot::build(
     snap.codename_id_.push_back(
         static_cast<std::int32_t>(lo - snap.codenames_.begin()));
     const auto* info = power::find_uarch(r.cpu_codename);
-    EPSERVE_ENSURES(info != nullptr);
-    snap.family_id_.push_back(static_cast<std::int32_t>(info->family));
+    // Generated/imported populations always resolve; ad-hoc cluster fleets
+    // (synthetic test servers, external records) may not — mark as unknown.
+    snap.family_id_.push_back(
+        info != nullptr ? static_cast<std::int32_t>(info->family) : -1);
     snap.mpc_centi_.push_back(ResultRepository::mpc_centi_key(r));
     snap.memory_per_core_.push_back(r.memory_per_core());
     snap.idle_watts_.push_back(r.curve.idle_watts());
     snap.peak_watts_.push_back(r.curve.peak_watts());
+    snap.peak_ops_.push_back(r.curve.peak_ops());
     snap.ep_.push_back(derived[i].ep);
     snap.overall_score_.push_back(derived[i].overall_score);
     snap.idle_fraction_.push_back(derived[i].idle_fraction);
@@ -68,13 +71,23 @@ ColumnarSnapshot ColumnarSnapshot::build(
   return snap;
 }
 
-ColumnarSnapshot ColumnarSnapshot::build(const ResultRepository& repo) {
+ColumnarSnapshot ColumnarSnapshot::build(std::span<const ServerRecord> records) {
   std::vector<metrics::DerivedCurveMetrics> derived;
-  derived.reserve(repo.size());
-  for (const auto& r : repo.records()) {
+  derived.reserve(records.size());
+  for (const auto& r : records) {
     derived.push_back(metrics::derive_curve_metrics(r.curve));
   }
-  return build(repo, derived);
+  return build(records, derived);
+}
+
+ColumnarSnapshot ColumnarSnapshot::build(
+    const ResultRepository& repo,
+    std::span<const metrics::DerivedCurveMetrics> derived) {
+  return build(std::span<const ServerRecord>(repo.records()), derived);
+}
+
+ColumnarSnapshot ColumnarSnapshot::build(const ResultRepository& repo) {
+  return build(std::span<const ServerRecord>(repo.records()));
 }
 
 }  // namespace epserve::dataset

@@ -43,6 +43,16 @@ class ColumnarSnapshot {
   /// Convenience overload deriving the bundle itself (cold path).
   static ColumnarSnapshot build(const ResultRepository& repo);
 
+  /// Core build over a bare record span — the entry point cluster::Fleet
+  /// uses for fleets that are not repositories. Identical to the repository
+  /// overloads for the same records; records with a codename unknown to
+  /// power::find_uarch() get family_id -1 (analysis repositories always
+  /// resolve, ad-hoc cluster fleets may not).
+  static ColumnarSnapshot build(
+      std::span<const ServerRecord> records,
+      std::span<const metrics::DerivedCurveMetrics> derived);
+  static ColumnarSnapshot build(std::span<const ServerRecord> records);
+
   [[nodiscard]] std::size_t size() const { return hw_year_.size(); }
 
   // --- Record columns (index-aligned with repo.records()) -------------------
@@ -79,6 +89,7 @@ class ColumnarSnapshot {
   [[nodiscard]] std::span<const double> peak_watts() const {
     return peak_watts_;
   }
+  [[nodiscard]] std::span<const double> peak_ops() const { return peak_ops_; }
 
   // --- Derived columns (bitwise copies of the derived bundle) ---------------
   [[nodiscard]] std::span<const double> ep() const { return ep_; }
@@ -117,6 +128,7 @@ class ColumnarSnapshot {
   std::vector<double> memory_per_core_;
   std::vector<double> idle_watts_;
   std::vector<double> peak_watts_;
+  std::vector<double> peak_ops_;
   std::vector<double> ep_;
   std::vector<double> overall_score_;
   std::vector<double> idle_fraction_;

@@ -51,6 +51,7 @@ CsvDocument to_csv_document(const std::vector<ServerRecord>& records) {
                 "nodes",   "chips",       "cores_per_chip",
                 "codename", "memory_gb",  "hw_year",  "pub_year",
                 "watt_idle"};
+  doc.header.reserve(12 + 2 * metrics::kNumLoadLevels);
   for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
     doc.header.push_back("watt_" +
                          std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
@@ -59,6 +60,7 @@ CsvDocument to_csv_document(const std::vector<ServerRecord>& records) {
     doc.header.push_back("ops_" +
                          std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
   }
+  doc.rows.reserve(records.size());
   for (const auto& r : records) {
     std::vector<std::string> row = {
         std::to_string(r.id),
@@ -73,6 +75,7 @@ CsvDocument to_csv_document(const std::vector<ServerRecord>& records) {
         std::to_string(r.hw_year),
         std::to_string(r.pub_year),
         fmt(r.curve.idle_watts())};
+    row.reserve(12 + 2 * metrics::kNumLoadLevels);
     for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
       row.push_back(fmt(r.curve.watts_at_level(i)));
     }
@@ -91,10 +94,17 @@ Result<std::vector<ServerRecord>> from_csv_document(const CsvDocument& doc) {
   }
   std::vector<ServerRecord> records;
   records.reserve(doc.rows.size());
-  for (const auto& row : doc.rows) {
+  for (std::size_t row_index = 0; row_index < doc.rows.size(); ++row_index) {
+    const auto& row = doc.rows[row_index];
+    // All errors below carry the 1-based data-row number (header excluded),
+    // so a bad cell in a 500-row export points at its line.
+    const auto at_row = [row_index](const Error& e) {
+      return Error{e.code,
+                   "row " + std::to_string(row_index + 1) + ": " + e.message};
+    };
     ServerRecord r;
     auto id = parse_int(row[0], "id");
-    if (!id.ok()) return id.error();
+    if (!id.ok()) return at_row(id.error());
     r.id = id.value();
     r.vendor = row[1];
     r.model = row[2];
@@ -105,43 +115,47 @@ Result<std::vector<ServerRecord>> from_csv_document(const CsvDocument& doc) {
         ff_found = true;
       }
     }
-    if (!ff_found) return Error::parse("unknown form factor: " + row[3]);
+    if (!ff_found) {
+      return at_row(Error::parse("unknown form factor: " + row[3]));
+    }
     auto nodes = parse_int(row[4], "nodes");
     auto chips = parse_int(row[5], "chips");
     auto cpc = parse_int(row[6], "cores_per_chip");
-    if (!nodes.ok()) return nodes.error();
-    if (!chips.ok()) return chips.error();
-    if (!cpc.ok()) return cpc.error();
+    if (!nodes.ok()) return at_row(nodes.error());
+    if (!chips.ok()) return at_row(chips.error());
+    if (!cpc.ok()) return at_row(cpc.error());
     r.nodes = nodes.value();
     r.chips = chips.value();
     r.cores_per_chip = cpc.value();
     r.cpu_codename = row[7];
     auto mem = parse_double(row[8], "memory_gb");
-    if (!mem.ok()) return mem.error();
+    if (!mem.ok()) return at_row(mem.error());
     r.memory_gb = mem.value();
     auto hw = parse_int(row[9], "hw_year");
     auto pub = parse_int(row[10], "pub_year");
-    if (!hw.ok()) return hw.error();
-    if (!pub.ok()) return pub.error();
+    if (!hw.ok()) return at_row(hw.error());
+    if (!pub.ok()) return at_row(pub.error());
     r.hw_year = hw.value();
     r.pub_year = pub.value();
 
     auto idle = parse_double(row[11], "watt_idle");
-    if (!idle.ok()) return idle.error();
+    if (!idle.ok()) return at_row(idle.error());
     std::array<double, metrics::kNumLoadLevels> watts{};
     std::array<double, metrics::kNumLoadLevels> ops{};
     for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
       auto w = parse_double(row[12 + i], "watt");
-      if (!w.ok()) return w.error();
+      if (!w.ok()) return at_row(w.error());
       watts[i] = w.value();
     }
     for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
       auto o = parse_double(row[12 + metrics::kNumLoadLevels + i], "ops");
-      if (!o.ok()) return o.error();
+      if (!o.ok()) return at_row(o.error());
       ops[i] = o.value();
     }
     r.curve = metrics::PowerCurve(watts, ops, idle.value());
-    if (auto valid = r.curve.validate(); !valid.ok()) return valid.error();
+    if (auto valid = r.curve.validate(); !valid.ok()) {
+      return at_row(valid.error());
+    }
     records.push_back(std::move(r));
   }
   return records;

@@ -109,7 +109,7 @@ TEST(Autoscaler, ZeroDemandPowersEverythingDown) {
 
 TEST(Autoscaler, RejectsBadInputs) {
   const auto trace = DemandTrace::diurnal();
-  EXPECT_FALSE(autoscale_over_day({}, trace).ok());
+  EXPECT_FALSE(autoscale_over_day(std::vector<dataset::ServerRecord>{}, trace).ok());
   DemandTrace empty;
   EXPECT_FALSE(autoscale_over_day(fleet(), empty).ok());
   AutoscalerConfig bad;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "dataset/generator.h"
 #include "metrics/curve_models.h"
 
@@ -32,6 +34,25 @@ TEST(DemandTrace, DiurnalShapeIs24SlotsWithinBounds) {
   for (const double d : trace.demand) {
     EXPECT_GE(d, 0.0);
     EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(DemandTrace, DiurnalClampsExtremeShapesIntoUnitRange) {
+  // Regression: base + amplitude can push the sinusoid past 1.0 (and a
+  // negative base below 0.0); every slot must still land in [0, 1] so the
+  // trace is always a valid simulate_day input.
+  const auto f = fleet();
+  const OptimalRegionPolicy policy;
+  for (const auto& [base, amplitude] :
+       {std::pair{0.9, 0.9}, std::pair{-0.5, 0.3}, std::pair{0.5, 5.0}}) {
+    const auto trace = DemandTrace::diurnal(base, amplitude);
+    ASSERT_EQ(trace.demand.size(), 24u);
+    for (const double d : trace.demand) {
+      EXPECT_GE(d, 0.0) << "base " << base << " amplitude " << amplitude;
+      EXPECT_LE(d, 1.0) << "base " << base << " amplitude " << amplitude;
+    }
+    const auto day = simulate_day(policy, f, trace);
+    EXPECT_TRUE(day.ok()) << day.error().message;
   }
 }
 

@@ -1,0 +1,366 @@
+// cluster::Fleet contract tests: the shared fleet handle must be a pure
+// cache — every column equals the per-record metric function bitwise, every
+// policy/simulation result routed through the Fleet equals the pre-refactor
+// record-at-a-time arithmetic bitwise (reimplemented here as the scalar
+// reference), at fleet sizes 1/100/5000 and from 1 or 8 threads sharing one
+// LazyFleet (run under -DEPSERVE_SANITIZE=thread via `ctest -L parallel`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <thread>
+
+#include "cluster/autoscaler.h"
+#include "cluster/day_simulation.h"
+#include "cluster/fleet.h"
+#include "cluster/knightshift.h"
+#include "cluster/operating_guide.h"
+#include "cluster/placement.h"
+#include "cluster/power_cap.h"
+#include "cluster/working_region.h"
+#include "metrics/curve_models.h"
+#include "metrics/efficiency.h"
+#include "metrics/proportionality.h"
+#include "util/telemetry.h"
+
+namespace epserve::cluster {
+namespace {
+
+/// Deterministic heterogeneous fleet: EP/idle/tau/peak parameters cycle with
+/// the index, so any size yields a mix of modern interior-peak and legacy
+/// pack-friendly machines.
+std::vector<dataset::ServerRecord> make_fleet(std::size_t size) {
+  std::vector<dataset::ServerRecord> fleet;
+  fleet.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double idle = 0.20 + 0.05 * static_cast<double>(i % 7);
+    const double tau = 0.5 + 0.1 * static_cast<double>(i % 4);
+    // Keep EP inside the model's feasible band [(1-idle)*tau, (1-idle)*(1+tau)].
+    const double ep =
+        (1.0 - idle) * (tau + 0.25 + 0.1 * static_cast<double>(i % 6));
+    auto model = metrics::TwoSegmentPowerModel::solve(ep, idle, tau);
+    EXPECT_TRUE(model.ok()) << model.error().message;
+    dataset::ServerRecord r;
+    r.id = static_cast<int>(i) + 1;
+    r.curve = metrics::to_power_curve(model.value(),
+                                      250.0 + 10.0 * static_cast<double>(i % 9),
+                                      1e6 + 1e5 * static_cast<double>(i % 11));
+    fleet.push_back(std::move(r));
+  }
+  return fleet;
+}
+
+// --- Scalar reference: the pre-Fleet placement/evaluation arithmetic -------
+
+std::vector<std::size_t> reference_order(
+    const std::vector<dataset::ServerRecord>& fleet,
+    const std::function<double(const dataset::ServerRecord&)>& score) {
+  std::vector<std::size_t> order(fleet.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double sa = score(fleet[a]);
+    const double sb = score(fleet[b]);
+    if (sa != sb) return sa > sb;
+    return fleet[a].id < fleet[b].id;
+  });
+  return order;
+}
+
+void reference_fill(const std::vector<dataset::ServerRecord>& fleet,
+                    const std::vector<std::size_t>& order,
+                    const std::vector<double>& cap_util,
+                    std::vector<double>& util, double& remaining_ops) {
+  for (const auto idx : order) {
+    if (remaining_ops <= 0.0) break;
+    const double headroom_util = cap_util[idx] - util[idx];
+    if (headroom_util <= 0.0) continue;
+    const double headroom_ops = headroom_util * fleet[idx].curve.peak_ops();
+    const double take = std::min(headroom_ops, remaining_ops);
+    util[idx] += take / fleet[idx].curve.peak_ops();
+    remaining_ops -= take;
+  }
+}
+
+double reference_capacity(const std::vector<dataset::ServerRecord>& fleet) {
+  double capacity = 0.0;
+  for (const auto& s : fleet) capacity += s.curve.peak_ops();
+  return capacity;
+}
+
+std::vector<double> reference_place(
+    const std::vector<dataset::ServerRecord>& fleet, const std::string& policy,
+    double demand) {
+  std::vector<double> util(fleet.size(), 0.0);
+  if (policy == "balanced") {
+    return std::vector<double>(fleet.size(), demand);
+  }
+  double remaining = demand * reference_capacity(fleet);
+  if (policy == "pack-to-full") {
+    const auto order = reference_order(fleet, [](const auto& r) {
+      return metrics::ee_at_level(r.curve, metrics::kNumLoadLevels - 1);
+    });
+    const std::vector<double> caps(fleet.size(), 1.0);
+    reference_fill(fleet, order, caps, util, remaining);
+    return util;
+  }
+  // optimal-region, threshold 0.95.
+  std::vector<double> region_top(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const Region region = optimal_region(fleet[i].curve, 0.95);
+    region_top[i] = region.empty() ? 1.0 : region.hi;
+  }
+  const auto order = reference_order(fleet, [](const auto& r) {
+    return metrics::peak_ee(r.curve).value;
+  });
+  reference_fill(fleet, order, region_top, util, remaining);
+  if (remaining > 0.0) {
+    const std::vector<double> caps(fleet.size(), 1.0);
+    reference_fill(fleet, order, caps, util, remaining);
+  }
+  return util;
+}
+
+Assignment reference_evaluate(const std::vector<dataset::ServerRecord>& fleet,
+                              const std::string& policy, double demand) {
+  Assignment assignment;
+  assignment.utilization = reference_place(fleet, policy, demand);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const double clamped = std::clamp(assignment.utilization[i], 0.0, 1.0);
+    assignment.total_power_watts +=
+        fleet[i].curve.normalized_power(clamped) * fleet[i].curve.peak_watts();
+    assignment.total_ops += clamped * fleet[i].curve.peak_ops();
+  }
+  return assignment;
+}
+
+const PlacementPolicy& policy_by_name(const std::string& name) {
+  static const PackToFullPolicy pack;
+  static const BalancedPolicy balanced;
+  static const OptimalRegionPolicy optimal;
+  if (name == "pack-to-full") return pack;
+  if (name == "balanced") return balanced;
+  return optimal;
+}
+
+// --- Fleet construction ----------------------------------------------------
+
+TEST(FleetBuild, ColumnsAreBitwiseCopiesOfPerRecordMetrics) {
+  const auto records = make_fleet(100);
+  const auto built = Fleet::build(records);
+  ASSERT_TRUE(built.ok()) << built.error().message;
+  const Fleet& fleet = built.value();
+  ASSERT_EQ(fleet.size(), records.size());
+
+  double capacity = 0.0;
+  double idle = 0.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& curve = records[i].curve;
+    EXPECT_EQ(fleet.peak_ops()[i], curve.peak_ops());
+    EXPECT_EQ(fleet.peak_watts()[i], curve.peak_watts());
+    EXPECT_EQ(fleet.idle_watts()[i], curve.idle_watts());
+    EXPECT_EQ(fleet.ep()[i], metrics::energy_proportionality(curve));
+    EXPECT_EQ(fleet.overall_score()[i], metrics::overall_score(curve));
+    EXPECT_EQ(fleet.idle_fraction()[i], curve.idle_fraction());
+    EXPECT_EQ(fleet.peak_ee_value()[i], metrics::peak_ee(curve).value);
+    EXPECT_EQ(fleet.peak_ee_utilization()[i],
+              metrics::peak_ee_utilization(curve));
+    EXPECT_EQ(fleet.ee_at_full()[i],
+              metrics::ee_at_level(curve, metrics::kNumLoadLevels - 1));
+    capacity += curve.peak_ops();
+    idle += curve.idle_watts();
+  }
+  EXPECT_EQ(fleet.capacity_ops(), capacity);
+  EXPECT_EQ(fleet.total_idle_watts(), idle);
+}
+
+TEST(FleetBuild, NormalizedPowerMatchesCurveBitwise) {
+  const auto records = make_fleet(20);
+  const Fleet fleet = Fleet::unchecked(records);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (const double u : {0.0, 0.03, 0.1, 0.37, 0.5, 0.71, 0.99, 1.0}) {
+      EXPECT_EQ(fleet.normalized_power(i, u),
+                records[i].curve.normalized_power(u));
+    }
+  }
+}
+
+TEST(FleetBuild, RejectsEmptyFleet) {
+  const std::vector<dataset::ServerRecord> empty;
+  const auto built = Fleet::build(empty);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().message, "fleet is empty");
+}
+
+TEST(FleetBuild, RejectsInvalidCurveNamingTheServer) {
+  auto records = make_fleet(3);
+  records[1].curve = metrics::PowerCurve{};  // all-zero: fails validate()
+  const auto built = Fleet::build(records);
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().message.find("server 2: "), std::string::npos)
+      << built.error().message;
+}
+
+TEST(FleetBuild, OptimalRegionTopsMatchPerRecordRegions) {
+  const auto records = make_fleet(50);
+  const Fleet fleet = Fleet::unchecked(records);
+  const auto tops = fleet.optimal_region_tops(0.95);
+  ASSERT_EQ(tops.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Region region = optimal_region(records[i].curve, 0.95);
+    EXPECT_EQ(tops[i], region.empty() ? 1.0 : region.hi);
+  }
+}
+
+// --- Equivalence with the scalar reference at 1 / 100 / 5000 servers -------
+
+class FleetEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FleetEquivalence, EvaluateIsByteIdenticalToScalarReference) {
+  const auto records = make_fleet(GetParam());
+  const auto built = Fleet::build(records);
+  ASSERT_TRUE(built.ok()) << built.error().message;
+  for (const char* name : {"pack-to-full", "balanced", "optimal-region"}) {
+    for (const double demand : {0.0, 0.05, 0.3, 0.7, 1.0}) {
+      const auto via_fleet =
+          evaluate(policy_by_name(name), built.value(), demand);
+      ASSERT_TRUE(via_fleet.ok()) << via_fleet.error().message;
+      const Assignment ref = reference_evaluate(records, name, demand);
+      ASSERT_EQ(via_fleet.value().utilization.size(), ref.utilization.size());
+      for (std::size_t i = 0; i < ref.utilization.size(); ++i) {
+        ASSERT_EQ(via_fleet.value().utilization[i], ref.utilization[i])
+            << name << " demand " << demand << " server " << i;
+      }
+      EXPECT_EQ(via_fleet.value().total_power_watts, ref.total_power_watts);
+      EXPECT_EQ(via_fleet.value().total_ops, ref.total_ops);
+    }
+  }
+}
+
+TEST_P(FleetEquivalence, LegacyWrappersMatchTheFleetPath) {
+  const auto records = make_fleet(GetParam());
+  const auto built = Fleet::build(records);
+  ASSERT_TRUE(built.ok()) << built.error().message;
+  const auto trace = DemandTrace::diurnal();
+
+  const auto day_fleet =
+      compare_policies_over_day(built.value(), trace);
+  const auto day_legacy = compare_policies_over_day(records, trace);
+  ASSERT_TRUE(day_fleet.ok());
+  ASSERT_TRUE(day_legacy.ok());
+  ASSERT_EQ(day_fleet.value().size(), day_legacy.value().size());
+  for (std::size_t i = 0; i < day_fleet.value().size(); ++i) {
+    EXPECT_EQ(day_fleet.value()[i].policy, day_legacy.value()[i].policy);
+    EXPECT_EQ(day_fleet.value()[i].energy_kwh,
+              day_legacy.value()[i].energy_kwh);
+    EXPECT_EQ(day_fleet.value()[i].served_gops,
+              day_legacy.value()[i].served_gops);
+    EXPECT_EQ(day_fleet.value()[i].avg_efficiency,
+              day_legacy.value()[i].avg_efficiency);
+  }
+
+  const auto scaled_fleet = autoscale_over_day(built.value(), trace);
+  const auto scaled_legacy = autoscale_over_day(records, trace);
+  ASSERT_TRUE(scaled_fleet.ok());
+  ASSERT_TRUE(scaled_legacy.ok());
+  EXPECT_EQ(scaled_fleet.value().energy_kwh, scaled_legacy.value().energy_kwh);
+  EXPECT_EQ(scaled_fleet.value().served_gops,
+            scaled_legacy.value().served_gops);
+  ASSERT_EQ(scaled_fleet.value().slots.size(),
+            scaled_legacy.value().slots.size());
+  for (std::size_t s = 0; s < scaled_fleet.value().slots.size(); ++s) {
+    EXPECT_EQ(scaled_fleet.value().slots[s].power_watts,
+              scaled_legacy.value().slots[s].power_watts);
+    EXPECT_EQ(scaled_fleet.value().slots[s].active_servers,
+              scaled_legacy.value().slots[s].active_servers);
+  }
+
+  const auto guide_fleet = build_operating_guide(built.value());
+  const auto guide_legacy = build_operating_guide(records);
+  ASSERT_TRUE(guide_fleet.ok());
+  ASSERT_TRUE(guide_legacy.ok());
+  EXPECT_EQ(render_guide(guide_fleet.value()),
+            render_guide(guide_legacy.value()));
+  EXPECT_EQ(guide_fleet.value().efficient_capacity_fraction,
+            guide_legacy.value().efficient_capacity_fraction);
+
+  const OptimalRegionPolicy optimal;
+  const auto cap_fleet =
+      max_throughput_under_cap(optimal, built.value(), 1e9);
+  const auto cap_legacy = max_throughput_under_cap(optimal, records, 1e9);
+  ASSERT_TRUE(cap_fleet.ok());
+  ASSERT_TRUE(cap_legacy.ok());
+  EXPECT_EQ(cap_fleet.value().max_demand, cap_legacy.value().max_demand);
+  EXPECT_EQ(cap_fleet.value().max_throughput,
+            cap_legacy.value().max_throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleetEquivalence,
+                         ::testing::Values(std::size_t{1}, std::size_t{100},
+                                           std::size_t{5000}));
+
+// --- Concurrency: 8 threads share one LazyFleet ----------------------------
+
+TEST(FleetConcurrency, EightThreadsSeeOneBuildAndIdenticalResults) {
+  const auto records = make_fleet(100);
+  const auto trace = DemandTrace::diurnal();
+
+  // Single-threaded baseline through its own fleet.
+  const auto baseline =
+      compare_policies_over_day(Fleet::unchecked(records), trace);
+  ASSERT_TRUE(baseline.ok());
+
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  {
+    const LazyFleet lazy(records);
+    constexpr int kThreads = 8;
+    std::vector<std::vector<DayResult>> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const auto& built = lazy.get();
+        ASSERT_TRUE(built.ok());
+        auto day = compare_policies_over_day(built.value(), trace);
+        ASSERT_TRUE(day.ok());
+        per_thread[static_cast<std::size_t>(t)] = std::move(day).take();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const auto& result : per_thread) {
+      ASSERT_EQ(result.size(), baseline.value().size());
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        EXPECT_EQ(result[i].energy_kwh, baseline.value()[i].energy_kwh);
+        EXPECT_EQ(result[i].served_gops, baseline.value()[i].served_gops);
+      }
+    }
+  }
+  const auto snap = telemetry::snapshot();
+  telemetry::set_enabled(false);
+  const auto* builds = snap.find_counter("fleet.builds");
+  ASSERT_NE(builds, nullptr);
+  EXPECT_EQ(builds->value, 1u);
+  telemetry::reset();
+}
+
+TEST(FleetConcurrency, LazyFleetPropagatesBuildErrors) {
+  auto records = make_fleet(2);
+  records[0].curve = metrics::PowerCurve{};
+  const LazyFleet lazy(records);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const auto& built = lazy.get();
+      EXPECT_FALSE(built.ok());
+      EXPECT_NE(built.error().message.find("server 1: "), std::string::npos);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace epserve::cluster

@@ -206,7 +206,7 @@ TEST(EvaluateBatch, RejectsWithTheSameErrorsAsEvaluate) {
   auto result = cluster::evaluate_batch(policy, fleet, bad);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().message, "demand must be in [0, 1]");
-  auto empty = cluster::evaluate_batch(policy, {}, bad);
+  auto empty = cluster::evaluate_batch(policy, std::vector<dataset::ServerRecord>{}, bad);
   ASSERT_FALSE(empty.ok());
   EXPECT_EQ(empty.error().message, "fleet is empty");
 }

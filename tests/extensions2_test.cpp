@@ -193,7 +193,7 @@ TEST(OperatingGuide, RendersTable) {
 }
 
 TEST(OperatingGuide, RejectsBadArguments) {
-  EXPECT_FALSE(cluster::build_operating_guide({}).ok());
+  EXPECT_FALSE(cluster::build_operating_guide(std::vector<dataset::ServerRecord>{}).ok());
   EXPECT_FALSE(
       cluster::build_operating_guide(guide_fleet(), 0.0).ok());
   EXPECT_FALSE(
