@@ -1,0 +1,254 @@
+// Serve daemon under saturating closed-loop load while the fleet is live-
+// swapped underneath: 4 client connections issue place/stats queries as fast
+// as responses come back, and an admin writer publishes 120 epoch swaps
+// paced across the run. Self-verifying, like the other perf gates:
+//
+//   * zero failed requests — every response parses and carries ok=true;
+//   * per-connection epochs never regress across the swaps (the RCU swap
+//     is invisible to clients except as a new epoch number);
+//   * all 120 swaps land (final epoch = swaps + 1);
+//   * throughput must clear a conservative floor (closed-loop loopback
+//     easily sustains an order of magnitude more on any dev box).
+//
+// Reports QPS plus p50/p95/p99 request latency; exits 1 on any violation.
+#include "common.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/curve_models.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/json_parser.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace epserve;
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 2500;
+constexpr int kSwaps = 120;
+constexpr int kFleetSize = 64;
+constexpr double kQpsFloor = 1000.0;  // conservative: loopback does far more
+
+dataset::ServerRecord make_record(int id) {
+  const auto index = static_cast<std::size_t>(id);
+  const double idle = 0.2 + 0.05 * static_cast<double>(index % 6);
+  const double tau = 0.5 + 0.1 * static_cast<double>(index % 4);
+  const double ep = (1.0 - idle) * (tau + 0.4);
+  auto model = metrics::TwoSegmentPowerModel::solve(ep, idle, tau);
+  if (!model.ok()) {
+    std::fprintf(stderr, "fleet synthesis failed: %s\n",
+                 model.error().message.c_str());
+    std::exit(1);
+  }
+  dataset::ServerRecord record;
+  record.id = id;
+  record.curve = metrics::to_power_curve(
+      model.value(), 250.0 + 10.0 * static_cast<double>(index % 8), 1.5e6);
+  return record;
+}
+
+std::vector<dataset::ServerRecord> make_fleet(int size) {
+  std::vector<dataset::ServerRecord> fleet;
+  fleet.reserve(static_cast<std::size_t>(size));
+  for (int id = 1; id <= size; ++id) fleet.push_back(make_record(id));
+  return fleet;
+}
+
+struct ClientResult {
+  std::vector<double> latencies_us;
+  std::uint64_t failures = 0;
+  std::uint64_t epoch_regressions = 0;
+  std::string first_error;
+};
+
+void run_client(std::uint16_t port, int index, ClientResult& result) {
+  auto client = net::connect_tcp(port);
+  if (!client.ok()) {
+    result.failures = kRequestsPerClient;
+    result.first_error = client.error().message;
+    return;
+  }
+  result.latencies_us.reserve(kRequestsPerClient);
+  std::uint64_t last_epoch = 0;
+  for (int i = 0; i < kRequestsPerClient; ++i) {
+    const bool stats = (i + index) % 4 == 0;
+    const double demand = 0.2 + 0.1 * static_cast<double>((i + index) % 7);
+    const std::string payload =
+        stats ? std::string(R"({"type":"stats"})")
+              : R"({"type":"place","demand":)" + std::to_string(demand) + "}";
+    const auto start = std::chrono::steady_clock::now();
+    if (auto sent = net::write_frame(client.value(), payload); !sent.ok()) {
+      ++result.failures;
+      if (result.first_error.empty()) result.first_error = sent.error().message;
+      return;
+    }
+    auto frame = net::read_frame(client.value());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!frame.ok() || frame.value().eof) {
+      ++result.failures;
+      if (result.first_error.empty()) {
+        result.first_error =
+            frame.ok() ? "unexpected eof" : frame.error().message;
+      }
+      return;
+    }
+    result.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    auto parsed = parse_json(frame.value().payload);
+    const JsonValue* ok = parsed.ok() ? parsed.value().find("ok") : nullptr;
+    if (ok == nullptr || !ok->as_bool()) {
+      ++result.failures;
+      if (result.first_error.empty()) {
+        result.first_error = frame.value().payload.substr(0, 200);
+      }
+      continue;
+    }
+    const auto epoch = static_cast<std::uint64_t>(
+        parsed.value().number_member("epoch").value());
+    if (epoch < last_epoch) ++result.epoch_regressions;
+    last_epoch = epoch;
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "serve QPS gate",
+      "closed-loop clients vs the fleet-advisory daemon across live epoch "
+      "swaps (docs/SERVING.md)");
+
+  serve::ServeOptions options;
+  options.threads = kClients + 2;
+  auto started = serve::FleetServer::start(make_fleet(kFleetSize), options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.error().message.c_str());
+    return 1;
+  }
+  const auto server = std::move(started).take();
+
+  std::vector<ClientResult> results(kClients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([port = server->port(), c, &results] {
+      run_client(port, c, results[static_cast<std::size_t>(c)]);
+    });
+  }
+
+  // Admin writer: pace the swaps across the client run by waiting for the
+  // served-request count to advance between publishes, so every swap races
+  // live queries instead of finishing before the clients ramp up.
+  std::uint64_t swap_failures = 0;
+  {
+    auto admin = net::connect_tcp(server->port());
+    if (!admin.ok()) {
+      std::fprintf(stderr, "admin connect failed: %s\n",
+                   admin.error().message.c_str());
+      return 1;
+    }
+    constexpr std::uint64_t kTotalQueries =
+        static_cast<std::uint64_t>(kClients) * kRequestsPerClient;
+    for (int s = 0; s < kSwaps; ++s) {
+      const std::uint64_t threshold =
+          (static_cast<std::uint64_t>(s) * kTotalQueries) / kSwaps;
+      while (server->requests_served() < threshold) {
+        std::this_thread::yield();
+      }
+      std::string payload;
+      if (s % 2 == 0) {
+        payload = R"({"type":"admin","action":"add","servers":[)" +
+                  serve::render_server_record(make_record(1000 + s)) + "]}";
+      } else {
+        payload = R"({"type":"admin","action":"retire","ids":[)" +
+                  std::to_string(1000 + (s - 1)) + "]}";
+      }
+      if (!net::write_frame(admin.value(), payload).ok()) {
+        ++swap_failures;
+        continue;
+      }
+      auto frame = net::read_frame(admin.value());
+      if (!frame.ok() || frame.value().eof ||
+          frame.value().payload.find("\"ok\":true") == std::string::npos) {
+        ++swap_failures;
+      }
+    }
+  }
+  for (auto& client : clients) client.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  std::vector<double> latencies;
+  std::uint64_t failures = swap_failures;
+  std::uint64_t regressions = 0;
+  for (const ClientResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    failures += result.failures;
+    regressions += result.epoch_regressions;
+    if (!result.first_error.empty()) {
+      std::fprintf(stderr, "client error: %s\n", result.first_error.c_str());
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = static_cast<double>(latencies.size()) / wall_s;
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+
+  std::printf("clients            %d x %d requests\n", kClients,
+              kRequestsPerClient);
+  std::printf("swaps published    %llu (target %d)\n",
+              static_cast<unsigned long long>(server->swaps()), kSwaps);
+  std::printf("throughput         %.0f req/s over %.2f s\n", qps, wall_s);
+  std::printf("latency p50/p95/p99  %.1f / %.1f / %.1f us\n", p50, p95, p99);
+  std::printf("failed requests    %llu\n",
+              static_cast<unsigned long long>(failures));
+  std::printf(
+      "BENCH_JSON {\"qps\": %.0f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+      "\"p99_us\": %.1f, \"swaps\": %llu, \"requests\": %zu, \"failures\": "
+      "%llu}\n",
+      qps, p50, p95, p99, static_cast<unsigned long long>(server->swaps()),
+      latencies.size(), static_cast<unsigned long long>(failures));
+
+  bool ok = true;
+  if (failures != 0) {
+    std::fprintf(stderr, "FAIL: %llu failed requests (want 0)\n",
+                 static_cast<unsigned long long>(failures));
+    ok = false;
+  }
+  if (regressions != 0) {
+    std::fprintf(stderr, "FAIL: %llu epoch regressions observed\n",
+                 static_cast<unsigned long long>(regressions));
+    ok = false;
+  }
+  if (server->swaps() != static_cast<std::uint64_t>(kSwaps)) {
+    std::fprintf(stderr, "FAIL: only %llu of %d swaps published\n",
+                 static_cast<unsigned long long>(server->swaps()), kSwaps);
+    ok = false;
+  }
+  if (qps < kQpsFloor) {
+    std::fprintf(stderr, "FAIL: %.0f req/s below the %.0f floor\n", qps,
+                 kQpsFloor);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,7 @@ benches=(
   bench_report_cache
   bench_telemetry_overhead
   bench_fleet_day
+  bench_serve_qps
 )
 
 entries=()

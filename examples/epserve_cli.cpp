@@ -12,6 +12,9 @@
 //                                           autoscaler, on one shared Fleet
 //   epserve_cli fit     <in.csv> <id>       fit the two-segment model to one
 //                                           server's measured curve
+//   epserve_cli serve   [fleet_size] [seed] run the fleet-advisory daemon
+//                       [--port N] [--threads N]
+//                                           (docs/SERVING.md; Ctrl-C stops)
 //
 // Every subcommand parses through the shared util/args.h registry, so the
 // conventions hold everywhere: numeric arguments are strict (`epserve_cli
@@ -20,6 +23,8 @@
 // once, accepted anywhere in argv — enables the telemetry layer and prints a
 // span/counter snapshot to stderr after the command. Stdout stays
 // byte-identical with tracing on or off (docs/OBSERVABILITY.md).
+#include <signal.h>  // sigwait/pthread_sigmask (POSIX, not in <csignal>)
+
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -31,6 +36,7 @@
 #include "cluster/fleet.h"
 #include "cluster/operating_guide.h"
 #include "analysis/report_json.h"
+#include "serve/server.h"
 #include "core/epserve.h"
 #include "dataset/validation.h"
 #include "metrics/model_fit.h"
@@ -46,7 +52,7 @@ using namespace epserve;
 int usage() {
   std::fprintf(stderr,
                "usage: epserve_cli <report|export|validate|sweep|guide|day|"
-               "fit> [args] [--trace[=json]]\n"
+               "fit|serve> [args] [--trace[=json]]\n"
                "  see the header comment of examples/epserve_cli.cpp\n");
   return 2;
 }
@@ -267,6 +273,71 @@ int cmd_day(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  std::uint64_t fleet_size = 24;
+  dataset::GeneratorConfig config;
+  std::uint64_t port = 0;
+  std::uint64_t threads = 0;
+  std::string port_text;
+  std::string threads_text;
+  bool port_given = false;
+  bool threads_given = false;
+  ArgParser parser("serve");
+  parser.optional_u64("fleet_size", &fleet_size, "servers in the fleet")
+      .optional_u64("seed", &config.seed, "population seed")
+      .value_flag("--port", &port_text, &port_given,
+                  "TCP port (default 0 = kernel-assigned)")
+      .value_flag("--threads", &threads_text, &threads_given,
+                  "handler threads (default 0 = auto)");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
+  for (const auto& [given, text, out] :
+       {std::tuple{port_given, &port_text, &port},
+        std::tuple{threads_given, &threads_text, &threads}}) {
+    if (!given) continue;
+    auto value = parse_u64(*text);
+    if (!value.ok()) return parse_failure(parser, value.error());
+    *out = value.value();
+  }
+  if (port > 0xffff) {
+    std::fprintf(stderr, "--port must be <= 65535\n");
+    return 2;
+  }
+  auto population = dataset::generate_population(config);
+  if (!population.ok()) {
+    std::fprintf(stderr, "%s\n", population.error().message.c_str());
+    return 1;
+  }
+  serve::ServeOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.threads = threads;
+  // Block SIGINT/SIGTERM *before* the daemon spawns its threads so every
+  // thread inherits the mask and the signal can only land in sigwait below.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  auto server = serve::FleetServer::start(
+      modern_fleet(population.value(), fleet_size), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.error().message.c_str());
+    return 1;
+  }
+  // Parseable by wrapper scripts: the daemon's one line of stdout before it
+  // blocks (the kernel-assigned port is unknowable beforehand with port 0).
+  std::cout << "serving " << fleet_size << " servers on 127.0.0.1:"
+            << server.value()->port() << "\n"
+            << std::flush;
+  int received = 0;
+  sigwait(&signals, &received);
+  server.value()->stop();
+  std::cout << "served " << server.value()->requests_served()
+            << " requests, " << server.value()->swaps() << " fleet swaps\n";
+  return 0;
+}
+
 int cmd_fit(int argc, const char* const* argv) {
   std::string in_path;
   std::uint64_t id = 0;
@@ -350,6 +421,8 @@ int main(int argc, char** argv) {
     exit_code = cmd_day(sub_argc, sub_argv);
   } else if (command == "fit") {
     exit_code = cmd_fit(sub_argc, sub_argv);
+  } else if (command == "serve") {
+    exit_code = cmd_serve(sub_argc, sub_argv);
   } else {
     return usage();
   }

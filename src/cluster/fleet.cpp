@@ -1,5 +1,7 @@
 #include "cluster/fleet.h"
 
+#include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "cluster/working_region.h"
@@ -55,6 +57,33 @@ std::vector<double> Fleet::optimal_region_tops(double ee_threshold) const {
     tops.push_back(region.empty() ? 1.0 : region.hi);
   }
   return tops;
+}
+
+std::uint64_t Fleet::digest() const {
+  std::uint64_t hash = 14695981039346656037ULL;  // FNV-1a offset basis
+  const auto mix_u64 = [&hash](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xffULL;
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  const auto mix_column = [&mix_u64](std::span<const double> column) {
+    for (const double value : column) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(value));
+      std::memcpy(&bits, &value, sizeof(bits));
+      mix_u64(bits);
+    }
+  };
+  mix_u64(size());
+  for (const auto& server : servers_) {
+    mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(server.id)));
+  }
+  mix_column(peak_ops());
+  mix_column(peak_watts());
+  mix_column(idle_watts());
+  mix_column(ep());
+  return hash;
 }
 
 const epserve::Result<Fleet>& LazyFleet::get() const {

@@ -21,6 +21,7 @@
 // its repository) — it must not outlive the vector it was built from.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -115,6 +116,13 @@ class Fleet {
   /// vector, identical to calling optimal_region() per record.
   [[nodiscard]] std::vector<double> optimal_region_tops(
       double ee_threshold) const;
+
+  /// Deterministic FNV-1a digest of the fleet's composition (server ids and
+  /// the bit patterns of the peak/idle/EP columns). Two fleets digest equal
+  /// iff they evaluate identically, so the serve layer stamps it on every
+  /// response: a response mixing state from two epochs would carry a digest
+  /// matching neither (docs/SERVING.md, tests/serve_swap_stress_test.cpp).
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   // Only the named factories construct fleets. Keeping the default ctor

@@ -232,4 +232,20 @@ Result<metrics::PowerCurve> cluster_power_curve(
   return cluster_power_curve(policy, Fleet::unchecked(fleet));
 }
 
+epserve::Result<std::unique_ptr<PlacementPolicy>> make_placement_policy(
+    std::string_view name) {
+  if (name == "pack-to-full") {
+    return std::unique_ptr<PlacementPolicy>(new PackToFullPolicy());
+  }
+  if (name == "balanced") {
+    return std::unique_ptr<PlacementPolicy>(new BalancedPolicy());
+  }
+  if (name == "optimal-region") {
+    return std::unique_ptr<PlacementPolicy>(new OptimalRegionPolicy());
+  }
+  return Error::not_found(
+      "unknown policy '" + std::string(name) +
+      "' (expected pack-to-full, balanced, or optimal-region)");
+}
+
 }  // namespace epserve::cluster

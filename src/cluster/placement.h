@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/fleet.h"
@@ -115,6 +116,13 @@ epserve::Result<std::vector<Assignment>> evaluate_batch(
     const PlacementPolicy& policy,
     const std::vector<dataset::ServerRecord>& fleet,
     std::span<const double> demands);
+
+/// Policy lookup by wire/CLI name ("pack-to-full", "balanced",
+/// "optimal-region"): the one place a policy string becomes a policy object
+/// (used by the serve daemon's place/powercap requests). kNotFound lists
+/// the valid names on a miss.
+epserve::Result<std::unique_ptr<PlacementPolicy>> make_placement_policy(
+    std::string_view name);
 
 /// Aggregate fleet power at a fleet-wide demand under a policy — evaluated
 /// at the eleven SPECpower points this library uses everywhere — exposed as

@@ -1,0 +1,126 @@
+// epserve_serve wire protocol: length-prefixed JSON request/response
+// (docs/SERVING.md is the normative spec).
+//
+// Every request is one JSON object with a "type" member naming the query:
+//
+//   {"type":"place",    "demand":0.6, "policy":"optimal-region"}
+//   {"type":"guide",    "ee_threshold":0.95, "ep_bucket_width":0.1}
+//   {"type":"powercap", "cap_watts":4000, "policy":"optimal-region"}
+//   {"type":"stats"}
+//   {"type":"admin", "action":"add",    "servers":[{...record...}, ...]}
+//   {"type":"admin", "action":"retire", "ids":[3, 17]}
+//
+// Every response is one JSON object: {"ok":true, "type":..., "epoch":N,
+// "digest":"<hex>", ...payload} on success, {"ok":false, "error":{"code":
+// ..., "message":...}} on failure. The epoch/digest pair identifies exactly
+// which fleet snapshot answered — the swap-stress suite's torn-read check
+// hangs off it.
+//
+// Parsing and rendering live here, separate from the daemon, so tests and
+// the offline CLI can round-trip the exact bytes the server produces (the
+// serving path must not fork behavior from the batch path —
+// tests/serve_integration_test.cpp byte-compares both).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cluster/operating_guide.h"
+#include "cluster/placement.h"
+#include "cluster/power_cap.h"
+#include "dataset/record.h"
+#include "util/json_parser.h"
+#include "util/result.h"
+
+namespace epserve::serve {
+
+struct PlaceRequest {
+  double demand = 0.0;
+  std::string policy = "optimal-region";
+};
+
+struct GuideRequest {
+  double ee_threshold = 0.95;
+  double ep_bucket_width = 0.1;
+};
+
+struct PowerCapRequest {
+  double cap_watts = 0.0;
+  std::string policy = "optimal-region";
+};
+
+struct StatsRequest {};
+
+struct AdminRequest {
+  enum class Action { kAdd, kRetire };
+  Action action = Action::kAdd;
+  std::vector<dataset::ServerRecord> add;  // kAdd
+  std::vector<int> retire_ids;             // kRetire
+};
+
+struct Request {
+  std::string type;  // the wire "type" string, for span naming
+  std::variant<PlaceRequest, GuideRequest, PowerCapRequest, StatsRequest,
+               AdminRequest>
+      payload;
+};
+
+/// Parses one request frame. kParse on invalid JSON, a non-object root, a
+/// missing/unknown "type", or malformed fields — the daemon turns any error
+/// into a structured error response, never a dropped connection.
+Result<Request> parse_request(std::string_view payload);
+
+/// One server record from its JSON object form (field names mirror the CSV
+/// columns of dataset::to_csv_document; the measurement sheet arrives as
+/// "watt_idle" plus "watts" / "ops" arrays of the ten load levels). The
+/// curve is validated exactly like the CSV import path.
+Result<dataset::ServerRecord> parse_server_record(const JsonValue& value);
+
+/// Renders a server record to the JSON object form parse_server_record
+/// reads (used by clients/tests composing admin add requests).
+std::string render_server_record(const dataset::ServerRecord& record);
+
+// --- Response rendering (shared by the daemon and the offline comparisons).
+// `epoch` is the answering snapshot's publish number; `digest` its
+// Fleet::digest().
+
+std::string render_place_response(std::uint64_t epoch, std::uint64_t digest,
+                                  const PlaceRequest& request,
+                                  const cluster::Assignment& assignment);
+
+std::string render_guide_response(std::uint64_t epoch, std::uint64_t digest,
+                                  const cluster::OperatingGuide& guide);
+
+std::string render_powercap_response(std::uint64_t epoch, std::uint64_t digest,
+                                     const PowerCapRequest& request,
+                                     const cluster::CapResult& cap);
+
+/// Point-in-time daemon/fleet state for the stats response.
+struct StatsInfo {
+  std::size_t servers = 0;
+  double capacity_ops = 0.0;
+  double total_idle_watts = 0.0;
+  std::uint64_t requests = 0;      // served so far, this one included
+  std::uint64_t swaps = 0;         // published fleet updates
+  std::size_t active_epochs = 0;   // snapshots not yet reclaimed
+};
+
+std::string render_stats_response(std::uint64_t epoch, std::uint64_t digest,
+                                  const StatsInfo& info);
+
+std::string render_admin_response(std::uint64_t epoch, std::uint64_t digest,
+                                  std::size_t servers);
+
+/// {"ok":false,"error":{"code":"<name>","message":"..."}}.
+std::string render_error_response(const Error& error);
+
+/// The wire name of an Error::Code ("parse", "invalid_argument", ...).
+std::string_view error_code_name(Error::Code code);
+
+/// u64 → fixed-width lowercase hex (the digest encoding: JSON numbers
+/// cannot carry 64 bits losslessly).
+std::string hex_u64(std::uint64_t value);
+
+}  // namespace epserve::serve

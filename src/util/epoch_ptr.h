@@ -1,0 +1,211 @@
+// EpochPtr<T>: an RCU-style snapshot handle for read-mostly shared state.
+//
+// One writer at a time publishes immutable T snapshots; any number of
+// readers pin the current snapshot without ever blocking on a publish.
+// This is the primitive behind the serve daemon's live fleet (docs/
+// SERVING.md): queries run against a pinned cluster::Fleet while an admin
+// request builds and swaps in the next one.
+//
+// Design: a fixed ring of slots, each slot = {object pointer, reader
+// refcount, epoch number}. The slot structs themselves are never freed, so
+// the reader's refcount increment is always on live memory even when it
+// races a reclaim.
+//
+//  * Reader (pin): load the current slot index, increment that slot's
+//    refcount, then re-validate that the index is still current. If the
+//    validation fails a publish won the race — release and retry (the retry
+//    loop is lock-free: it only repeats when a writer made progress). If it
+//    succeeds, the slot cannot be reclaimed until the pin drops: any writer
+//    decision to reclaim reads the refcount *after* moving `current_` away
+//    from the slot, and with seq_cst ordering a successful validation
+//    implies the increment precedes that read.
+//  * Writer (publish): pick a drained slot (object reclaimed, no readers),
+//    store the new object and epoch, then swap `current_`. Old snapshots
+//    are retired, not freed — reclaim() deletes a retired slot's object
+//    only once its refcount has drained to zero. A reader that observed a
+//    stale index and incremented after the writer's zero-read never
+//    dereferences the dead object: its validation of `current_` fails.
+//  * The validation-passes-on-a-reused-slot race is benign: if a slot was
+//    reclaimed and repopulated between the reader's index load and its
+//    validation, the reader simply pins the *newer* snapshot (the object
+//    pointer is read after validation, never before).
+//
+// Publishes are serialized internally (writer mutex), so concurrent admin
+// writers are safe; the ring bounds the number of snapshots that can be
+// simultaneously live (current + retired-but-pinned). A publish spins only
+// in the pathological case that all kSlots slots are pinned by readers.
+//
+// TSan-checked by tests/util_epoch_ptr_test.cpp and the serve swap-stress
+// suite (`ctest -L serve` under EPSERVE_SANITIZE=thread).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace epserve {
+
+template <typename T>
+class EpochPtr {
+ public:
+  /// Ring capacity: the maximum number of simultaneously live snapshots
+  /// (one current + retired ones still pinned by in-flight readers).
+  static constexpr std::size_t kSlots = 64;
+
+  /// Starts at epoch 1 with `initial` as the current snapshot.
+  explicit EpochPtr(std::unique_ptr<const T> initial) {
+    slots_[0].object.store(initial.release(), std::memory_order_seq_cst);
+    slots_[0].epoch.store(1, std::memory_order_seq_cst);
+    current_.store(0, std::memory_order_seq_cst);
+  }
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  /// Requires that no Pin is alive (callers join their readers first).
+  ~EpochPtr() {
+    for (Slot& slot : slots_) {
+      delete slot.object.load(std::memory_order_seq_cst);
+    }
+  }
+
+  /// RAII read pin: holds one snapshot alive for the scope's duration.
+  class Pin {
+   public:
+    Pin(Pin&& other) noexcept
+        : owner_(other.owner_), index_(other.index_), object_(other.object_),
+          epoch_(other.epoch_) {
+      other.owner_ = nullptr;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    Pin& operator=(Pin&&) = delete;
+
+    ~Pin() {
+      if (owner_ != nullptr) {
+        owner_->slots_[index_].readers.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+
+    [[nodiscard]] const T& operator*() const { return *object_; }
+    [[nodiscard]] const T* operator->() const { return object_; }
+    [[nodiscard]] const T* get() const { return object_; }
+    /// The pinned snapshot's publish sequence number (1-based).
+    [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochPtr;
+    Pin(const EpochPtr* owner, std::size_t index, const T* object,
+        std::uint64_t epoch)
+        : owner_(owner), index_(index), object_(object), epoch_(epoch) {}
+
+    const EpochPtr* owner_;
+    std::size_t index_;
+    const T* object_;
+    std::uint64_t epoch_;
+  };
+
+  /// Pins the current snapshot. Never blocks: retries only when a
+  /// concurrent publish moved the current slot between load and validation.
+  [[nodiscard]] Pin pin() const {
+    for (;;) {
+      const std::size_t index = current_.load(std::memory_order_seq_cst);
+      Slot& slot = slots_[index];
+      slot.readers.fetch_add(1, std::memory_order_seq_cst);
+      if (current_.load(std::memory_order_seq_cst) == index) {
+        // Object/epoch are read only after the validated increment, so a
+        // reused slot yields the slot's *new* snapshot, never a stale one.
+        return Pin(this, index, slot.object.load(std::memory_order_seq_cst),
+                   slot.epoch.load(std::memory_order_seq_cst));
+      }
+      slot.readers.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Publishes `next` as the new current snapshot and retires the old one.
+  /// Serialized against other publishers; never blocks readers. Returns the
+  /// new snapshot's epoch number. Drained retired snapshots are reclaimed
+  /// opportunistically here (and the just-retired predecessor immediately,
+  /// when no reader still pins it).
+  std::uint64_t publish(std::unique_ptr<const T> next) {
+    const std::lock_guard<std::mutex> lock(writer_mutex_);
+    const std::size_t target = acquire_free_slot();
+    Slot& slot = slots_[target];
+    slot.object.store(next.release(), std::memory_order_seq_cst);
+    const std::uint64_t epoch = ++epoch_counter_;
+    slot.epoch.store(epoch, std::memory_order_seq_cst);
+    current_.store(target, std::memory_order_seq_cst);
+    reclaim_drained();
+    return epoch;
+  }
+
+  /// The current snapshot's epoch number (racy by nature; exact under an
+  /// external happens-before, e.g. after a publish returns).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return slots_[current_.load(std::memory_order_seq_cst)].epoch.load(
+        std::memory_order_seq_cst);
+  }
+
+  /// Snapshots not yet reclaimed: the current one plus any retired ones
+  /// still pinned (or awaiting the next reclaim pass).
+  [[nodiscard]] std::size_t active_epochs() const {
+    std::size_t live = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.object.load(std::memory_order_seq_cst) != nullptr) ++live;
+    }
+    return live;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<const T*> object{nullptr};
+    std::atomic<std::uint64_t> readers{0};
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  /// Deletes every retired snapshot whose refcount has drained. A stale
+  /// zero is impossible in the dangerous direction: the refcount read
+  /// happens after `current_` moved away from the slot, so any reader that
+  /// incremented before this read either pinned a different slot or will
+  /// fail validation and release (see the reader protocol above). Writer
+  /// mutex held by the caller.
+  void reclaim_drained() {
+    const std::size_t current = current_.load(std::memory_order_seq_cst);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      if (i == current) continue;
+      Slot& slot = slots_[i];
+      if (slot.object.load(std::memory_order_seq_cst) != nullptr &&
+          slot.readers.load(std::memory_order_seq_cst) == 0) {
+        delete slot.object.load(std::memory_order_seq_cst);
+        slot.object.store(nullptr, std::memory_order_seq_cst);
+      }
+    }
+  }
+
+  /// Finds an empty slot for the next snapshot, reclaiming drained retirees
+  /// as needed. Spins (with yield) only when every slot is pinned — kSlots
+  /// concurrent distinct pinned epochs. Writer mutex held by the caller.
+  std::size_t acquire_free_slot() {
+    for (;;) {
+      for (std::size_t i = 0; i < kSlots; ++i) {
+        if (slots_[i].object.load(std::memory_order_seq_cst) == nullptr &&
+            slots_[i].readers.load(std::memory_order_seq_cst) == 0) {
+          return i;
+        }
+      }
+      reclaim_drained();
+      std::this_thread::yield();
+    }
+  }
+
+  mutable std::array<Slot, kSlots> slots_;
+  std::atomic<std::size_t> current_{0};
+  std::uint64_t epoch_counter_ = 1;  // writer-mutex-guarded
+  std::mutex writer_mutex_;
+};
+
+}  // namespace epserve

@@ -1,0 +1,321 @@
+#include "util/json_parser.h"
+
+#include <cstdlib>
+
+namespace epserve {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with explicit position.
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> run() {
+    skip_ws();
+    auto value = parse_value(0);
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& what) const {
+    return Error::parse(what + " at offset " + std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Result<JsonValue> parse_value(std::size_t depth) {
+    if (depth > max_depth_) return fail("nesting deeper than limit");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) return fail("invalid literal");
+        return JsonValue::make_null();
+      case 't':
+        if (!consume_literal("true")) return fail("invalid literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) return fail("invalid literal");
+        return JsonValue::make_bool(false);
+      case '"':
+        return parse_string_value();
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<JsonValue> parse_string_value() {
+    auto text = parse_string_raw();
+    if (!text.ok()) return text.error();
+    return JsonValue::make_string(std::move(text).take());
+  }
+
+  Result<std::string> parse_string_raw() {
+    ++pos_;  // opening quote, checked by the caller
+    std::string out;
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          auto code = parse_hex4();
+          if (!code.ok()) return code.error();
+          append_utf8(out, code.value());
+          break;
+        }
+        default:
+          pos_ -= 1;
+          return fail("invalid escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  /// BMP-only \u escapes (surrogate pairs are not joined — the protocol
+  /// never emits them; lone surrogates encode as replacement-style bytes).
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      pos_ = start;
+      return fail("invalid JSON value");
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return JsonValue::make_number(value);
+  }
+
+  Result<JsonValue> parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      auto item = parse_value(depth + 1);
+      if (!item.ok()) return item;
+      items.push_back(std::move(item).take());
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return JsonValue::make_array(std::move(items));
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<JsonValue> parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      auto key = parse_string_raw();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (at_end() || text_[pos_] != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      members.emplace_back(std::move(key).take(), std::move(value).take());
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return JsonValue::make_object(std::move(members));
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<double> JsonValue::number_member(std::string_view key) const {
+  const JsonValue* member = find(key);
+  if (member == nullptr) {
+    return Error::parse("missing member '" + std::string(key) + "'");
+  }
+  if (!member->is_number()) {
+    return Error::parse("member '" + std::string(key) + "' is not a number");
+  }
+  return member->as_number();
+}
+
+Result<std::string> JsonValue::string_member(std::string_view key) const {
+  const JsonValue* member = find(key);
+  if (member == nullptr) {
+    return Error::parse("missing member '" + std::string(key) + "'");
+  }
+  if (!member->is_string()) {
+    return Error::parse("member '" + std::string(key) + "' is not a string");
+  }
+  return member->as_string();
+}
+
+Result<double> JsonValue::number_member_or(std::string_view key,
+                                           double fallback) const {
+  if (find(key) == nullptr) return fallback;
+  return number_member(key);
+}
+
+Result<std::string> JsonValue::string_member_or(std::string_view key,
+                                                std::string fallback) const {
+  if (find(key) == nullptr) return fallback;
+  return string_member(key);
+}
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+Result<JsonValue> parse_json(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace epserve

@@ -1,0 +1,80 @@
+// Minimal JSON parser — the read side of util/json_writer.h, added for the
+// serve wire protocol (docs/SERVING.md). Strict recursive descent over
+// UTF-8 text: one top-level value, no trailing garbage, bounded nesting
+// depth, kParse with a byte offset on any malformed input (never a throw —
+// the daemon feeds it untrusted bytes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace epserve {
+
+/// One parsed JSON value. Object members keep their source order and may
+/// repeat (lookup returns the first match, like most lenient consumers).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; calling the wrong one is a programming error (the
+  /// protocol layer checks kind() / uses the Result getters below).
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const {
+    return members_;
+  }
+
+  /// First member named `key`, or nullptr (also when this is not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed member lookups for protocol parsing: kParse with the member name
+  /// when the key is missing or the wrong type.
+  [[nodiscard]] Result<double> number_member(std::string_view key) const;
+  [[nodiscard]] Result<std::string> string_member(std::string_view key) const;
+
+  /// Like the required getters, but absent keys yield `fallback`.
+  [[nodiscard]] Result<double> number_member_or(std::string_view key,
+                                                double fallback) const;
+  [[nodiscard]] Result<std::string> string_member_or(
+      std::string_view key, std::string fallback) const;
+
+  // Construction (used by the parser; tests may build values directly).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool value);
+  static JsonValue make_number(double value);
+  static JsonValue make_string(std::string value);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as exactly one JSON document. `max_depth` bounds container
+/// nesting (default 64), so hostile deeply-nested input cannot exhaust the
+/// stack.
+Result<JsonValue> parse_json(std::string_view text, std::size_t max_depth = 64);
+
+}  // namespace epserve

@@ -1,0 +1,200 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace epserve::net {
+
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error::io(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `len` bytes. Returns the byte count actually read: `len`
+/// on success, 0 on clean EOF before the first byte, a short count when the
+/// peer closed mid-buffer, or -1 on a socket error.
+long read_exact(int fd, char* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return static_cast<long>(got);  // EOF
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<long>(got);
+}
+
+/// Request/response framing sends small segments; without TCP_NODELAY each
+/// round trip stalls on Nagle + delayed ACK (tens of ms per request).
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdown_write() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Result<Socket> listen_tcp(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  Socket socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return errno_error("bind");
+  }
+  if (::listen(fd, backlog) < 0) return errno_error("listen");
+  return socket;
+}
+
+Result<std::uint16_t> local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return errno_error("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> accept_client(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return errno_error("accept");
+  }
+}
+
+Result<Socket> connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  Socket socket(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    return errno_error("connect");
+  }
+}
+
+Result<bool> write_frame(const Socket& socket, std::string_view payload) {
+  if (payload.size() > 0xffffffffu) {
+    return Error::invalid_argument("frame payload exceeds 4-byte prefix");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  // One buffer, one send: a split prefix/payload write interacts with
+  // Nagle + delayed ACK into ~40 ms per frame on the request/response
+  // pattern (see also TCP_NODELAY at connect/accept).
+  std::string frame;
+  frame.reserve(sizeof(std::uint32_t) + payload.size());
+  frame.push_back(static_cast<char>(len >> 24));
+  frame.push_back(static_cast<char>(len >> 16));
+  frame.push_back(static_cast<char>(len >> 8));
+  frame.push_back(static_cast<char>(len));
+  frame.append(payload);
+  if (!write_all(socket.fd(), frame.data(), frame.size())) {
+    return errno_error("write frame");
+  }
+  return true;
+}
+
+Result<Frame> read_frame(const Socket& socket, std::size_t max_bytes) {
+  char prefix[4];
+  const long prefix_read = read_exact(socket.fd(), prefix, sizeof(prefix));
+  if (prefix_read < 0) return errno_error("read frame prefix");
+  if (prefix_read == 0) return Frame{.eof = true, .payload = {}};
+  if (prefix_read != sizeof(prefix)) {
+    return Error::parse("truncated length prefix (" +
+                        std::to_string(prefix_read) + " of 4 bytes)");
+  }
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]));
+  // Bound check before any allocation: a hostile declared length must not
+  // drive memory usage.
+  if (len > max_bytes) {
+    return Error::out_of_range("declared frame length " + std::to_string(len) +
+                               " exceeds limit " + std::to_string(max_bytes));
+  }
+  Frame frame;
+  frame.payload.resize(len);
+  if (len > 0) {
+    const long got = read_exact(socket.fd(), frame.payload.data(), len);
+    if (got < 0) return errno_error("read frame payload");
+    if (got != static_cast<long>(len)) {
+      return Error::parse("truncated frame (" + std::to_string(got) + " of " +
+                          std::to_string(len) + " payload bytes)");
+    }
+  }
+  return frame;
+}
+
+}  // namespace epserve::net

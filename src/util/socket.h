@@ -1,0 +1,79 @@
+// Minimal POSIX TCP helpers for the serve daemon: RAII sockets, loopback
+// listen/connect, and the length-prefixed frame codec the wire protocol
+// rides on (docs/SERVING.md).
+//
+// Frames are `4-byte big-endian payload length` + `payload`. The reader
+// enforces a caller-supplied size bound *before* allocating, so a hostile
+// declared length cannot drive an allocation (pinned by
+// tests/serve_protocol_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace epserve::net {
+
+/// Owning socket file descriptor; closes on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+  /// shutdown(2) both directions — unblocks a peer thread parked in
+  /// read/accept without racing the fd's lifetime (the owner still closes).
+  void shutdown_both() const;
+  /// Half-close: no more writes from this side, reads still drain (lets a
+  /// client send a deliberately truncated frame and read the error back).
+  void shutdown_write() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port, read back via local_port).
+Result<Socket> listen_tcp(std::uint16_t port, int backlog = 64);
+
+/// The bound port of a listening (or connected) socket.
+Result<std::uint16_t> local_port(const Socket& socket);
+
+/// Blocking accept; kIo when the listener was closed/shut down.
+Result<Socket> accept_client(const Socket& listener);
+
+/// Blocking loopback connect.
+Result<Socket> connect_tcp(std::uint16_t port);
+
+/// Default frame-size bound: 8 MiB (a full admin add of a few thousand
+/// servers fits; nothing sane is bigger).
+inline constexpr std::size_t kMaxFrameBytes = 8u << 20;
+
+/// Writes one length-prefixed frame (handles partial writes; suppresses
+/// SIGPIPE). kInvalidArgument if the payload exceeds the u32 prefix.
+Result<bool> write_frame(const Socket& socket, std::string_view payload);
+
+/// One frame read, distinguishing a clean end-of-stream from an error.
+struct Frame {
+  bool eof = false;     // peer closed before any prefix byte arrived
+  std::string payload;  // valid when !eof
+};
+
+/// Reads one length-prefixed frame. Clean close at a frame boundary yields
+/// Frame{eof=true}; a connection dropped mid-prefix or mid-payload is a
+/// kParse/kIo error ("truncated length prefix" / "truncated frame"); a
+/// declared length above `max_bytes` is rejected before any allocation.
+Result<Frame> read_frame(const Socket& socket,
+                         std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace epserve::net

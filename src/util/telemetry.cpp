@@ -33,6 +33,7 @@ struct GlobalTable {
   std::mutex mutex;
   int next_thread_id = 0;
   std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, std::uint64_t, std::less<>> gauges;
   std::map<std::string, TimerAcc, std::less<>> timers;
   struct SpanGlobal {
     std::uint64_t count = 0;
@@ -177,8 +178,18 @@ void reset() {
   detail::GlobalTable& table = detail::global();
   const std::lock_guard<std::mutex> lock(table.mutex);
   table.counters.clear();
+  table.gauges.clear();
   table.timers.clear();
   table.spans.clear();
+}
+
+void gauge_set(std::string_view name, std::uint64_t value) {
+  if (!enabled()) return;
+  // Straight to the global table: gauges are last-write-wins levels, so
+  // buffering them thread-locally would reorder concurrent writers anyway.
+  detail::GlobalTable& table = detail::global();
+  const std::lock_guard<std::mutex> lock(table.mutex);
+  detail::slot(table.gauges, name) = value;
 }
 
 void count_cache(std::string_view member, bool hit) {
@@ -235,6 +246,13 @@ const SpanStat* Snapshot::find_span(std::string_view path) const {
   return nullptr;
 }
 
+const GaugeStat* Snapshot::find_gauge(std::string_view name) const {
+  for (const auto& stat : gauges) {
+    if (stat.name == name) return &stat;
+  }
+  return nullptr;
+}
+
 std::string Snapshot::render_text() const {
   std::string out = "== telemetry ==\n";
   out += "spans (path, count, total ms, threads):\n";
@@ -251,6 +269,14 @@ std::string Snapshot::render_text() const {
   out += "counters:\n";
   for (const auto& stat : counters) {
     out += "  " + stat.name + "  " + std::to_string(stat.value) + "\n";
+  }
+  // The gauges section appears only when a gauge was set, so commands that
+  // predate gauges render byte-identically to before they existed.
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& stat : gauges) {
+      out += "  " + stat.name + "  " + std::to_string(stat.value) + "\n";
+    }
   }
   return out;
 }
@@ -285,6 +311,18 @@ std::string Snapshot::render_json() const {
     json.end_object();
   }
   json.end_array();
+  // Emitted only when non-empty (same byte-compatibility rule as the text
+  // rendering).
+  if (!gauges.empty()) {
+    json.key("gauges").begin_array();
+    for (const auto& stat : gauges) {
+      json.begin_object();
+      json.key("name").value(stat.name);
+      json.key("value").value(static_cast<std::size_t>(stat.value));
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
   return json.str();
 }
@@ -299,6 +337,10 @@ Snapshot snapshot() {
   snap.counters.reserve(table.counters.size());
   for (const auto& [name, value] : table.counters) {
     snap.counters.push_back({name, value});
+  }
+  snap.gauges.reserve(table.gauges.size());
+  for (const auto& [name, value] : table.gauges) {
+    snap.gauges.push_back({name, value});
   }
   snap.timers.reserve(table.timers.size());
   for (const auto& [name, acc] : table.timers) {

@@ -78,6 +78,14 @@ inline void timer_add(std::string_view name, std::uint64_t ns) {
 /// `<member>.misses` (the AnalysisContext cache instrumentation).
 void count_cache(std::string_view member, bool hit);
 
+/// Sets the named gauge to `value` (last write wins). Gauges are for
+/// point-in-time levels that counters' add-only semantics cannot express —
+/// e.g. the serve daemon's `serve.active_epochs`. Unlike counters/timers
+/// they bypass the thread-local buffer and take the global mutex directly:
+/// gauge writers are rare events (a snapshot swap), not hot-path
+/// instrumentation. No-op while disabled.
+void gauge_set(std::string_view name, std::uint64_t value);
+
 /// RAII timer: accumulates the scope's wall time under a flat name.
 class ScopedTimer {
  public:
@@ -157,6 +165,11 @@ struct TimerStat {
   double total_ms = 0.0;
 };
 
+struct GaugeStat {
+  std::string name;
+  std::uint64_t value = 0;  // last value set
+};
+
 struct SpanStat {
   std::string path;           // '/'-joined hierarchical name
   std::uint64_t count = 0;    // completed executions
@@ -171,10 +184,12 @@ struct Snapshot {
   std::vector<CounterStat> counters;
   std::vector<TimerStat> timers;
   std::vector<SpanStat> spans;
+  std::vector<GaugeStat> gauges;
 
   [[nodiscard]] const CounterStat* find_counter(std::string_view name) const;
   [[nodiscard]] const TimerStat* find_timer(std::string_view name) const;
   [[nodiscard]] const SpanStat* find_span(std::string_view path) const;
+  [[nodiscard]] const GaugeStat* find_gauge(std::string_view name) const;
 
   /// Human-readable rendering (the CLI's `--trace` output).
   [[nodiscard]] std::string render_text() const;

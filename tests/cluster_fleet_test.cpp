@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <numeric>
 #include <thread>
 
@@ -200,6 +202,78 @@ TEST(FleetBuild, RejectsInvalidCurveNamingTheServer) {
   ASSERT_FALSE(built.ok());
   EXPECT_NE(built.error().message.find("server 2: "), std::string::npos)
       << built.error().message;
+}
+
+/// Every curve-validation failure mode must surface through Fleet::build
+/// with the offending server named and the kFailedPrecondition code intact —
+/// the serve daemon forwards this exact message to admin clients, so the
+/// context is part of the contract (tests/serve_integration_test.cpp checks
+/// the wire side; this pins the build side for each failure mode).
+TEST(FleetBuild, NamesTheServerForEveryCurveFailureMode) {
+  struct FailureCase {
+    const char* name;
+    std::function<void(metrics::PowerCurve&)> corrupt;
+    const char* fragment;
+  };
+  const auto rebuild = [](const metrics::PowerCurve& curve, double idle,
+                          const std::function<void(
+                              std::array<double, metrics::kNumLoadLevels>&,
+                              std::array<double, metrics::kNumLoadLevels>&)>&
+                              mutate) {
+    std::array<double, metrics::kNumLoadLevels> watts{};
+    std::array<double, metrics::kNumLoadLevels> ops{};
+    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+      watts[i] = curve.watts_at_level(i);
+      ops[i] = curve.ops_at_level(i);
+    }
+    mutate(watts, ops);
+    return metrics::PowerCurve(watts, ops, idle);
+  };
+  const FailureCase cases[] = {
+      {"non-positive idle",
+       [&rebuild](metrics::PowerCurve& curve) {
+         curve = rebuild(curve, 0.0, [](auto&, auto&) {});
+       },
+       "idle power must be > 0"},
+      {"non-finite power",
+       [&rebuild](metrics::PowerCurve& curve) {
+         curve = rebuild(curve, curve.idle_watts(), [](auto& watts, auto&) {
+           watts[4] = std::numeric_limits<double>::infinity();
+         });
+       },
+       "power at level 4 must be finite"},
+      {"negative ops",
+       [&rebuild](metrics::PowerCurve& curve) {
+         curve = rebuild(curve, curve.idle_watts(),
+                         [](auto&, auto& ops) { ops[0] = -1.0; });
+       },
+       "ops at level 0 must be finite and >= 0"},
+      {"decreasing ops",
+       [&rebuild](metrics::PowerCurve& curve) {
+         curve = rebuild(curve, curve.idle_watts(), [](auto&, auto& ops) {
+           std::swap(ops[2], ops[7]);
+         });
+       },
+       "ops must be non-decreasing"},
+      {"idle above peak",
+       [&rebuild](metrics::PowerCurve& curve) {
+         curve = rebuild(curve, 2.0 * curve.peak_watts(),
+                         [](auto&, auto&) {});
+       },
+       "idle power exceeds peak power"},
+  };
+  for (const FailureCase& failure : cases) {
+    auto records = make_fleet(4);
+    failure.corrupt(records[2].curve);
+    const auto built = Fleet::build(records);
+    ASSERT_FALSE(built.ok()) << failure.name;
+    EXPECT_EQ(built.error().code, Error::Code::kFailedPrecondition)
+        << failure.name;
+    EXPECT_NE(built.error().message.find("server 3: "), std::string::npos)
+        << failure.name << ": " << built.error().message;
+    EXPECT_NE(built.error().message.find(failure.fragment), std::string::npos)
+        << failure.name << ": " << built.error().message;
+  }
 }
 
 TEST(FleetBuild, OptimalRegionTopsMatchPerRecordRegions) {

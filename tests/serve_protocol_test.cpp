@@ -1,0 +1,262 @@
+// serve wire protocol hardening: every malformed input — truncated length
+// prefix, hostile declared length (bounded allocation), invalid JSON,
+// structurally wrong requests, unknown types — must come back as a
+// structured {"ok":false,"error":{...}} response, never a crash, a hang, or
+// an exception escaping the handler. Exercised both in-process
+// (FleetServer::handle_payload — the exact function the TCP path calls) and
+// over a live loopback socket.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/curve_models.h"
+#include "serve/server.h"
+#include "util/json_parser.h"
+#include "util/socket.h"
+
+namespace epserve::serve {
+namespace {
+
+std::vector<dataset::ServerRecord> make_fleet(std::size_t size) {
+  std::vector<dataset::ServerRecord> fleet;
+  fleet.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double idle = 0.25 + 0.05 * static_cast<double>(i % 5);
+    const double tau = 0.6 + 0.1 * static_cast<double>(i % 3);
+    const double ep = (1.0 - idle) * (tau + 0.3);
+    auto model = metrics::TwoSegmentPowerModel::solve(ep, idle, tau);
+    EXPECT_TRUE(model.ok()) << model.error().message;
+    dataset::ServerRecord r;
+    r.id = static_cast<int>(i) + 1;
+    r.curve = metrics::to_power_curve(model.value(), 300.0, 2e6);
+    fleet.push_back(std::move(r));
+  }
+  return fleet;
+}
+
+/// Parses a response and asserts the {"ok":false,...} error envelope, with
+/// `code` as the error code name and `fragment` somewhere in the message.
+void expect_error_response(const std::string& response,
+                           const std::string& code,
+                           const std::string& fragment) {
+  auto parsed = parse_json(response);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message << "\n" << response;
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* ok = root.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->as_bool());
+  const JsonValue* error = root.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->string_member("code").value(), code);
+  const std::string message = error->string_member("message").value();
+  EXPECT_NE(message.find(fragment), std::string::npos)
+      << "message '" << message << "' lacks '" << fragment << "'";
+}
+
+void expect_ok_response(const std::string& response, const std::string& type) {
+  auto parsed = parse_json(response);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message << "\n" << response;
+  const JsonValue* ok = parsed.value().find("ok");
+  ASSERT_NE(ok, nullptr) << response;
+  EXPECT_TRUE(ok->as_bool()) << response;
+  EXPECT_EQ(parsed.value().string_member("type").value(), type);
+}
+
+// --- request parsing (pure, no sockets) ------------------------------------
+
+TEST(ServeProtocolTest, ParsesEveryRequestType) {
+  auto place = parse_request(R"({"type":"place","demand":0.5})");
+  ASSERT_TRUE(place.ok()) << place.error().message;
+  EXPECT_EQ(place.value().type, "place");
+  const auto& place_payload = std::get<PlaceRequest>(place.value().payload);
+  EXPECT_DOUBLE_EQ(place_payload.demand, 0.5);
+  EXPECT_EQ(place_payload.policy, "optimal-region");  // default
+
+  auto guide = parse_request(R"({"type":"guide","ee_threshold":0.9})");
+  ASSERT_TRUE(guide.ok());
+  EXPECT_DOUBLE_EQ(std::get<GuideRequest>(guide.value().payload).ee_threshold,
+                   0.9);
+
+  auto cap = parse_request(
+      R"({"type":"powercap","cap_watts":5000,"policy":"balanced"})");
+  ASSERT_TRUE(cap.ok());
+  EXPECT_EQ(std::get<PowerCapRequest>(cap.value().payload).policy, "balanced");
+
+  EXPECT_TRUE(parse_request(R"({"type":"stats"})").ok());
+
+  auto retire = parse_request(R"({"type":"admin","action":"retire","ids":[3]})");
+  ASSERT_TRUE(retire.ok());
+  EXPECT_EQ(std::get<AdminRequest>(retire.value().payload).retire_ids,
+            std::vector<int>{3});
+}
+
+struct MalformedCase {
+  const char* name;
+  const char* payload;
+  const char* fragment;  // expected error-message substring
+};
+
+TEST(ServeProtocolTest, MalformedRequestTable) {
+  const MalformedCase cases[] = {
+      {"invalid json", "{nope", "object key"},
+      {"empty payload", "", "unexpected end of input"},
+      {"not an object", "[1,2]", "must be a JSON object"},
+      {"missing type", R"({"demand":0.5})", "missing member 'type'"},
+      {"non-string type", R"({"type":7})", "'type' is not a string"},
+      {"unknown type", R"({"type":"bogus"})", "unknown request type"},
+      {"place without demand", R"({"type":"place"})", "missing member 'demand'"},
+      {"place with string demand", R"({"type":"place","demand":"x"})",
+       "'demand' is not a number"},
+      {"admin without action", R"({"type":"admin"})", "missing member 'action'"},
+      {"admin unknown action", R"({"type":"admin","action":"explode"})",
+       "unknown admin action"},
+      {"admin add without servers", R"({"type":"admin","action":"add"})",
+       "'servers' array"},
+      {"admin retire bad ids", R"({"type":"admin","action":"retire","ids":["a"]})",
+       "must be numbers"},
+      {"trailing garbage", R"({"type":"stats"} extra)", "trailing characters"},
+  };
+  for (const auto& test_case : cases) {
+    auto parsed = parse_request(test_case.payload);
+    ASSERT_FALSE(parsed.ok()) << test_case.name;
+    EXPECT_NE(parsed.error().message.find(test_case.fragment),
+              std::string::npos)
+        << test_case.name << ": got '" << parsed.error().message << "'";
+  }
+}
+
+TEST(ServeProtocolTest, DeeplyNestedJsonIsRejectedNotOverflowed) {
+  std::string bomb(100000, '[');
+  bomb += std::string(100000, ']');
+  auto parsed = parse_json(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("nesting deeper"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, ServerRecordRoundTripsThroughJson) {
+  const auto fleet = make_fleet(3);
+  const std::string rendered = render_server_record(fleet[1]);
+  auto parsed_json = parse_json(rendered);
+  ASSERT_TRUE(parsed_json.ok()) << parsed_json.error().message;
+  auto record = parse_server_record(parsed_json.value());
+  ASSERT_TRUE(record.ok()) << record.error().message;
+  EXPECT_EQ(record.value().id, fleet[1].id);
+  EXPECT_EQ(record.value().curve.idle_watts(), fleet[1].curve.idle_watts());
+  EXPECT_EQ(record.value().curve.peak_ops(), fleet[1].curve.peak_ops());
+  EXPECT_EQ(record.value().curve.peak_watts(), fleet[1].curve.peak_watts());
+}
+
+TEST(ServeProtocolTest, HexDigestEncoding) {
+  EXPECT_EQ(hex_u64(0), "0000000000000000");
+  EXPECT_EQ(hex_u64(0xdeadbeefcafe1234ull), "deadbeefcafe1234");
+}
+
+// --- in-process handler: the exact function the TCP path calls -------------
+
+class ServeHandlerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto server = FleetServer::start(make_fleet(6), {});
+    ASSERT_TRUE(server.ok()) << server.error().message;
+    server_ = std::move(server).take();
+  }
+
+  std::unique_ptr<FleetServer> server_;
+};
+
+TEST_F(ServeHandlerTest, MalformedPayloadsYieldStructuredErrors) {
+  expect_error_response(server_->handle_payload("{nope"), "parse",
+                        "object key");
+  expect_error_response(server_->handle_payload(R"({"type":"bogus"})"),
+                        "parse", "unknown request type");
+  expect_error_response(
+      server_->handle_payload(R"({"type":"place","demand":1.5})"),
+      "invalid_argument", "demand");
+  expect_error_response(
+      server_->handle_payload(R"({"type":"place","demand":0.5,"policy":"x"})"),
+      "not_found", "unknown policy");
+  // The daemon is still healthy after every rejection.
+  expect_ok_response(server_->handle_payload(R"({"type":"stats"})"), "stats");
+}
+
+// --- live socket: transport-level malformations ----------------------------
+
+class ServeSocketTest : public ServeHandlerTest {
+ protected:
+  net::Socket connect() {
+    auto client = net::connect_tcp(server_->port());
+    EXPECT_TRUE(client.ok()) << client.error().message;
+    return std::move(client).take();
+  }
+
+  std::string roundtrip(const net::Socket& client, std::string_view payload) {
+    auto written = net::write_frame(client, payload);
+    EXPECT_TRUE(written.ok()) << written.error().message;
+    auto frame = net::read_frame(client);
+    EXPECT_TRUE(frame.ok()) << frame.error().message;
+    EXPECT_FALSE(frame.value().eof);
+    return frame.value().payload;
+  }
+};
+
+TEST_F(ServeSocketTest, TruncatedLengthPrefixGetsErrorResponse) {
+  const auto client = connect();
+  // Two of the four prefix bytes, then half-close: the server must answer
+  // with a structured parse error, not hang or die.
+  const char partial[2] = {0x00, 0x00};
+  ASSERT_EQ(::send(client.fd(), partial, sizeof(partial), 0), 2);
+  client.shutdown_write();
+  auto frame = net::read_frame(client);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  ASSERT_FALSE(frame.value().eof);
+  expect_error_response(frame.value().payload, "parse",
+                        "truncated length prefix");
+}
+
+TEST_F(ServeSocketTest, OversizedDeclaredLengthIsBoundedNotAllocated) {
+  const auto client = connect();
+  // Declared length 0xffffffff: the server must reject it from the prefix
+  // alone (no 4 GiB allocation, no waiting for a payload that never comes).
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(client.fd(), prefix, sizeof(prefix), 0), 4);
+  auto frame = net::read_frame(client);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  ASSERT_FALSE(frame.value().eof);
+  expect_error_response(frame.value().payload, "out_of_range",
+                        "exceeds limit");
+}
+
+TEST_F(ServeSocketTest, InvalidJsonKeepsConnectionUsable) {
+  const auto client = connect();
+  expect_error_response(roundtrip(client, "this is not json"), "parse",
+                        "invalid");
+  expect_error_response(roundtrip(client, R"({"type":"bogus"})"), "parse",
+                        "unknown request type");
+  // Payload-level garbage is recoverable: the same connection still serves.
+  expect_ok_response(roundtrip(client, R"({"type":"stats"})"), "stats");
+}
+
+TEST_F(ServeSocketTest, CleanCloseAtFrameBoundaryIsSilent) {
+  {
+    const auto client = connect();
+    expect_ok_response(roundtrip(client, R"({"type":"stats"})"), "stats");
+    // Destructor closes at a frame boundary — the server just drops it.
+  }
+  const auto again = connect();
+  expect_ok_response(roundtrip(again, R"({"type":"stats"})"), "stats");
+}
+
+TEST_F(ServeSocketTest, EmptyFrameYieldsStructuredError) {
+  const auto client = connect();
+  expect_error_response(roundtrip(client, ""), "parse",
+                        "unexpected end of input");
+}
+
+}  // namespace
+}  // namespace epserve::serve

@@ -1,0 +1,306 @@
+// Epoch-swap stress for the serve daemon: N reader connections hammer
+// stats/place queries over TCP while one writer performs M admin add/retire
+// swaps. Every response must be internally consistent with exactly one
+// epoch — its digest and derived fields (server count, utilization length)
+// must match what that epoch's fleet actually contained — and per
+// connection the observed epoch never regresses. Runs TSan-clean under
+// -DEPSERVE_SANITIZE=thread (`ctest -L serve`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "metrics/curve_models.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/json_parser.h"
+#include "util/socket.h"
+#include "util/telemetry.h"
+
+namespace epserve::serve {
+namespace {
+
+dataset::ServerRecord make_record(int id) {
+  const auto index = static_cast<std::size_t>(id);
+  const double idle = 0.2 + 0.05 * static_cast<double>(index % 6);
+  const double tau = 0.5 + 0.1 * static_cast<double>(index % 4);
+  const double ep = (1.0 - idle) * (tau + 0.4);
+  auto model = metrics::TwoSegmentPowerModel::solve(ep, idle, tau);
+  EXPECT_TRUE(model.ok()) << model.error().message;
+  dataset::ServerRecord record;
+  record.id = id;
+  record.curve = metrics::to_power_curve(
+      model.value(), 250.0 + 10.0 * static_cast<double>(index % 8), 1.5e6);
+  return record;
+}
+
+std::vector<dataset::ServerRecord> make_fleet(int size) {
+  std::vector<dataset::ServerRecord> fleet;
+  fleet.reserve(static_cast<std::size_t>(size));
+  for (int id = 1; id <= size; ++id) fleet.push_back(make_record(id));
+  return fleet;
+}
+
+/// What one epoch's fleet must look like to every reader.
+struct EpochExpectation {
+  std::string digest;
+  std::size_t servers = 0;
+};
+
+/// Offline ground truth for a record set: build the same Fleet the daemon
+/// builds and take its digest.
+EpochExpectation expectation_of(
+    const std::vector<dataset::ServerRecord>& records) {
+  auto fleet = cluster::Fleet::build(records);
+  EXPECT_TRUE(fleet.ok()) << fleet.error().message;
+  return {hex_u64(fleet.value().digest()), records.size()};
+}
+
+/// One reader-side observation, kept as raw bytes and validated on the main
+/// thread after all writers/readers joined (no gtest asserts off-thread).
+struct Observation {
+  std::string request_type;
+  std::string response;
+};
+
+struct Parsed {
+  std::uint64_t epoch = 0;
+  std::string digest;
+  std::size_t servers = 0;  // stats: "servers"; place: utilization length
+};
+
+Parsed parse_observation(const Observation& observation) {
+  Parsed out;
+  auto json = parse_json(observation.response);
+  EXPECT_TRUE(json.ok()) << json.error().message << "\n"
+                         << observation.response;
+  if (!json.ok()) return out;
+  const JsonValue& root = json.value();
+  const JsonValue* ok = root.find("ok");
+  EXPECT_TRUE(ok != nullptr && ok->as_bool()) << observation.response;
+  auto epoch = root.number_member("epoch");
+  EXPECT_TRUE(epoch.ok());
+  out.epoch = static_cast<std::uint64_t>(epoch.value());
+  auto digest = root.string_member("digest");
+  EXPECT_TRUE(digest.ok());
+  out.digest = std::move(digest).take();
+  if (observation.request_type == "stats") {
+    auto servers = root.number_member("servers");
+    EXPECT_TRUE(servers.ok());
+    out.servers = static_cast<std::size_t>(servers.value());
+  } else {
+    const JsonValue* utilization = root.find("utilization");
+    EXPECT_NE(utilization, nullptr) << observation.response;
+    if (utilization != nullptr) out.servers = utilization->items().size();
+  }
+  return out;
+}
+
+TEST(ServeSwapStressTest, ReadersNeverObserveTornFleetAcrossSwaps) {
+  constexpr int kReaders = 8;
+  constexpr int kSwaps = 64;
+  constexpr int kRequestsPerReader = 200;
+  constexpr int kBaseFleet = 10;
+
+  ServeOptions options;
+  // Each connection occupies one pool worker for its lifetime, so the pool
+  // must cover every concurrent client (readers + the admin writer).
+  options.threads = kReaders + 2;
+  auto started = FleetServer::start(make_fleet(kBaseFleet), options);
+  ASSERT_TRUE(started.ok()) << started.error().message;
+  const auto server = std::move(started).take();
+
+  // Readers: each on its own connection, alternating stats and place.
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::vector<std::string> reader_failures(kReaders);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([r, port = server->port(), &observations,
+                          &reader_failures, &stop] {
+      auto client = net::connect_tcp(port);
+      if (!client.ok()) {
+        reader_failures[static_cast<std::size_t>(r)] = client.error().message;
+        return;
+      }
+      auto& log = observations[static_cast<std::size_t>(r)];
+      log.reserve(kRequestsPerReader);
+      for (int i = 0; i < kRequestsPerReader; ++i) {
+        const bool stats = (i + r) % 2 == 0;
+        const std::string_view payload =
+            stats ? std::string_view(R"({"type":"stats"})")
+                  : std::string_view(R"({"type":"place","demand":0.6})");
+        if (auto sent = net::write_frame(client.value(), payload);
+            !sent.ok()) {
+          reader_failures[static_cast<std::size_t>(r)] = sent.error().message;
+          return;
+        }
+        auto frame = net::read_frame(client.value());
+        if (!frame.ok() || frame.value().eof) {
+          reader_failures[static_cast<std::size_t>(r)] =
+              frame.ok() ? "unexpected eof" : frame.error().message;
+          return;
+        }
+        log.push_back(Observation{stats ? "stats" : "place",
+                                  std::move(frame.value().payload)});
+        // Keep reading until the writer is done so swaps always race reads.
+        if (i + 1 == kRequestsPerReader &&
+            !stop.load(std::memory_order_relaxed)) {
+          --i;
+        }
+      }
+    });
+  }
+
+  // Writer: M serialized swaps on one admin connection, mirroring the
+  // record set locally so each epoch's ground truth is known exactly.
+  std::map<std::uint64_t, EpochExpectation> by_epoch;
+  std::vector<dataset::ServerRecord> mirror = make_fleet(kBaseFleet);
+  by_epoch[1] = expectation_of(mirror);
+
+  auto admin = net::connect_tcp(server->port());
+  ASSERT_TRUE(admin.ok()) << admin.error().message;
+  for (int s = 0; s < kSwaps; ++s) {
+    std::string payload;
+    if (s % 2 == 0) {
+      const std::string rendered = render_server_record(make_record(500 + s));
+      // The server sees the record after a JSON round trip (%.10g rendering
+      // then strtod), so the mirror must hold the round-tripped doubles for
+      // the digests to agree bit-for-bit.
+      auto rendered_json = parse_json(rendered);
+      ASSERT_TRUE(rendered_json.ok());
+      auto reparsed = parse_server_record(rendered_json.value());
+      ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+      mirror.push_back(std::move(reparsed).take());
+      payload = R"({"type":"admin","action":"add","servers":[)" + rendered +
+                "]}";
+    } else {
+      const int id = 500 + (s - 1);
+      std::erase_if(mirror, [id](const dataset::ServerRecord& record) {
+        return record.id == id;
+      });
+      payload = R"({"type":"admin","action":"retire","ids":[)" +
+                std::to_string(500 + (s - 1)) + "]}";
+    }
+    ASSERT_TRUE(net::write_frame(admin.value(), payload).ok());
+    auto frame = net::read_frame(admin.value());
+    ASSERT_TRUE(frame.ok()) << frame.error().message;
+    ASSERT_FALSE(frame.value().eof);
+
+    auto response = parse_json(frame.value().payload);
+    ASSERT_TRUE(response.ok()) << frame.value().payload;
+    const JsonValue* ok = response.value().find("ok");
+    ASSERT_TRUE(ok != nullptr && ok->as_bool()) << frame.value().payload;
+    const auto epoch = static_cast<std::uint64_t>(
+        response.value().number_member("epoch").value());
+    // Single serialized writer: epochs are handed out densely in order.
+    EXPECT_EQ(epoch, static_cast<std::uint64_t>(s) + 2);
+    const EpochExpectation expected = expectation_of(mirror);
+    EXPECT_EQ(response.value().string_member("digest").value(),
+              expected.digest);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  response.value().number_member("servers").value()),
+              expected.servers);
+    by_epoch[epoch] = expected;
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(reader_failures[static_cast<std::size_t>(r)].empty())
+        << "reader " << r << ": " << reader_failures[static_cast<std::size_t>(r)];
+  }
+
+  // Validate every observation on the main thread: the (epoch, digest,
+  // servers) triple must match the writer's ground truth for that epoch —
+  // a torn read (fields from two epochs) cannot satisfy this — and the
+  // epoch sequence per connection never regresses.
+  std::size_t validated = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    std::uint64_t last_epoch = 0;
+    for (const Observation& observation :
+         observations[static_cast<std::size_t>(r)]) {
+      const Parsed parsed = parse_observation(observation);
+      ASSERT_NE(parsed.epoch, 0u) << observation.response;
+      const auto expected = by_epoch.find(parsed.epoch);
+      ASSERT_NE(expected, by_epoch.end())
+          << "reader " << r << " saw unknown epoch " << parsed.epoch;
+      EXPECT_EQ(parsed.digest, expected->second.digest)
+          << "reader " << r << " epoch " << parsed.epoch;
+      EXPECT_EQ(parsed.servers, expected->second.servers)
+          << "reader " << r << " epoch " << parsed.epoch;
+      EXPECT_GE(parsed.epoch, last_epoch)
+          << "reader " << r << " observed a regressing epoch";
+      last_epoch = parsed.epoch;
+      ++validated;
+    }
+  }
+  EXPECT_GE(validated, static_cast<std::size_t>(kReaders) *
+                           static_cast<std::size_t>(kRequestsPerReader));
+
+  EXPECT_EQ(server->swaps(), static_cast<std::uint64_t>(kSwaps));
+  EXPECT_EQ(server->epoch(), static_cast<std::uint64_t>(kSwaps) + 1);
+  // Retired epochs drain: only a bounded handful of snapshots stay live.
+  EXPECT_LE(server->active_epochs(), 4u);
+}
+
+TEST(ServeSwapStressTest, TelemetryCountsSwapsAndRequests) {
+  constexpr int kSwaps = 16;
+
+  telemetry::reset();
+  telemetry::set_enabled(true);
+
+  ServeOptions options;
+  options.threads = 2;
+  auto started = FleetServer::start(make_fleet(6), options);
+  ASSERT_TRUE(started.ok()) << started.error().message;
+  auto server = std::move(started).take();
+
+  auto client = net::connect_tcp(server->port());
+  ASSERT_TRUE(client.ok());
+  std::uint64_t queries = 0;
+  for (int s = 0; s < kSwaps; ++s) {
+    const dataset::ServerRecord added = make_record(900 + s);
+    const std::string payload =
+        R"({"type":"admin","action":"add","servers":[)" +
+        render_server_record(added) + "]}";
+    ASSERT_TRUE(net::write_frame(client.value(), payload).ok());
+    auto frame = net::read_frame(client.value());
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(net::write_frame(client.value(), R"({"type":"stats"})").ok());
+    auto stats = net::read_frame(client.value());
+    ASSERT_TRUE(stats.ok());
+    ++queries;
+  }
+  server->stop();  // joins all workers: every thread-local buffer is flushed
+  telemetry::set_enabled(false);
+
+  const telemetry::Snapshot snapshot = telemetry::snapshot();
+  const auto* swaps = snapshot.find_counter("serve.swaps");
+  ASSERT_NE(swaps, nullptr);
+  EXPECT_EQ(swaps->value, static_cast<std::uint64_t>(kSwaps));
+  const auto* requests = snapshot.find_counter("serve.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->value, static_cast<std::uint64_t>(kSwaps) + queries);
+  const auto* active = snapshot.find_gauge("serve.active_epochs");
+  ASSERT_NE(active, nullptr);
+  EXPECT_GE(active->value, 1u);
+  EXPECT_LE(active->value, 4u);
+  // Each request ran under its own root span.
+  const auto* admin_span = snapshot.find_span("serve/request/admin");
+  ASSERT_NE(admin_span, nullptr);
+  EXPECT_EQ(admin_span->count, static_cast<std::uint64_t>(kSwaps));
+  const auto* stats_span = snapshot.find_span("serve/request/stats");
+  ASSERT_NE(stats_span, nullptr);
+  EXPECT_EQ(stats_span->count, queries);
+  telemetry::reset();
+}
+
+}  // namespace
+}  // namespace epserve::serve
