@@ -1,0 +1,200 @@
+// Million-server streaming pipeline gate (ROADMAP item 1): sharded scaled
+// generation (2007-2023 cohorts) -> chunked Fleet/snapshot build -> radix
+// grouping -> one whole-day placement simulation, end to end, at 1,000,000
+// servers on one machine.
+//
+// Self-verifying:
+//   - digest byte-compare: a streamed Fleet::Builder fed generator chunks
+//     must produce exactly Fleet::build()'s digest on a 5000-server
+//     reference population (the full-size run then reuses the same code
+//     path),
+//   - the radix GroupIndex build must be >= 2x the comparison sort at 1M
+//     rows on the hw_year cohort column,
+//   - peak RSS must stay under a fixed ceiling: the streamed path holds one
+//     generator chunk plus the fleet's columns, never a full
+//     vector<ServerRecord> of the population.
+// Exits 1 on any violation. Prints one BENCH_JSON line for run_benches.sh.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common.h"
+
+#include "cluster/day_simulation.h"
+#include "cluster/fleet.h"
+#include "cluster/placement.h"
+#include "dataset/generator.h"
+#include "dataset/group_index.h"
+
+namespace {
+
+using namespace epserve;
+
+constexpr std::uint64_t kScaleServers = 1'000'000;
+constexpr std::uint64_t kReferenceServers = 5'000;
+constexpr std::size_t kChunkRows = 65'536;
+/// Generous vs the streamed footprint (~1 GB of columns + tables at 1M),
+/// tight vs pipelines that materialize row-oriented copies of the
+/// population on the side.
+constexpr long kPeakRssCeilingMb = 4'096;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+long peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss / 1024;  // ru_maxrss is KiB on Linux
+}
+
+Result<cluster::Fleet> streamed_fleet(const dataset::ScaledConfig& config,
+                                      std::size_t chunk_rows) {
+  cluster::Fleet::Builder builder;
+  std::optional<Error> append_error;
+  auto emitted = dataset::generate_population_chunked(
+      config, chunk_rows,
+      [&](std::span<const dataset::ServerRecord> chunk, std::uint64_t) {
+        if (append_error) return;
+        if (auto appended = builder.append(chunk); !appended.ok()) {
+          append_error = appended.error();
+        }
+      });
+  if (!emitted.ok()) return emitted.error();
+  if (append_error) return *append_error;
+  return builder.finish();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "population scale — 1M-server streaming pipeline",
+      "sharded generate -> chunked fleet build -> radix group -> day sim");
+  bool ok = true;
+
+  // --- reference-size digest byte-compare: streamed == monolithic ----------
+  dataset::ScaledConfig reference_config;
+  reference_config.servers = kReferenceServers;
+  auto reference_records =
+      dataset::generate_scaled_population(reference_config);
+  if (!reference_records.ok()) {
+    std::fprintf(stderr, "FAIL: reference generation: %s\n",
+                 reference_records.error().message.c_str());
+    return 1;
+  }
+  const auto monolithic = cluster::Fleet::build(reference_records.value());
+  const auto reference_streamed = streamed_fleet(reference_config, 997);
+  if (!monolithic.ok() || !reference_streamed.ok()) {
+    std::fprintf(stderr, "FAIL: reference fleet build\n");
+    return 1;
+  }
+  const bool digest_match =
+      reference_streamed.value().digest() == monolithic.value().digest();
+  if (!digest_match) {
+    std::fprintf(stderr,
+                 "FAIL: streamed digest diverges from monolithic digest at "
+                 "%llu servers\n",
+                 static_cast<unsigned long long>(kReferenceServers));
+    ok = false;
+  }
+
+  // --- full-scale streamed build -------------------------------------------
+  dataset::ScaledConfig scale_config;
+  scale_config.servers = kScaleServers;
+  const auto build_start = std::chrono::steady_clock::now();
+  const auto fleet = streamed_fleet(scale_config, kChunkRows);
+  const double build_s = seconds_since(build_start);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "FAIL: scale fleet build: %s\n",
+                 fleet.error().message.c_str());
+    return 1;
+  }
+  const double rows_per_s = static_cast<double>(kScaleServers) / build_s;
+
+  // --- radix vs comparison grouping at 1M rows ------------------------------
+  const auto year_keys = fleet.value().snapshot().hw_year();
+  constexpr int kGroupIters = 5;
+  std::size_t radix_groups = 0;
+  const auto radix_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kGroupIters; ++i) {
+    radix_groups = dataset::GroupIndex::over(
+                       year_keys, dataset::GroupIndex::Strategy::kRadix)
+                       .group_count();
+  }
+  const double radix_ms = 1000.0 * seconds_since(radix_start) / kGroupIters;
+  std::size_t comparison_groups = 0;
+  const auto comparison_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kGroupIters; ++i) {
+    comparison_groups =
+        dataset::GroupIndex::over(year_keys,
+                                  dataset::GroupIndex::Strategy::kComparison)
+            .group_count();
+  }
+  const double comparison_ms =
+      1000.0 * seconds_since(comparison_start) / kGroupIters;
+  const double radix_speedup = comparison_ms / radix_ms;
+  if (radix_groups != comparison_groups) {
+    std::fprintf(stderr, "FAIL: radix and comparison group counts differ\n");
+    ok = false;
+  }
+  if (radix_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: radix grouping %.2fx vs comparison, below 2x target\n",
+                 radix_speedup);
+    ok = false;
+  }
+
+  // --- one whole-day placement run on the million-server fleet --------------
+  const auto trace = cluster::DemandTrace::diurnal();
+  const cluster::PackToFullPolicy policy;
+  const auto day_start = std::chrono::steady_clock::now();
+  const auto day = cluster::simulate_day(policy, fleet.value(), trace);
+  const double day_s = seconds_since(day_start);
+  if (!day.ok()) {
+    std::fprintf(stderr, "FAIL: day simulation: %s\n",
+                 day.error().message.c_str());
+    return 1;
+  }
+
+  const long rss_mb = peak_rss_mb();
+  if (rss_mb > kPeakRssCeilingMb) {
+    std::fprintf(stderr, "FAIL: peak RSS %ld MB above the %ld MB ceiling\n",
+                 rss_mb, kPeakRssCeilingMb);
+    ok = false;
+  }
+
+  TextTable table;
+  table.columns({"stage", "value"});
+  table.row({"generate + chunked fleet build",
+             format_fixed(build_s, 2) + " s (" +
+                 format_fixed(rows_per_s / 1000.0, 0) + "k rows/s)"});
+  table.row({"radix year grouping (1M rows)",
+             format_fixed(radix_ms, 2) + " ms (" +
+                 format_fixed(radix_speedup, 2) + "x vs comparison " +
+                 format_fixed(comparison_ms, 2) + " ms)"});
+  table.row({"day sim, pack-to-full",
+             format_fixed(day_s, 2) + " s, " +
+                 format_fixed(day.value().energy_kwh, 0) + " kWh/day"});
+  table.row({"digest streamed == monolithic", digest_match ? "yes" : "NO"});
+  table.row({"peak RSS", std::to_string(rss_mb) + " MB (ceiling " +
+                             std::to_string(kPeakRssCeilingMb) + " MB)"});
+  std::cout << table.render();
+
+  std::printf(
+      "BENCH_JSON {\"servers\": %llu, \"build_s\": %.3f, \"rows_per_s\": "
+      "%.0f, \"radix_ms\": %.3f, \"comparison_ms\": %.3f, \"radix_speedup\": "
+      "%.2f, \"day_s\": %.3f, \"day_kwh\": %.1f, \"digest_match\": %d, "
+      "\"peak_rss_mb\": %ld}\n",
+      static_cast<unsigned long long>(kScaleServers), build_s, rows_per_s,
+      radix_ms, comparison_ms, radix_speedup, day_s, day.value().energy_kwh,
+      digest_match ? 1 : 0, rss_mb);
+  return ok ? 0 : 1;
+}

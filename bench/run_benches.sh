@@ -19,6 +19,7 @@ benches=(
   bench_telemetry_overhead
   bench_fleet_day
   bench_serve_qps
+  bench_population_scale
 )
 
 entries=()

@@ -3,13 +3,24 @@
 //   epserve_cli report  [seed] [--json] [--only <pass,...>] [--list-passes]
 //                                           full population study (§III/§IV);
 //                                           --only runs/renders a pass subset
+//   epserve_cli report  --scale N [seed] [--chunk C]
+//                                           per-year cohort table over an
+//                                           N-server scaled (2007-2023)
+//                                           population, built chunk by chunk
 //   epserve_cli export  <out.csv> [seed]    generate + export the population
+//   epserve_cli generate <out.csv> <servers> [seed] [--chunk C]
+//                                           stream a scaled population to CSV
+//                                           (bounded memory at any size)
 //   epserve_cli validate <in.csv>           structural validation of a CSV
 //   epserve_cli sweep   <server 1..4>       §V testbed sweep (Fig.18-21)
 //   epserve_cli guide   [fleet_size] [seed] §V.C operating guide
 //   epserve_cli day     [fleet_size] [seed] 24h energy under each placement
 //                                           policy plus the ensemble
 //                                           autoscaler, on one shared Fleet
+//   epserve_cli day     --scale N [seed] [--chunk C]
+//                                           same study on a streamed Fleet of
+//                                           N scaled servers (Fleet::Builder;
+//                                           no full record vector)
 //   epserve_cli fit     <in.csv> <id>       fit the two-segment model to one
 //                                           server's measured curve
 //   epserve_cli serve   [fleet_size] [seed] run the fleet-advisory daemon
@@ -27,7 +38,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +53,10 @@
 #include "analysis/report_json.h"
 #include "serve/server.h"
 #include "core/epserve.h"
+#include "dataset/columnar.h"
+#include "dataset/generator.h"
+#include "dataset/group_index.h"
+#include "dataset/io.h"
 #include "dataset/validation.h"
 #include "metrics/model_fit.h"
 #include "util/args.h"
@@ -51,10 +70,27 @@ using namespace epserve;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: epserve_cli <report|export|validate|sweep|guide|day|"
-               "fit|serve> [args] [--trace[=json]]\n"
+               "usage: epserve_cli <report|export|generate|validate|sweep|"
+               "guide|day|fit|serve> [args] [--trace[=json]]\n"
                "  see the header comment of examples/epserve_cli.cpp\n");
   return 2;
+}
+
+/// Seed-positional sentinel: ArgParser's optional_u64 keeps the prior value
+/// when the positional is absent, and the scaled subcommand variants default
+/// to the ScaledConfig seed (2023Q3 cut) rather than the GeneratorConfig one
+/// (2016Q3) — so "absent" must be distinguishable from any explicit seed.
+constexpr std::uint64_t kSeedAbsent = std::numeric_limits<std::uint64_t>::max();
+
+/// Parses a --chunk value (default 65536 rows); 0 is rejected.
+Result<std::size_t> parse_chunk(bool given, const std::string& text) {
+  if (!given) return std::size_t{65536};
+  auto value = parse_u64(text);
+  if (!value.ok()) return value.error();
+  if (value.value() == 0) {
+    return Error::invalid_argument("--chunk must be positive");
+  }
+  return static_cast<std::size_t>(value.value());
 }
 
 /// The guide/day fleet: the first `fleet_size` servers with 2012+ hardware
@@ -76,6 +112,62 @@ int parse_failure(const ArgParser& parser, const Error& error) {
   return 2;
 }
 
+/// The --scale report: per-hardware-year cohort statistics over a scaled
+/// population that is never materialized — chunks stream straight into a
+/// ColumnarSnapshot::Builder, and the cohort split is a radix GroupIndex
+/// over the interned hw_year column.
+int run_scaled_report(const dataset::ScaledConfig& config, std::size_t chunk) {
+  dataset::ColumnarSnapshot::Builder builder;
+  std::optional<Error> append_error;
+  auto emitted = dataset::generate_population_chunked(
+      config, chunk,
+      [&](std::span<const dataset::ServerRecord> rows, std::uint64_t) {
+        if (append_error) return;
+        if (auto appended = builder.append(rows); !appended.ok()) {
+          append_error = appended.error();
+        }
+      });
+  if (!emitted.ok()) {
+    std::fprintf(stderr, "%s\n", emitted.error().message.c_str());
+    return 1;
+  }
+  if (append_error) {
+    std::fprintf(stderr, "%s\n", append_error->message.c_str());
+    return 1;
+  }
+  const auto snapshot = builder.finish();
+  auto groups = dataset::GroupIndex::over_checked(snapshot.hw_year());
+  if (!groups.ok()) {
+    std::fprintf(stderr, "%s\n", groups.error().message.c_str());
+    return 1;
+  }
+  const auto ep = snapshot.ep();
+  const auto idle_fraction = snapshot.idle_fraction();
+  const auto peak_ee_utilization = snapshot.peak_ee_utilization();
+  TextTable table;
+  table.columns({"year", "servers", "mean EP", "mean idle", "peak<100%"});
+  for (std::size_t g = 0; g < groups.value().group_count(); ++g) {
+    const auto members = groups.value().members(g);
+    double ep_sum = 0.0;
+    double idle_sum = 0.0;
+    std::size_t interior = 0;
+    for (const std::uint32_t i : members) {
+      ep_sum += ep[i];
+      idle_sum += idle_fraction[i];
+      if (peak_ee_utilization[i] < 1.0) ++interior;
+    }
+    const double n = static_cast<double>(members.size());
+    table.row({std::to_string(groups.value().key(g)),
+               std::to_string(members.size()), format_fixed(ep_sum / n, 3),
+               format_percent(idle_sum / n, 1),
+               format_percent(static_cast<double>(interior) / n, 1)});
+  }
+  std::cout << emitted.value() << " servers across "
+            << groups.value().group_count() << " hardware-year cohorts\n"
+            << table.render();
+  return 0;
+}
+
 int cmd_report(int argc, const char* const* argv) {
   dataset::GeneratorConfig config;
   StudyOptions options;
@@ -83,15 +175,39 @@ int cmd_report(int argc, const char* const* argv) {
   bool list_passes = false;
   std::string only;
   bool only_given = false;
+  std::uint64_t seed = kSeedAbsent;
+  std::string scale_text;
+  bool scale_given = false;
+  std::string chunk_text;
+  bool chunk_given = false;
   ArgParser parser("report");
-  parser.optional_u64("seed", &config.seed, "population seed")
+  parser.optional_u64("seed", &seed, "population seed")
       .flag("--json", &as_json, "render the report as JSON")
       .flag("--list-passes", &list_passes, "print pass names and exit")
       .value_flag("--only", &only, &only_given,
-                  "comma-separated pass subset (see --list-passes)");
+                  "comma-separated pass subset (see --list-passes)")
+      .value_flag("--scale", &scale_text, &scale_given,
+                  "scaled cohort report over N servers (2007-2023 plan)")
+      .value_flag("--chunk", &chunk_text, &chunk_given,
+                  "rows per streamed chunk (default 65536)");
   if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
     return parse_failure(parser, parsed.error());
   }
+  if (scale_given) {
+    auto servers = parse_u64(scale_text);
+    if (!servers.ok()) return parse_failure(parser, servers.error());
+    auto chunk = parse_chunk(chunk_given, chunk_text);
+    if (!chunk.ok()) return parse_failure(parser, chunk.error());
+    dataset::ScaledConfig scaled;
+    scaled.servers = servers.value();
+    if (seed != kSeedAbsent) scaled.seed = seed;
+    return run_scaled_report(scaled, chunk.value());
+  }
+  if (chunk_given) {
+    std::fprintf(stderr, "--chunk requires --scale\n");
+    return 2;
+  }
+  if (seed != kSeedAbsent) config.seed = seed;
   if (list_passes) {
     for (const auto& name : analysis::pass_names()) {
       std::cout << name << "\n";
@@ -141,6 +257,52 @@ int cmd_export(int argc, const char* const* argv) {
   }
   std::cout << "wrote " << population.value().size() << " records to "
             << out_path << "\n";
+  return 0;
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  std::string out_path;
+  std::uint64_t servers = 0;
+  std::uint64_t seed = kSeedAbsent;
+  std::string chunk_text;
+  bool chunk_given = false;
+  ArgParser parser("generate");
+  parser.positional("out.csv", &out_path, "destination CSV path")
+      .positional_u64("servers", &servers, "scaled population size")
+      .optional_u64("seed", &seed, "population seed")
+      .value_flag("--chunk", &chunk_text, &chunk_given,
+                  "rows per streamed chunk (default 65536)");
+  if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
+    return parse_failure(parser, parsed.error());
+  }
+  auto chunk = parse_chunk(chunk_given, chunk_text);
+  if (!chunk.ok()) return parse_failure(parser, chunk.error());
+  dataset::ScaledConfig config;
+  config.servers = servers;
+  if (seed != kSeedAbsent) config.seed = seed;
+  // Chunks stream straight to disk: peak memory is one chunk of records,
+  // whatever the population size (docs/COLUMNAR.md "Streaming").
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open for writing: %s\n", out_path.c_str());
+    return 1;
+  }
+  dataset::write_population_csv_header(out);
+  auto emitted = dataset::generate_population_chunked(
+      config, chunk.value(),
+      [&](std::span<const dataset::ServerRecord> rows, std::uint64_t) {
+        for (const auto& r : rows) dataset::write_population_csv_row(out, r);
+      });
+  if (!emitted.ok()) {
+    std::fprintf(stderr, "%s\n", emitted.error().message.c_str());
+    return 1;
+  }
+  if (!out) {
+    std::fprintf(stderr, "write failed: %s\n", out_path.c_str());
+    return 1;
+  }
+  std::cout << "wrote " << emitted.value() << " records to " << out_path
+            << "\n";
   return 0;
 }
 
@@ -224,24 +386,70 @@ int cmd_guide(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Streamed fleet assembly for day --scale: generator chunks append into a
+/// Fleet::Builder, so no full vector<ServerRecord> ever exists.
+Result<cluster::Fleet> build_scaled_fleet(const dataset::ScaledConfig& config,
+                                          std::size_t chunk) {
+  cluster::Fleet::Builder builder;
+  std::optional<Error> append_error;
+  auto emitted = dataset::generate_population_chunked(
+      config, chunk,
+      [&](std::span<const dataset::ServerRecord> rows, std::uint64_t) {
+        if (append_error) return;
+        if (auto appended = builder.append(rows); !appended.ok()) {
+          append_error = appended.error();
+        }
+      });
+  if (!emitted.ok()) return emitted.error();
+  if (append_error) return *append_error;
+  return builder.finish();
+}
+
 int cmd_day(int argc, const char* const* argv) {
   std::uint64_t fleet_size = 24;
   dataset::GeneratorConfig config;
+  std::uint64_t seed = kSeedAbsent;
+  std::string scale_text;
+  bool scale_given = false;
+  std::string chunk_text;
+  bool chunk_given = false;
   ArgParser parser("day");
   parser.optional_u64("fleet_size", &fleet_size, "servers in the fleet")
-      .optional_u64("seed", &config.seed, "population seed");
+      .optional_u64("seed", &seed, "population seed")
+      .value_flag("--scale", &scale_text, &scale_given,
+                  "run on a streamed fleet of N scaled servers")
+      .value_flag("--chunk", &chunk_text, &chunk_given,
+                  "rows per streamed chunk (default 65536)");
   if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
     return parse_failure(parser, parsed.error());
   }
-  auto population = dataset::generate_population(config);
-  if (!population.ok()) {
-    std::fprintf(stderr, "%s\n", population.error().message.c_str());
-    return 1;
+  if (chunk_given && !scale_given) {
+    std::fprintf(stderr, "--chunk requires --scale\n");
+    return 2;
   }
-  const auto fleet = modern_fleet(population.value(), fleet_size);
+  if (seed != kSeedAbsent && !scale_given) config.seed = seed;
+  dataset::ScaledConfig scaled_config;
+  std::size_t chunk = 0;
+  if (scale_given) {
+    auto servers = parse_u64(scale_text);
+    if (!servers.ok()) return parse_failure(parser, servers.error());
+    auto parsed_chunk = parse_chunk(chunk_given, chunk_text);
+    if (!parsed_chunk.ok()) return parse_failure(parser, parsed_chunk.error());
+    scaled_config.servers = servers.value();
+    if (seed != kSeedAbsent) scaled_config.seed = seed;
+    chunk = parsed_chunk.value();
+  }
   // One Fleet shared by all four subsystems below — the placement policies
-  // and the autoscaler evaluate the same cached columns and tables.
-  const auto handle = cluster::Fleet::build(fleet);
+  // and the autoscaler evaluate the same cached columns and tables. The
+  // view-built path must keep its records alive alongside the handle.
+  std::vector<dataset::ServerRecord> fleet;
+  const auto handle = [&]() -> Result<cluster::Fleet> {
+    if (scale_given) return build_scaled_fleet(scaled_config, chunk);
+    auto population = dataset::generate_population(config);
+    if (!population.ok()) return population.error();
+    fleet = modern_fleet(population.value(), fleet_size);
+    return cluster::Fleet::build(fleet);
+  }();
   if (!handle.ok()) {
     std::fprintf(stderr, "%s\n", handle.error().message.c_str());
     return 1;
@@ -411,6 +619,8 @@ int main(int argc, char** argv) {
     exit_code = cmd_report(sub_argc, sub_argv);
   } else if (command == "export") {
     exit_code = cmd_export(sub_argc, sub_argv);
+  } else if (command == "generate") {
+    exit_code = cmd_generate(sub_argc, sub_argv);
   } else if (command == "validate") {
     exit_code = cmd_validate(sub_argc, sub_argv);
   } else if (command == "sweep") {

@@ -37,7 +37,7 @@ Result<AutoscaleResult> autoscale_over_day(const Fleet& fleet,
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (score[a] != score[b]) return score[a] > score[b];
-    return fleet.record(a).id < fleet.record(b).id;
+    return fleet.server_id(a) < fleet.server_id(b);
   });
 
   // prefix[k] = capacity of the k best servers, accumulated in prefix order —

@@ -19,15 +19,59 @@ Fleet Fleet::make(std::span<const dataset::ServerRecord> servers) {
   Fleet fleet;
   fleet.servers_ = servers;
   fleet.snapshot_ = dataset::ColumnarSnapshot::build(servers);
+  fleet.ids_.reserve(servers.size());
   fleet.tables_.reserve(servers.size());
   fleet.ee_at_full_.reserve(servers.size());
   for (const auto& server : servers) {
+    fleet.ids_.push_back(server.id);
     fleet.tables_.push_back(server.curve.interpolation_table());
     fleet.ee_at_full_.push_back(
         metrics::ee_at_level(server.curve, metrics::kNumLoadLevels - 1));
     fleet.capacity_ops_ += server.curve.peak_ops();
     fleet.total_idle_watts_ += server.curve.idle_watts();
   }
+  return fleet;
+}
+
+epserve::Result<bool> Fleet::Builder::append(
+    std::span<const dataset::ServerRecord> chunk) {
+  for (const auto& server : chunk) {
+    if (auto valid = server.curve.validate(); !valid.ok()) {
+      return Error{valid.error().code, "server " + std::to_string(server.id) +
+                                           ": " + valid.error().message};
+    }
+  }
+  if (auto appended = snapshot_builder_.append(chunk); !appended.ok()) {
+    return appended.error();
+  }
+  for (const auto& server : chunk) {
+    ids_.push_back(server.id);
+    curves_.push_back(server.curve);
+    tables_.push_back(server.curve.interpolation_table());
+    ee_at_full_.push_back(
+        metrics::ee_at_level(server.curve, metrics::kNumLoadLevels - 1));
+    capacity_ops_ += server.curve.peak_ops();
+    total_idle_watts_ += server.curve.idle_watts();
+  }
+  return true;
+}
+
+epserve::Result<Fleet> Fleet::Builder::finish() {
+  if (ids_.empty()) {
+    return Error::invalid_argument("fleet is empty");
+  }
+  telemetry::Span span("fleet.build");
+  telemetry::count("fleet.builds");
+  telemetry::count("fleet.servers", ids_.size());
+
+  Fleet fleet;
+  fleet.snapshot_ = snapshot_builder_.finish();
+  fleet.ids_ = std::move(ids_);
+  fleet.curves_ = std::move(curves_);
+  fleet.tables_ = std::move(tables_);
+  fleet.ee_at_full_ = std::move(ee_at_full_);
+  fleet.capacity_ops_ = capacity_ops_;
+  fleet.total_idle_watts_ = total_idle_watts_;
   return fleet;
 }
 
@@ -52,8 +96,8 @@ Fleet Fleet::unchecked(std::span<const dataset::ServerRecord> servers) {
 std::vector<double> Fleet::optimal_region_tops(double ee_threshold) const {
   std::vector<double> tops;
   tops.reserve(size());
-  for (const auto& server : servers_) {
-    const Region region = optimal_region(server.curve, ee_threshold);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Region region = optimal_region(curve(i), ee_threshold);
     tops.push_back(region.empty() ? 1.0 : region.hi);
   }
   return tops;
@@ -76,8 +120,8 @@ std::uint64_t Fleet::digest() const {
     }
   };
   mix_u64(size());
-  for (const auto& server : servers_) {
-    mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(server.id)));
+  for (const std::int32_t id : ids_) {
+    mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(id)));
   }
   mix_column(peak_ops());
   mix_column(peak_watts());

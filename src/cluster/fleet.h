@@ -48,16 +48,65 @@ class Fleet {
   /// error surfaces) exactly as before the refactor. Prefer build().
   static Fleet unchecked(std::span<const dataset::ServerRecord> servers);
 
+  /// Streaming fleet assembly for chunk-emitting generators
+  /// (dataset::generate_population_chunked): append record chunks, then
+  /// finish() into a fleet that OWNS its id and curve columns instead of
+  /// viewing caller records. A streamed fleet never materializes a full
+  /// vector<ServerRecord>; records() is empty on it, so consumers use
+  /// server_id()/curve() (every placement/day-sim path does). digest() is
+  /// byte-identical to a monolithic build() of the same records at any
+  /// chunk size (pinned by tests/cluster_fleet_stream_test.cpp).
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// Validates and appends one chunk; fails on the first bad curve with
+    /// the same "server N: ..." error build() produces (nothing from the
+    /// failing chunk is appended).
+    epserve::Result<bool> append(std::span<const dataset::ServerRecord> chunk);
+
+    [[nodiscard]] std::uint64_t rows() const { return ids_.size(); }
+
+    /// Finishes the fleet ("fleet is empty" when nothing was appended).
+    /// The builder must not be reused afterwards.
+    epserve::Result<Fleet> finish();
+
+   private:
+    dataset::ColumnarSnapshot::Builder snapshot_builder_;
+    std::vector<std::int32_t> ids_;
+    std::vector<metrics::PowerCurve> curves_;
+    std::vector<metrics::PowerCurve::InterpolationTable> tables_;
+    std::vector<double> ee_at_full_;
+    double capacity_ops_ = 0.0;
+    double total_idle_watts_ = 0.0;
+  };
+
   [[nodiscard]] std::size_t size() const { return tables_.size(); }
   [[nodiscard]] bool empty() const { return tables_.empty(); }
 
-  /// The viewed records (index-aligned with every column below).
+  /// The viewed records (index-aligned with every column below). Empty on a
+  /// streamed fleet — record-dependent consumers (logical clusters, the
+  /// operating guide) require a view-built fleet; columnar consumers use
+  /// server_id()/curve() and run on both.
   [[nodiscard]] std::span<const dataset::ServerRecord> records() const {
     return servers_;
   }
   [[nodiscard]] const dataset::ServerRecord& record(std::size_t i) const {
     return servers_[i];
   }
+
+  /// Record id of server i (the placement/autoscaler ordering tiebreak).
+  /// Valid on view-built and streamed fleets alike.
+  [[nodiscard]] std::int32_t server_id(std::size_t i) const { return ids_[i]; }
+
+  /// Measurement sheet of server i — the viewed record's curve, or the
+  /// owned curve column on a streamed fleet.
+  [[nodiscard]] const metrics::PowerCurve& curve(std::size_t i) const {
+    return curves_.empty() ? servers_[i].curve : curves_[i];
+  }
+
+  /// True when built by Fleet::Builder (owns its columns; records() empty).
+  [[nodiscard]] bool streamed() const { return !curves_.empty(); }
 
   /// The columnar snapshot backing the record/derived columns.
   [[nodiscard]] const dataset::ColumnarSnapshot& snapshot() const {
@@ -134,6 +183,8 @@ class Fleet {
 
   std::span<const dataset::ServerRecord> servers_;
   dataset::ColumnarSnapshot snapshot_;
+  std::vector<std::int32_t> ids_;  // always populated (digest, tiebreaks)
+  std::vector<metrics::PowerCurve> curves_;  // streamed fleets only
   std::vector<metrics::PowerCurve::InterpolationTable> tables_;
   std::vector<double> ee_at_full_;
   double capacity_ops_ = 0.0;

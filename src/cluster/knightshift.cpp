@@ -38,7 +38,7 @@ Result<metrics::PowerCurve> knightshift_curve(const Fleet& fleet,
       config.primary_suspend_fraction > 1.0) {
     return Error::invalid_argument("fractions must be in [0,1]");
   }
-  if (auto valid = fleet.record(primary_index).curve.validate(); !valid.ok()) {
+  if (auto valid = fleet.curve(primary_index).validate(); !valid.ok()) {
     return valid.error();
   }
 

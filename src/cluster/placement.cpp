@@ -18,7 +18,7 @@ std::vector<std::size_t> order_by(const Fleet& fleet,
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (score[a] != score[b]) return score[a] > score[b];
-    return fleet.record(a).id < fleet.record(b).id;
+    return fleet.server_id(a) < fleet.server_id(b);
   });
   return order;
 }

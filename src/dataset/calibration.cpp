@@ -191,6 +191,83 @@ const std::vector<int> kMismatchOffsets = [] {
   return offsets;
 }();
 
+// Post-2016 extension for the scaled population ("16 Years of SPEC Power"):
+// per-year weights roughly track SPECpower submission volumes, score means
+// continue Fig.4's doubling cadence, and cohort EP means plateau just under
+// 0.9 as that paper reports. Counts are relative weights, not quotas.
+const std::vector<YearPlan> kExtendedYearPlans = {
+    {2017,
+     40,
+     13000.0,
+     0.15,
+     0.60,
+     {{"Skylake SP", 30, 0.86, 0.030}, {"Naples", 10, 0.79, 0.035}},
+     {{1.0, 8}, {0.8, 20}, {0.7, 12}},
+     {{2, 4}}},
+    {2018,
+     36,
+     15500.0,
+     0.15,
+     0.60,
+     {{"Skylake SP", 36, 0.87, 0.028}},
+     {{1.0, 6}, {0.8, 18}, {0.7, 12}},
+     {{2, 4}}},
+    {2019,
+     40,
+     18500.0,
+     0.15,
+     0.60,
+     {{"Cascade Lake", 28, 0.87, 0.028}, {"Rome", 12, 0.85, 0.030}},
+     {{1.0, 6}, {0.8, 20}, {0.7, 14}},
+     {{2, 4}}},
+    {2020,
+     34,
+     21500.0,
+     0.15,
+     0.62,
+     {{"Cascade Lake", 22, 0.88, 0.025}, {"Rome", 12, 0.86, 0.028}},
+     {{1.0, 4}, {0.8, 16}, {0.7, 14}},
+     {{2, 2}}},
+    {2021,
+     38,
+     26000.0,
+     0.15,
+     0.62,
+     {{"Ice Lake SP", 22, 0.87, 0.026}, {"Milan", 16, 0.88, 0.024}},
+     {{1.0, 4}, {0.8, 16}, {0.7, 14}, {0.6, 4}},
+     {{2, 4}}},
+    {2022,
+     34,
+     32000.0,
+     0.15,
+     0.64,
+     {{"Ice Lake SP", 14, 0.87, 0.026},
+      {"Milan", 10, 0.89, 0.022},
+      {"Genoa", 10, 0.89, 0.024}},
+     {{1.0, 4}, {0.8, 14}, {0.7, 12}, {0.6, 4}},
+     {{2, 2}}},
+    {2023,
+     36,
+     40000.0,
+     0.15,
+     0.64,
+     {{"Sapphire Rapids", 20, 0.88, 0.024}, {"Genoa", 16, 0.90, 0.022}},
+     {{1.0, 4}, {0.8, 14}, {0.7, 14}, {0.6, 4}},
+     {{2, 4}}},
+};
+
+// Scaled plan = paper-era 2007-2016 plans (counts become weights) followed
+// by the 2017-2023 extension.
+const std::vector<YearPlan> kScaledYearPlans = [] {
+  std::vector<YearPlan> plans;
+  for (const auto& plan : kYearPlans) {
+    if (plan.year >= 2007) plans.push_back(plan);
+  }
+  plans.insert(plans.end(), kExtendedYearPlans.begin(),
+               kExtendedYearPlans.end());
+  return plans;
+}();
+
 }  // namespace
 
 double node_ep_shift(int nodes) {
@@ -209,6 +286,33 @@ std::span<const Exemplar> exemplars() { return kExemplars; }
 std::span<const MpcQuota> mpc_quotas() { return kMpcQuotas; }
 std::span<const ChipAdjust> chip_adjusts() { return kChipAdjusts; }
 std::span<const int> year_mismatch_offsets() { return kMismatchOffsets; }
+std::span<const YearPlan> scaled_year_plans() { return kScaledYearPlans; }
+
+bool scaled_plan_is_consistent() {
+  if (kScaledYearPlans.empty()) return false;
+  int prev_year = 0;
+  for (const auto& plan : kScaledYearPlans) {
+    if (plan.year <= prev_year || plan.year < 2007 || plan.year > 2023) {
+      return false;
+    }
+    prev_year = plan.year;
+    if (plan.count <= 0 || plan.score_mean <= 0.0) return false;
+    int codename_sum = 0;
+    for (const auto& q : plan.codenames) {
+      if (power::find_uarch(q.codename) == nullptr) return false;
+      if (q.count <= 0 || q.ep_sd < 0.0) return false;
+      codename_sum += q.count;
+    }
+    if (codename_sum != plan.count) return false;
+    int spot_sum = 0;
+    for (const auto& s : plan.peak_spots) spot_sum += s.count;
+    if (spot_sum != plan.count) return false;
+    int mn = 0;
+    for (const auto& n : plan.multi_node) mn += n.count;
+    if (mn > plan.count) return false;
+  }
+  return true;
+}
 
 bool plan_is_consistent() {
   int total = 0;

@@ -100,6 +100,21 @@ std::span<const Exemplar> exemplars();
 std::span<const MpcQuota> mpc_quotas();
 std::span<const ChipAdjust> chip_adjusts();
 
+/// Cohort plan for the scaled (million-server) population: the 2007-2023
+/// x86 window that "16 Years of SPEC Power" analyses. The paper-era years
+/// (2007-2016) reuse the plans above; 2017-2023 extends the trend (scores
+/// continuing Fig.4's doubling cadence, EP plateauing just under 0.9).
+/// Counts here are *relative weights*, not quotas: the scaled generator
+/// samples each server's cohort independently, so a server is a pure
+/// function of (seed, index) and generation can be chunked and sharded
+/// without any sequential pool state.
+std::span<const YearPlan> scaled_year_plans();
+
+/// Sanity for the scaled plan: same structural rules as the 477 plan
+/// (codename/spot weights sum to the year weight, codenames resolve), minus
+/// the global total (weights are relative).
+bool scaled_plan_is_consistent();
+
 /// Published-year offsets (pub_year - hw_year) for the 74 mismatched
 /// results: 1..6 years late plus one published a year before availability.
 std::span<const int> year_mismatch_offsets();

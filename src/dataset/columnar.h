@@ -19,13 +19,16 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dataset/repository.h"
 #include "metrics/derived.h"
+#include "util/result.h"
 
 namespace epserve::dataset {
 
@@ -33,9 +36,27 @@ class ColumnarSnapshot {
  public:
   ColumnarSnapshot() = default;
 
+  /// Hard row ceiling: grouping (dataset/group_index.h) stores uint32 record
+  /// indices, so a snapshot must stay addressable by uint32.
+  static constexpr std::uint64_t kMaxRows =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Streaming builder: append record chunks, finalize interning at the end.
+  /// Peak memory is the columns plus one caller-held chunk — no full
+  /// vector<ServerRecord> materialization. The finished snapshot is
+  /// byte-identical to a one-shot build() over the concatenated records,
+  /// whatever the chunk boundaries (codename ids are provisional first-seen
+  /// ids during appends and are remapped onto the sorted-unique id space in
+  /// finish()). Emits `columnar.chunk_builds` / `columnar.rows` counters per
+  /// append and maintains the `columnar.peak_rows` gauge (the largest row
+  /// count any builder has reached since process start). Defined after the
+  /// enclosing class — it holds the snapshot under construction by value.
+  class Builder;
+
   /// Builds the snapshot from a repository plus its index-aligned derived
   /// bundle (one DerivedCurveMetrics per record, e.g. AnalysisContext's
-  /// memoized vector). Derived columns are copied bitwise.
+  /// memoized vector). Derived columns are copied bitwise. All build()
+  /// overloads are thin one-chunk wrappers over Builder.
   static ColumnarSnapshot build(
       const ResultRepository& repo,
       std::span<const metrics::DerivedCurveMetrics> derived);
@@ -135,6 +156,35 @@ class ColumnarSnapshot {
   std::vector<double> peak_ee_value_;
   std::vector<double> peak_ee_utilization_;
   std::vector<std::string> codenames_;
+};
+
+class ColumnarSnapshot::Builder {
+ public:
+  /// `max_rows` is a test seam for the uint32 index guard; the default is
+  /// the real kMaxRows ceiling. Must not exceed kMaxRows.
+  explicit Builder(std::uint64_t max_rows = kMaxRows);
+
+  /// Appends a chunk with its index-aligned derived slice. Fails with a
+  /// named out-of-range error (nothing appended) when the chunk would push
+  /// the snapshot past the row ceiling.
+  epserve::Result<bool> append(
+      std::span<const ServerRecord> records,
+      std::span<const metrics::DerivedCurveMetrics> derived);
+  /// Convenience overload deriving the bundle for the chunk itself.
+  epserve::Result<bool> append(std::span<const ServerRecord> records);
+
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+  /// Finalizes codename interning and returns the snapshot. The builder
+  /// must not be reused afterwards.
+  [[nodiscard]] ColumnarSnapshot finish();
+
+ private:
+  ColumnarSnapshot snap_;
+  std::unordered_map<std::string, std::int32_t> provisional_ids_;
+  std::uint64_t rows_ = 0;
+  std::uint64_t max_rows_ = kMaxRows;
+  bool finished_ = false;
 };
 
 }  // namespace epserve::dataset

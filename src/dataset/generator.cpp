@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -45,6 +46,12 @@ double family_tdp(power::UarchFamily family) {
     case UarchFamily::kSkylake: return 105.0;
     case UarchFamily::kAmd10h: return 105.0;
     case UarchFamily::kBulldozer: return 115.0;
+    case UarchFamily::kIceLake: return 135.0;
+    case UarchFamily::kSapphireRapids: return 185.0;
+    case UarchFamily::kZen: return 155.0;
+    case UarchFamily::kZen2: return 180.0;
+    case UarchFamily::kZen3: return 200.0;
+    case UarchFamily::kZen4: return 250.0;
   }
   return 95.0;
 }
@@ -85,6 +92,15 @@ int default_cores_per_chip(const power::UarchInfo& info, Rng& rng) {
     case UarchFamily::kSkylake: return 18;
     case UarchFamily::kAmd10h: return 6;
     case UarchFamily::kBulldozer: return 16;
+    case UarchFamily::kIceLake:
+      return 28 + 4 * static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kSapphireRapids:
+      return 48 + 8 * static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kZen: return 24 + 8 * static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kZen2: return 48 + 16 * static_cast<int>(rng.uniform_index(2));
+    case UarchFamily::kZen3: return 64;
+    case UarchFamily::kZen4:
+      return 84 + 12 * static_cast<int>(rng.uniform_index(2));
   }
   return 8;
 }
@@ -211,6 +227,91 @@ CurveBuild build_curve(const metrics::TwoSegmentPowerModel& model,
     out.measured_ep = metrics::energy_proportionality(out.curve);
     return out;
   }
+}
+
+/// Phase-4 curve synthesis shared by the quota (477) and scaled paths: turns
+/// a finished Draft into a ServerRecord (pub_year left equal to hw_year).
+/// All randomness comes from `rng` — the caller hands the server's private
+/// substream — and the draw order in here is a frozen part of the
+/// byte-identity contract for both populations.
+Result<ServerRecord> synthesize_record(Draft d, std::uint64_t server_index,
+                                       double curve_jitter_sd,
+                                       double power_spread, Rng& rng) {
+  EPSERVE_ENSURES(d.uarch != nullptr);
+
+  // Per-year floor keeps pinned minima (e.g. 2016's 0.73 exemplar) the
+  // actual minima after the chip/MPC shifts.
+  if (!d.is_exemplar) {
+    d.ep_target = std::max(d.ep_target, d.ep_floor);
+  }
+
+  // Idle fraction inside the feasibility window, near the codename's
+  // typical value.
+  IdleWindow window = idle_window_for(d.ep_target, d.peak_spot);
+  if (!window.valid()) {
+    // EP target slightly out of range for the requested spot; nudge EP.
+    d.ep_target = min_ep_for_interior_peak(d.peak_spot) + 0.02;
+    window = idle_window_for(d.ep_target, d.peak_spot);
+  }
+  EPSERVE_ENSURES(window.valid());
+  const double idle = rng.truncated_normal(
+      d.uarch->typical_idle_fraction, 0.04, window.lo, window.hi);
+
+  auto model = metrics::TwoSegmentPowerModel::solve(d.ep_target, idle,
+                                                    window.shape_tau);
+  if (!model.ok()) {
+    return model.error();
+  }
+
+  // Absolute scale: peak watts from the board, score from the year target.
+  const double tdp = family_tdp(d.uarch->family);
+  const double total_cores_d =
+      static_cast<double>(d.nodes * d.chips * d.cores_per_chip);
+  // Floor at 0.5 GB (a 2004 single-core machine at 0.5 GB/core): the
+  // floor must never bind, or the server would leave its Table I bucket.
+  const double memory_gb =
+      std::max(0.5, std::round(d.mpc * total_cores_d * 100.0) / 100.0);
+  double peak_watts =
+      d.nodes * (d.chips * tdp * 1.25 + 55.0) + memory_gb * 0.25;
+  peak_watts *= 1.0 + std::clamp(rng.normal(0.0, power_spread), -0.2, 0.2);
+
+  double score = d.pinned_score;
+  if (score <= 0.0) {
+    score = d.score_mean * d.ee_multiplier *
+            (1.0 + std::clamp(rng.normal(0.0, d.score_sd_rel), -0.4, 0.4));
+    score = std::max(score, d.score_mean * 0.3);
+  }
+
+  const CurveBuild build =
+      build_curve(model.value(), d.peak_spot, d.dual_peak, peak_watts, score,
+                  d.is_exemplar ? 0.0 : curve_jitter_sd, rng);
+
+  ServerRecord rec;
+  rec.id = static_cast<int>(server_index) + 1;
+  rec.vendor = std::string(kVendors[rng.uniform_index(kVendors.size())]);
+  rec.model = rec.vendor + " " +
+              std::string(d.uarch->codename) + " R" +
+              std::to_string(100 + static_cast<int>(rng.uniform_index(900)));
+  if (d.nodes > 1) {
+    rec.form_factor = FormFactor::kMultiNode;
+  } else if (d.is_exemplar && d.note.find("tower") != std::string_view::npos) {
+    rec.form_factor = FormFactor::kTower;
+  } else if (d.is_exemplar && d.note.find("1U") != std::string_view::npos) {
+    rec.form_factor = FormFactor::k1U;
+  } else {
+    const std::array<FormFactor, 4> common = {FormFactor::k1U, FormFactor::k2U,
+                                              FormFactor::k2U, FormFactor::k4U};
+    rec.form_factor = common[rng.uniform_index(common.size())];
+  }
+  rec.nodes = d.nodes;
+  rec.chips = d.chips;
+  rec.cores_per_chip = d.cores_per_chip;
+  rec.cpu_codename = std::string(d.uarch->codename);
+  rec.memory_gb = memory_gb;
+  rec.hw_year = d.hw_year;
+  rec.pub_year = d.hw_year;  // the caller introduces any mismatch
+  rec.curve = build.curve;
+  return rec;
 }
 
 }  // namespace
@@ -417,87 +518,17 @@ Result<std::vector<ServerRecord>> generate_population(
   std::vector<std::optional<Error>> solve_errors(drafts.size());
 
   parallel_for(pool.get(), drafts.size(), [&](std::size_t server_index) {
-    // Task-local draft copy: the feasibility nudges below must not leak
-    // across tasks (and phase 5 never re-reads the drafts).
-    Draft d = drafts[server_index];
+    // synthesize_record takes the draft by value: the feasibility nudges in
+    // there must not leak across tasks (and phase 5 never re-reads drafts).
     Rng rng = rng_base.substream(server_index + kCurveSynthesisSalt);
-    EPSERVE_ENSURES(d.uarch != nullptr);
-
-    // Per-year floor keeps pinned minima (e.g. 2016's 0.73 exemplar) the
-    // actual minima after the chip/MPC shifts.
-    if (!d.is_exemplar) {
-      d.ep_target = std::max(d.ep_target, d.ep_floor);
-    }
-
-    // Idle fraction inside the feasibility window, near the codename's
-    // typical value.
-    IdleWindow window = idle_window_for(d.ep_target, d.peak_spot);
-    if (!window.valid()) {
-      // EP target slightly out of range for the requested spot; nudge EP.
-      d.ep_target = min_ep_for_interior_peak(d.peak_spot) + 0.02;
-      window = idle_window_for(d.ep_target, d.peak_spot);
-    }
-    EPSERVE_ENSURES(window.valid());
-    const double idle = rng.truncated_normal(
-        d.uarch->typical_idle_fraction, 0.04, window.lo, window.hi);
-
-    auto model = metrics::TwoSegmentPowerModel::solve(d.ep_target, idle,
-                                                      window.shape_tau);
-    if (!model.ok()) {
-      solve_errors[server_index] = model.error();
+    auto rec = synthesize_record(drafts[server_index], server_index,
+                                 config.curve_jitter_sd, config.power_spread,
+                                 rng);
+    if (!rec.ok()) {
+      solve_errors[server_index] = rec.error();
       return;
     }
-
-    // Absolute scale: peak watts from the board, score from the year target.
-    const double tdp = family_tdp(d.uarch->family);
-    const double total_cores_d =
-        static_cast<double>(d.nodes * d.chips * d.cores_per_chip);
-    // Floor at 0.5 GB (a 2004 single-core machine at 0.5 GB/core): the
-    // floor must never bind, or the server would leave its Table I bucket.
-    const double memory_gb =
-        std::max(0.5, std::round(d.mpc * total_cores_d * 100.0) / 100.0);
-    double peak_watts =
-        d.nodes * (d.chips * tdp * 1.25 + 55.0) + memory_gb * 0.25;
-    peak_watts *= 1.0 + std::clamp(rng.normal(0.0, config.power_spread),
-                                   -0.2, 0.2);
-
-    double score = d.pinned_score;
-    if (score <= 0.0) {
-      score = d.score_mean * d.ee_multiplier *
-              (1.0 + std::clamp(rng.normal(0.0, d.score_sd_rel), -0.4, 0.4));
-      score = std::max(score, d.score_mean * 0.3);
-    }
-
-    const CurveBuild build =
-        build_curve(model.value(), d.peak_spot, d.dual_peak, peak_watts,
-                    score, d.is_exemplar ? 0.0 : config.curve_jitter_sd, rng);
-
-    ServerRecord rec;
-    rec.id = static_cast<int>(server_index) + 1;
-    rec.vendor = std::string(kVendors[rng.uniform_index(kVendors.size())]);
-    rec.model = rec.vendor + " " +
-                std::string(d.uarch->codename) + " R" +
-                std::to_string(100 + static_cast<int>(rng.uniform_index(900)));
-    if (d.nodes > 1) {
-      rec.form_factor = FormFactor::kMultiNode;
-    } else if (d.is_exemplar && d.note.find("tower") != std::string_view::npos) {
-      rec.form_factor = FormFactor::kTower;
-    } else if (d.is_exemplar && d.note.find("1U") != std::string_view::npos) {
-      rec.form_factor = FormFactor::k1U;
-    } else {
-      const std::array<FormFactor, 4> common = {FormFactor::k1U, FormFactor::k2U,
-                                                FormFactor::k2U, FormFactor::k4U};
-      rec.form_factor = common[rng.uniform_index(common.size())];
-    }
-    rec.nodes = d.nodes;
-    rec.chips = d.chips;
-    rec.cores_per_chip = d.cores_per_chip;
-    rec.cpu_codename = std::string(d.uarch->codename);
-    rec.memory_gb = memory_gb;
-    rec.hw_year = d.hw_year;
-    rec.pub_year = d.hw_year;  // phase 5 introduces the mismatches
-    rec.curve = build.curve;
-    records[server_index] = std::move(rec);
+    records[server_index] = std::move(rec).take();
   });
 
   for (const auto& error : solve_errors) {
@@ -594,6 +625,223 @@ Result<std::vector<std::vector<ServerRecord>>> generate_ensemble(
     if (error.has_value()) return *error;
   }
   return members;
+}
+
+// --- Scaled (2007-2023) population -----------------------------------------
+
+namespace {
+
+/// Precomputed categorical weight tables for the scaled population: one
+/// read-only bundle built per generate call from calibration's scaled plan,
+/// shared by every worker (the per-server sampler only reads it).
+struct ScaledTables {
+  std::span<const YearPlan> plans;
+  std::vector<double> year_weights;
+  std::vector<std::vector<double>> codename_weights;  // per year
+  std::vector<std::vector<double>> spot_weights;      // per year
+  /// Node pick per year: [0] = single-node remainder, [k>0] maps to
+  /// plans[y].multi_node[k-1].
+  std::vector<std::vector<double>> node_weights;
+  /// EP floor per peak-spot entry (interior peaks need enough headroom for a
+  /// non-degenerate idle window; 0 for the 100% spot).
+  std::vector<std::vector<double>> spot_floor_ep;
+  /// Era-weighted chip / MPC pools per year — the same weighting rules the
+  /// quota path's phases 2-3 apply, used as probabilities instead of pools.
+  std::vector<std::vector<double>> chip_weights;
+  std::vector<std::vector<double>> mpc_weights;
+  /// Published-year mismatch offsets with the 477 plan's frequencies.
+  std::vector<int> mismatch_offsets;
+  std::vector<double> mismatch_weights;
+};
+
+ScaledTables build_scaled_tables() {
+  ScaledTables t;
+  t.plans = scaled_year_plans();
+  const std::size_t years = t.plans.size();
+  t.year_weights.reserve(years);
+  t.codename_weights.resize(years);
+  t.spot_weights.resize(years);
+  t.node_weights.resize(years);
+  t.spot_floor_ep.resize(years);
+  t.chip_weights.resize(years);
+  t.mpc_weights.resize(years);
+  for (std::size_t y = 0; y < years; ++y) {
+    const YearPlan& plan = t.plans[y];
+    t.year_weights.push_back(static_cast<double>(plan.count));
+    for (const auto& q : plan.codenames) {
+      t.codename_weights[y].push_back(static_cast<double>(q.count));
+    }
+    for (const auto& s : plan.peak_spots) {
+      t.spot_weights[y].push_back(static_cast<double>(s.count));
+      t.spot_floor_ep[y].push_back(
+          s.utilization < 1.0
+              ? min_ep_for_interior_peak(s.utilization) + 0.01
+              : 0.0);
+    }
+    int multi = 0;
+    for (const auto& nq : plan.multi_node) multi += nq.count;
+    t.node_weights[y].push_back(static_cast<double>(plan.count - multi));
+    for (const auto& nq : plan.multi_node) {
+      t.node_weights[y].push_back(static_cast<double>(nq.count));
+    }
+    // Era weighting mirrors quota phase 2: 4- and 8-chip boards live mostly
+    // in 2008-2013.
+    for (const auto& c : chip_adjusts()) {
+      double w = static_cast<double>(c.single_node_count);
+      if (c.chips >= 4 && (plan.year < 2008 || plan.year > 2013)) w *= 0.05;
+      t.chip_weights[y].push_back(w);
+    }
+    // Era weighting mirrors quota phase 3 (Table I era affinity).
+    for (const auto& q : mpc_quotas()) {
+      double w = static_cast<double>(q.count);
+      if (plan.year < q.preferred_from_year) w *= 0.03;
+      t.mpc_weights[y].push_back(w);
+    }
+  }
+  const auto offsets = year_mismatch_offsets();
+  std::map<int, int> offset_counts;
+  for (const int off : offsets) ++offset_counts[off];
+  for (const auto& [off, count] : offset_counts) {
+    t.mismatch_offsets.push_back(off);
+    t.mismatch_weights.push_back(static_cast<double>(count));
+  }
+  return t;
+}
+
+/// One scaled server: a pure function of (seed, index). Draws its whole
+/// cohort (year, codename, EP, spot, nodes/chips, MPC) from the weight
+/// tables on a private substream, then reuses the shared phase-4 synthesis.
+/// The draw order is a frozen part of the byte-identity contract.
+Result<ServerRecord> scaled_server(const ScaledTables& t,
+                                   const ScaledConfig& config,
+                                   const Rng& rng_base, std::uint64_t index) {
+  Rng rng = rng_base.substream(index);
+  const std::size_t y = rng.categorical(t.year_weights);
+  const YearPlan& plan = t.plans[y];
+  const CodenameQuota& quota =
+      plan.codenames[rng.categorical(t.codename_weights[y])];
+
+  Draft d;
+  d.hw_year = plan.year;
+  d.uarch = power::find_uarch(quota.codename);
+  d.ep_target = rng.truncated_normal(
+      quota.ep_mean, quota.ep_sd, quota.ep_mean - 2.5 * quota.ep_sd,
+      std::min(0.99, quota.ep_mean + 2.5 * quota.ep_sd));
+  d.cores_per_chip = default_cores_per_chip(*d.uarch, rng);
+  d.score_mean = plan.score_mean;
+  d.score_sd_rel = plan.score_sd_rel;
+  d.ep_floor = plan.ep_floor;
+
+  // Peak-EE spot; interior peaks lift EP into the feasible band, matching
+  // the paper's high-EP/interior-peak coupling the quota path encodes by
+  // assigning interior spots to the EP-sorted heads.
+  const std::size_t spot = rng.categorical(t.spot_weights[y]);
+  d.peak_spot = plan.peak_spots[spot].utilization;
+  d.ep_target = std::max(d.ep_target, t.spot_floor_ep[y][spot]);
+
+  // Node count; multi-node systems are 2-chip per node (Fig.13 convention).
+  const std::size_t node_pick = rng.categorical(t.node_weights[y]);
+  if (node_pick > 0) {
+    d.nodes = plan.multi_node[node_pick - 1].nodes;
+    d.chips = 2;
+    d.ep_target = std::min(0.99, d.ep_target + node_ep_shift(d.nodes));
+  } else {
+    const ChipAdjust& chip =
+        chip_adjusts()[rng.categorical(t.chip_weights[y])];
+    d.chips = chip.chips;
+    d.ep_target = std::clamp(d.ep_target + chip.ep_shift, 0.06, 0.99);
+    d.ee_multiplier *= chip.ee_multiplier;
+  }
+
+  // Memory per core (Table I shape, era-weighted).
+  const MpcQuota& mpc = mpc_quotas()[rng.categorical(t.mpc_weights[y])];
+  d.mpc = mpc.gb_per_core;
+  d.ee_multiplier *= mpc.ee_multiplier;
+  d.ep_target = std::clamp(d.ep_target + mpc.ep_shift, 0.06, 0.99);
+
+  auto rec = synthesize_record(d, index, config.curve_jitter_sd,
+                               config.power_spread, rng);
+  if (!rec.ok()) return rec.error();
+  ServerRecord out = std::move(rec).take();
+
+  // Published-year mismatch at the 477 plan's rate (74/477), offsets drawn
+  // with the plan's frequencies and clamped to the 2007-2023 window.
+  if (rng.uniform_index(477) < 74) {
+    const int off = t.mismatch_offsets[rng.categorical(t.mismatch_weights)];
+    out.pub_year = std::clamp(out.hw_year + off, 2007, 2023);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::uint64_t> generate_population_chunked(const ScaledConfig& config,
+                                                  std::size_t chunk_size,
+                                                  const ChunkSink& sink) {
+  if (chunk_size == 0) {
+    return Error::invalid_argument("chunk_size must be positive");
+  }
+  if (!sink) {
+    return Error::invalid_argument("chunk sink must be callable");
+  }
+  if (!scaled_plan_is_consistent()) {
+    return Error::failed_precondition(
+        "scaled cohort plan is internally inconsistent");
+  }
+  // Record ids are int32 (index + 1); refuse populations that would wrap.
+  if (config.servers >=
+      static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max())) {
+    return Error::out_of_range(
+        "scaled population of " + std::to_string(config.servers) +
+        " servers exceeds the int32 record-id space");
+  }
+
+  const telemetry::Span generate_span("generate_scaled");
+  telemetry::count("generate.scaled_records", config.servers);
+  const ScaledTables tables = build_scaled_tables();
+  const Rng rng_base(config.seed);
+  const std::size_t thread_count = resolve_thread_count(config.threads);
+  const auto pool = make_worker_pool(thread_count);
+
+  // Chunks are emitted in index order from the driving thread; inside a
+  // chunk every server draws from its own substream, so neither the chunk
+  // size nor the thread count can move a single byte of output.
+  std::vector<ServerRecord> chunk;
+  std::vector<std::optional<Error>> chunk_errors;
+  for (std::uint64_t first = 0; first < config.servers; first += chunk_size) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_size, config.servers - first));
+    chunk.resize(n);
+    chunk_errors.assign(n, std::nullopt);
+    parallel_for(pool.get(), n, [&](std::size_t i) {
+      auto rec = scaled_server(tables, config, rng_base, first + i);
+      if (!rec.ok()) {
+        chunk_errors[i] = rec.error();
+        return;
+      }
+      chunk[i] = std::move(rec).take();
+    });
+    for (const auto& error : chunk_errors) {
+      if (error.has_value()) return *error;
+    }
+    telemetry::count("generate.chunks");
+    sink(std::span<const ServerRecord>(chunk.data(), n), first);
+  }
+  return config.servers;
+}
+
+Result<std::vector<ServerRecord>> generate_scaled_population(
+    const ScaledConfig& config) {
+  std::vector<ServerRecord> records;
+  records.reserve(static_cast<std::size_t>(config.servers));
+  constexpr std::size_t kMaterializeChunk = 65536;
+  auto emitted = generate_population_chunked(
+      config, kMaterializeChunk,
+      [&records](std::span<const ServerRecord> chunk, std::uint64_t) {
+        records.insert(records.end(), chunk.begin(), chunk.end());
+      });
+  if (!emitted.ok()) return emitted.error();
+  return records;
 }
 
 }  // namespace epserve::dataset

@@ -25,6 +25,8 @@
 //      publishes early, reproducing the paper's §I examples).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -62,5 +64,45 @@ epserve::Result<std::vector<ServerRecord>> generate_population(
 epserve::Result<std::vector<std::vector<ServerRecord>>> generate_ensemble(
     std::span<const std::uint64_t> seeds, const GeneratorConfig& base = {},
     ThreadPool* pool = nullptr);
+
+// --- Scaled (2007-2023) population -----------------------------------------
+//
+// The 477-server plan above is quota-driven: phases 1-3 consume global pools
+// sequentially, so the population cannot be generated out of order. The
+// scaled path instead samples each server's cohort from the calibration
+// weights independently (calibration.h scaled_year_plans()): every record is
+// a pure function of (seed, index) via Rng::substream, so generation chunks
+// and shards freely and the output is byte-identical for every chunk size
+// and thread count.
+
+struct ScaledConfig {
+  std::uint64_t seed = 20230930;  // scaled dataset cut: 2023Q3
+  /// Population size. Record ids are 1..servers in index order.
+  std::uint64_t servers = 1'000'000;
+  double curve_jitter_sd = 0.004;
+  double power_spread = 0.08;
+  /// Threads for in-chunk curve synthesis; same contract as
+  /// GeneratorConfig::threads (0 = auto, 1 = plain serial loop).
+  int threads = 0;
+};
+
+/// Receives consecutive record chunks in ascending index order.
+/// `first_index` is the population index of chunk.front() (its record id is
+/// first_index + 1). The span is only valid for the duration of the call.
+using ChunkSink =
+    std::function<void(std::span<const ServerRecord> chunk,
+                       std::uint64_t first_index)>;
+
+/// Streams the scaled population through `sink` in `chunk_size`-row chunks
+/// (the last chunk may be short). Peak memory is one chunk of records.
+/// Returns the number of records emitted.
+epserve::Result<std::uint64_t> generate_population_chunked(
+    const ScaledConfig& config, std::size_t chunk_size, const ChunkSink& sink);
+
+/// Convenience wrapper materializing the whole scaled population (reference
+/// path for digest byte-compares and small populations). Byte-identical to
+/// concatenating generate_population_chunked() chunks of any size.
+epserve::Result<std::vector<ServerRecord>> generate_scaled_population(
+    const ScaledConfig& config);
 
 }  // namespace epserve::dataset

@@ -12,12 +12,23 @@
 // builders. Iterating `members(g)` and gathering from a snapshot column
 // therefore visits values in the same order as iterating the corresponding
 // map-of-views group.
+//
+// Build strategies: interned key columns (years, codename/family ids,
+// mpc_centi, node/chip counts) have tiny value ranges, so the default build
+// is a counting/bucket sort — O(n + range) instead of O(n log n) — that
+// scatters indices in ascending order and is therefore naturally stable.
+// The comparison sort is retained as the equivalence reference (and as the
+// fallback for pathologically wide key ranges); the two produce identical
+// indices, pinned by tests/dataset_group_radix_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "util/result.h"
 
 namespace epserve::dataset {
 
@@ -25,13 +36,35 @@ class GroupIndex {
  public:
   GroupIndex() = default;
 
-  /// Groups all rows of `keys` (one key per record index).
-  static GroupIndex over(std::span<const std::int32_t> keys);
+  /// Row ceiling: the permutation stores uint32 record indices.
+  static constexpr std::uint64_t kMaxRows =
+      std::numeric_limits<std::uint32_t>::max();
+
+  enum class Strategy {
+    kAuto,        // radix when the key range is bounded, else comparison
+    kRadix,       // force counting/bucket sort (contract-checks the range)
+    kComparison,  // force the reference comparison sort
+  };
+
+  /// Groups all rows of `keys` (one key per record index). Populations past
+  /// the uint32 ceiling are a contract violation here — use over_checked()
+  /// where the size is data-driven.
+  static GroupIndex over(std::span<const std::int32_t> keys,
+                         Strategy strategy = Strategy::kAuto);
 
   /// Groups only rows with mask[i] != 0 (e.g. nodes == 1 for the paper's
   /// single-node-by-chips slice). `mask` must be index-aligned with `keys`.
   static GroupIndex over_masked(std::span<const std::int32_t> keys,
-                                std::span<const std::uint8_t> mask);
+                                std::span<const std::uint8_t> mask,
+                                Strategy strategy = Strategy::kAuto);
+
+  /// Checked variants: return a named out-of-range error (instead of index
+  /// truncation) when `keys` exceeds the uint32 row ceiling.
+  static epserve::Result<GroupIndex> over_checked(
+      std::span<const std::int32_t> keys, Strategy strategy = Strategy::kAuto);
+  static epserve::Result<GroupIndex> over_masked_checked(
+      std::span<const std::int32_t> keys, std::span<const std::uint8_t> mask,
+      Strategy strategy = Strategy::kAuto);
 
   [[nodiscard]] std::size_t group_count() const { return bounds_.size(); }
 
@@ -54,8 +87,14 @@ class GroupIndex {
   [[nodiscard]] std::size_t total_members() const { return perm_.size(); }
 
  private:
-  static GroupIndex build_from(std::vector<std::uint32_t> perm,
-                               std::span<const std::int32_t> keys);
+  static GroupIndex build_dispatch(std::vector<std::uint32_t> perm,
+                                   std::span<const std::int32_t> keys,
+                                   Strategy strategy);
+  static GroupIndex build_comparison(std::vector<std::uint32_t> perm,
+                                     std::span<const std::int32_t> keys);
+  static GroupIndex build_radix(std::vector<std::uint32_t> perm,
+                                std::span<const std::int32_t> keys,
+                                std::int64_t key_min, std::int64_t key_max);
 
   struct Bounds {
     std::int32_t key = 0;

@@ -3,6 +3,7 @@
 #include <array>
 #include <charconv>
 #include <cstdio>
+#include <fstream>
 
 #include "util/strings.h"
 
@@ -43,48 +44,82 @@ Result<int> parse_int(const std::string& s, const char* field) {
   return out;
 }
 
+/// Shared row builders: the document path and the streaming path both
+/// serialise through these, so their bytes cannot drift apart.
+std::vector<std::string> population_header_fields() {
+  std::vector<std::string> header = {"id",      "vendor",      "model",
+                                     "form_factor", "nodes", "chips",
+                                     "cores_per_chip", "codename",
+                                     "memory_gb", "hw_year", "pub_year",
+                                     "watt_idle"};
+  header.reserve(12 + 2 * metrics::kNumLoadLevels);
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    header.push_back(
+        "watt_" +
+        std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
+  }
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    header.push_back(
+        "ops_" +
+        std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
+  }
+  return header;
+}
+
+std::vector<std::string> population_row_fields(const ServerRecord& r) {
+  std::vector<std::string> row = {
+      std::to_string(r.id),
+      r.vendor,
+      r.model,
+      std::string(form_factor_name(r.form_factor)),
+      std::to_string(r.nodes),
+      std::to_string(r.chips),
+      std::to_string(r.cores_per_chip),
+      r.cpu_codename,
+      fmt(r.memory_gb),
+      std::to_string(r.hw_year),
+      std::to_string(r.pub_year),
+      fmt(r.curve.idle_watts())};
+  row.reserve(12 + 2 * metrics::kNumLoadLevels);
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    row.push_back(fmt(r.curve.watts_at_level(i)));
+  }
+  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
+    row.push_back(fmt(r.curve.ops_at_level(i)));
+  }
+  return row;
+}
+
+/// One serialised CSV line — identical joining/quoting to util/csv's
+/// to_csv() (both go through append_csv_field).
+void write_csv_line(std::ostream& out, const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line += ',';
+    append_csv_field(line, fields[i]);
+  }
+  line += '\n';
+  out << line;
+}
+
 }  // namespace
 
 CsvDocument to_csv_document(const std::vector<ServerRecord>& records) {
   CsvDocument doc;
-  doc.header = {"id",      "vendor",      "model",    "form_factor",
-                "nodes",   "chips",       "cores_per_chip",
-                "codename", "memory_gb",  "hw_year",  "pub_year",
-                "watt_idle"};
-  doc.header.reserve(12 + 2 * metrics::kNumLoadLevels);
-  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
-    doc.header.push_back("watt_" +
-                         std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
-  }
-  for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
-    doc.header.push_back("ops_" +
-                         std::to_string(static_cast<int>(metrics::kLoadLevels[i] * 100)));
-  }
+  doc.header = population_header_fields();
   doc.rows.reserve(records.size());
   for (const auto& r : records) {
-    std::vector<std::string> row = {
-        std::to_string(r.id),
-        r.vendor,
-        r.model,
-        std::string(form_factor_name(r.form_factor)),
-        std::to_string(r.nodes),
-        std::to_string(r.chips),
-        std::to_string(r.cores_per_chip),
-        r.cpu_codename,
-        fmt(r.memory_gb),
-        std::to_string(r.hw_year),
-        std::to_string(r.pub_year),
-        fmt(r.curve.idle_watts())};
-    row.reserve(12 + 2 * metrics::kNumLoadLevels);
-    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
-      row.push_back(fmt(r.curve.watts_at_level(i)));
-    }
-    for (std::size_t i = 0; i < metrics::kNumLoadLevels; ++i) {
-      row.push_back(fmt(r.curve.ops_at_level(i)));
-    }
-    doc.rows.push_back(std::move(row));
+    doc.rows.push_back(population_row_fields(r));
   }
   return doc;
+}
+
+void write_population_csv_header(std::ostream& out) {
+  write_csv_line(out, population_header_fields());
+}
+
+void write_population_csv_row(std::ostream& out, const ServerRecord& record) {
+  write_csv_line(out, population_row_fields(record));
 }
 
 Result<std::vector<ServerRecord>> from_csv_document(const CsvDocument& doc) {
@@ -163,7 +198,14 @@ Result<std::vector<ServerRecord>> from_csv_document(const CsvDocument& doc) {
 
 Result<bool> save_population(const std::string& path,
                              const std::vector<ServerRecord>& records) {
-  return write_csv_file(path, to_csv_document(records));
+  // Streams row by row — same bytes as the old write_csv_file(path,
+  // to_csv_document(records)) without materializing the document.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error::io("cannot open for writing: " + path);
+  write_population_csv_header(out);
+  for (const auto& r : records) write_population_csv_row(out, r);
+  if (!out) return Error::io("write failed: " + path);
+  return true;
 }
 
 Result<std::vector<ServerRecord>> load_population(const std::string& path) {

@@ -2,6 +2,7 @@
 // examples and downstream analysis outside this library.
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,17 @@ namespace epserve::dataset {
 
 /// Serialises records to a CSV document (one row per server; the 11-point
 /// measurement sheet flattens into watt_idle, watt_10 .. watt_100,
-/// ops_10 .. ops_100 columns).
+/// ops_10 .. ops_100 columns). Thin wrapper over the row-streaming writers
+/// below; prefer those at scale (a 1M-row document is ~hundreds of MB of
+/// strings this wrapper would materialize).
 epserve::CsvDocument to_csv_document(const std::vector<ServerRecord>& records);
+
+/// Row-streaming export: header + one row per record, written straight to
+/// `out`. The bytes are exactly to_csv(to_csv_document(records)) — same
+/// field formatting, same quoting — whatever the chunking, so the streamed
+/// path composes with generate_population_chunked() without a memory spike.
+void write_population_csv_header(std::ostream& out);
+void write_population_csv_row(std::ostream& out, const ServerRecord& record);
 
 /// Parses a document produced by to_csv_document(). Validates every curve.
 epserve::Result<std::vector<ServerRecord>> from_csv_document(

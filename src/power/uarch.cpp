@@ -57,14 +57,42 @@ constexpr std::array<UarchInfo, 19> kCatalog = {{
 constexpr UarchInfo kSeoul = {"Seoul", UarchFamily::kBulldozer, Vendor::kAmd,
                               32, 2012, false, 0.39, 0.62};
 
-constexpr std::array<UarchInfo, 20> build_full_catalog() {
-  std::array<UarchInfo, 20> all{};
-  for (std::size_t i = 0; i < kCatalog.size(); ++i) all[i] = kCatalog[i];
-  all[19] = kSeoul;
+// Post-2016 extension: the 2017-2023 server generations "16 Years of SPEC
+// Power" analyses. typical_ep values follow that paper's per-generation EP
+// trend (plateauing just under 0.9 — Sandy Bridge EN's 0.90 remains the
+// published-per-codename maximum the 2016 paper reports); idle fractions keep
+// falling with process shrinks.
+constexpr std::array<UarchInfo, 8> kExtendedCatalog = {{
+    {"Skylake SP", UarchFamily::kSkylake, Vendor::kIntel, 14, 2017, true, 0.20,
+     0.81},
+    {"Cascade Lake", UarchFamily::kSkylake, Vendor::kIntel, 14, 2019, false,
+     0.17, 0.84},
+    {"Ice Lake SP", UarchFamily::kIceLake, Vendor::kIntel, 10, 2021, true,
+     0.15, 0.86},
+    {"Sapphire Rapids", UarchFamily::kSapphireRapids, Vendor::kIntel, 10, 2023,
+     true, 0.14, 0.87},
+    {"Naples", UarchFamily::kZen, Vendor::kAmd, 14, 2017, true, 0.24, 0.77},
+    {"Rome", UarchFamily::kZen2, Vendor::kAmd, 7, 2019, true, 0.15, 0.86},
+    {"Milan", UarchFamily::kZen3, Vendor::kAmd, 7, 2021, false, 0.13, 0.88},
+    {"Genoa", UarchFamily::kZen4, Vendor::kAmd, 5, 2022, true, 0.12, 0.89},
+}};
+
+constexpr std::size_t kFullCatalogSize =
+    kCatalog.size() + 1 + kExtendedCatalog.size();
+
+constexpr std::array<UarchInfo, kFullCatalogSize> build_full_catalog() {
+  std::array<UarchInfo, kFullCatalogSize> all{};
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < kCatalog.size(); ++i) all[next++] = kCatalog[i];
+  all[next++] = kSeoul;
+  for (std::size_t i = 0; i < kExtendedCatalog.size(); ++i) {
+    all[next++] = kExtendedCatalog[i];
+  }
   return all;
 }
 
-constexpr std::array<UarchInfo, 20> kFullCatalog = build_full_catalog();
+constexpr std::array<UarchInfo, kFullCatalogSize> kFullCatalog =
+    build_full_catalog();
 
 }  // namespace
 
@@ -89,6 +117,12 @@ std::string_view family_name(UarchFamily family) {
     case UarchFamily::kSkylake: return "Skylake";
     case UarchFamily::kAmd10h: return "AMD 10h";
     case UarchFamily::kBulldozer: return "AMD Bulldozer";
+    case UarchFamily::kIceLake: return "Ice Lake";
+    case UarchFamily::kSapphireRapids: return "Sapphire Rapids";
+    case UarchFamily::kZen: return "AMD Zen";
+    case UarchFamily::kZen2: return "AMD Zen 2";
+    case UarchFamily::kZen3: return "AMD Zen 3";
+    case UarchFamily::kZen4: return "AMD Zen 4";
   }
   return "unknown";
 }

@@ -17,7 +17,11 @@ namespace epserve::power {
 
 enum class Vendor : std::uint8_t { kIntel, kAmd };
 
-/// Microarchitecture family (the paper's Fig.6 grouping).
+/// Microarchitecture family (the paper's Fig.6 grouping, extended past the
+/// 2016 cut toward the 2007-2023 population of "16 Years of SPEC Power").
+/// New values append after the paper-era ones so interned family ids — and
+/// therefore every family-keyed grouping order — are unchanged for the
+/// original 477-server population.
 enum class UarchFamily : std::uint8_t {
   kNetburst,
   kCore,
@@ -30,6 +34,13 @@ enum class UarchFamily : std::uint8_t {
   kSkylake,
   kAmd10h,      // pre-Bulldozer AMD (Barcelona/Shanghai era)
   kBulldozer,   // Interlagos / Abu Dhabi / Seoul
+  // --- post-2016 extension (scaled 2007-2023 cohorts) ----------------------
+  kIceLake,          // 10nm Intel (Ice Lake SP)
+  kSapphireRapids,   // Golden Cove server parts
+  kZen,              // AMD Naples (Zen/Zen+)
+  kZen2,             // AMD Rome
+  kZen3,             // AMD Milan
+  kZen4,             // AMD Genoa
 };
 
 /// One codename row (the paper's Fig.7 subdomains).

@@ -19,7 +19,9 @@ bool needs_quoting(std::string_view field) {
   return field.find_first_of(",\"\n\r") != std::string_view::npos;
 }
 
-void append_field(std::string& out, std::string_view field) {
+}  // namespace
+
+void append_csv_field(std::string& out, std::string_view field) {
   if (!needs_quoting(field)) {
     out += field;
     return;
@@ -31,8 +33,6 @@ void append_field(std::string& out, std::string_view field) {
   }
   out += '"';
 }
-
-}  // namespace
 
 Result<CsvDocument> parse_csv(std::string_view text) {
   std::vector<std::vector<std::string>> records;
@@ -113,7 +113,7 @@ std::string to_csv(const CsvDocument& doc) {
   const auto append_row = [&out](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i != 0) out += ',';
-      append_field(out, row[i]);
+      append_csv_field(out, row[i]);
     }
     out += '\n';
   };

@@ -26,6 +26,11 @@ Result<CsvDocument> parse_csv(std::string_view text);
 /// Serialises a document; quotes fields when needed.
 std::string to_csv(const CsvDocument& doc);
 
+/// Appends one field to `out`, quoting when needed — the exact per-field
+/// serialisation to_csv() uses, exposed for row-streaming writers that
+/// must stay byte-identical to the document path without materializing it.
+void append_csv_field(std::string& out, std::string_view field);
+
 /// Reads and parses a CSV file.
 Result<CsvDocument> read_csv_file(const std::string& path);
 
