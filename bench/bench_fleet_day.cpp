@@ -14,16 +14,28 @@
 //                 rebuilt per iteration. Reported, not gated: callers build
 //                 once per fleet.
 //
+// The batch power kernel is also timed on its own (docs/KERNELS.md): the
+// whole-fleet normalized-power evaluation through the pre-SIMD table walk
+// (kScalarReference) vs the dispatched grid/SIMD kernel, byte-comparing the
+// outputs, with a separate 4x gate — so end-to-end wins (dominated by the
+// placement sort/fill) cannot mask a kernel regression, and vice versa.
+//
 // Every per-policy energy/served/efficiency number is digested and
 // byte-compared between the two paths — the speedup only counts if the
-// outputs are bit-identical. Exits 1 on digest mismatch or if the fleet path
-// is below the 3x speedup target.
+// outputs are bit-identical. The day simulation is additionally re-run with
+// the kernel dispatch pinned to kScalarReference (what EPSERVE_FORCE_SCALAR=1
+// selects) and must reproduce the same digest. Exits 1 on any digest
+// mismatch, if the fleet path is below the 3x end-to-end target, or if a
+// vector kernel is compiled in but below the 4x kernel target.
 #include "common.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <numeric>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "cluster/day_simulation.h"
@@ -32,6 +44,7 @@
 #include "cluster/working_region.h"
 #include "metrics/curve_models.h"
 #include "metrics/efficiency.h"
+#include "metrics/simd/kernels.h"
 
 namespace {
 
@@ -218,6 +231,72 @@ int main() {
     if (!rebuilt.ok()) std::exit(1);
   });
 
+  // --- batch-kernel phase: pre-SIMD table walk vs the dispatched kernel ----
+  // The day simulation's inner kernel shape: normalized power of every
+  // server at all 24 diurnal slots, issued as the same blocked
+  // normalized_power_matrix calls evaluate_batch makes (server-major rows,
+  // each server's grid row cache-resident across its slot batch).
+  namespace kernels = metrics::kernels;
+  const kernels::Variant dispatched = kernels::active().variant;
+  const bool have_vector =
+      kernels::get(kernels::Variant::kGridAvx512) != nullptr ||
+      kernels::get(kernels::Variant::kGridAvx2) != nullptr ||
+      kernels::get(kernels::Variant::kGridNeon) != nullptr;
+  constexpr int kKernelRounds = 100;
+  constexpr std::size_t kKernelBlock = 256;  // evaluate_batch's block size
+  const std::size_t slots = trace.demand.size();
+  // One block's worth of utilisations, reused for every block: in
+  // evaluate_batch the clamp step writes the block matrix immediately before
+  // the kernel reads it, so the kernel always sees a cache-hot block.
+  std::vector<double> block_utils(kKernelBlock * slots);
+  for (std::size_t at = 0; at < block_utils.size(); ++at) {
+    block_utils[at] =
+        static_cast<double>((at * 2654435761u) % 1000u) / 999.0;
+  }
+  // Timed passes write into a reused block-sized buffer, like
+  // evaluate_batch's norm block (the full fleet x slots matrix never exists
+  // on the real path); the full matrices are produced by separate untimed
+  // passes purely for the bitwise cross-variant check below.
+  std::vector<double> block_out(kKernelBlock * slots);
+  std::vector<double> kernel_out_scalar(kFleetSize * slots);
+  std::vector<double> kernel_out_simd(kFleetSize * slots);
+  const auto kernel_pass = [&] {
+    for (std::size_t i0 = 0; i0 < kFleetSize; i0 += kKernelBlock) {
+      const std::size_t count = std::min(kKernelBlock, kFleetSize - i0);
+      built.value().normalized_power_matrix(
+          i0, count,
+          std::span<const double>(block_utils.data(), count * slots),
+          std::span<double>(block_out.data(), count * slots), slots);
+    }
+  };
+  const auto kernel_full_matrix = [&](std::vector<double>& out) {
+    for (std::size_t i0 = 0; i0 < kFleetSize; i0 += kKernelBlock) {
+      const std::size_t count = std::min(kKernelBlock, kFleetSize - i0);
+      built.value().normalized_power_matrix(
+          i0, count,
+          std::span<const double>(block_utils.data(), count * slots),
+          std::span<double>(out.data() + i0 * slots, count * slots), slots);
+    }
+  };
+  kernels::set_active_for_testing(kernels::Variant::kScalarReference);
+  const double kernel_scalar_s =
+      time_iterations(kKernelRounds, [&] { kernel_pass(); });
+  kernel_full_matrix(kernel_out_scalar);
+  kernels::set_active_for_testing(dispatched);
+  const double kernel_simd_s =
+      time_iterations(kKernelRounds, [&] { kernel_pass(); });
+  kernel_full_matrix(kernel_out_simd);
+  const double kernel_speedup = kernel_scalar_s / kernel_simd_s;
+  const double kernel_points =
+      static_cast<double>(kFleetSize) * static_cast<double>(slots) *
+      kKernelRounds;
+
+  // The day simulation again, with dispatch pinned to the scalar reference —
+  // the exact path EPSERVE_FORCE_SCALAR=1 selects in production.
+  kernels::set_active_for_testing(kernels::Variant::kScalarReference);
+  const Digest forced_scalar_digest = fleet_day(built.value(), trace);
+  kernels::set_active_for_testing(dispatched);
+
   const double speedup = scalar_s / fleet_s;
   TextTable table;
   table.columns({"day simulation path", "ms/iteration", "speedup"});
@@ -230,22 +309,57 @@ int main() {
              format_fixed(1000.0 * build_s / kIters, 3), "amortized"});
   std::cout << table.render();
 
+  TextTable kernel_table;
+  kernel_table.columns({"batch power kernel", "ns/point", "speedup"});
+  kernel_table.row({"table walk (scalar reference)",
+                    format_fixed(1e9 * kernel_scalar_s / kernel_points, 3),
+                    "1.00x"});
+  kernel_table.row({std::string("dispatched (") +
+                        kernels::variant_name(dispatched) + ")",
+                    format_fixed(1e9 * kernel_simd_s / kernel_points, 3),
+                    format_fixed(kernel_speedup, 2) + "x"});
+  std::cout << kernel_table.render();
+
   // Machine-readable summary, harvested by bench/run_benches.sh.
   std::printf(
       "BENCH_JSON {\"servers\": %zu, \"day_ms_scalar\": %.4f, "
       "\"day_ms_fleet\": %.4f, \"fleet_build_ms\": %.4f, "
-      "\"day_speedup\": %.2f}\n",
+      "\"day_speedup\": %.2f, \"kernel_ns_scalar\": %.4f, "
+      "\"kernel_ns_simd\": %.4f, \"kernel_speedup\": %.2f, "
+      "\"kernel_variant\": \"%s\"}\n",
       kFleetSize, 1000.0 * scalar_s / kIters, 1000.0 * fleet_s / kIters,
-      1000.0 * build_s / kIters, speedup);
+      1000.0 * build_s / kIters, speedup,
+      1e9 * kernel_scalar_s / kernel_points,
+      1e9 * kernel_simd_s / kernel_points, kernel_speedup,
+      kernels::variant_name(dispatched));
 
   bool ok = true;
   if (!(fleet_digest == scalar_digest)) {
     std::fprintf(stderr, "FAIL: day outputs differ between paths\n");
     ok = false;
   }
+  if (!(forced_scalar_digest == scalar_digest)) {
+    std::fprintf(stderr,
+                 "FAIL: forced-scalar day outputs differ from the pre-SIMD "
+                 "path\n");
+    ok = false;
+  }
+  if (std::memcmp(kernel_out_scalar.data(), kernel_out_simd.data(),
+                  kernel_out_scalar.size() * sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: dispatched kernel output is not byte-identical to "
+                 "the scalar reference\n");
+    ok = false;
+  }
   if (speedup < 3.0) {
     std::fprintf(stderr, "FAIL: fleet speedup %.2fx below 3x target\n",
                  speedup);
+    ok = false;
+  }
+  if (have_vector && kernel_speedup < 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch kernel speedup %.2fx below 4x target (%s)\n",
+                 kernel_speedup, kernels::variant_name(dispatched));
     ok = false;
   }
   return ok ? 0 : 1;

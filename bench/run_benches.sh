@@ -6,12 +6,17 @@
 # floors). Binaries may print one `BENCH_JSON {...}` line with their key
 # numbers; it is harvested verbatim into the baseline's `metrics` field.
 #
+# Alongside the baseline, the same document is written to a dated
+# BENCH_<YYYYMMDD>.json snapshot (next to the output file) so perf history
+# accumulates run over run instead of being overwritten.
+#
 # Usage: bench/run_benches.sh [build-dir] [output-json]
 #   defaults:     build       BENCH_baseline.json
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_baseline.json}"
+dated="$(dirname "${out}")/BENCH_$(date +%Y%m%d).json"
 
 benches=(
   bench_columnar_groupby
@@ -57,6 +62,7 @@ done
   echo '  ]'
   echo '}'
 } > "${out}"
+cp "${out}" "${dated}"
 
-echo "baseline written to ${out}"
+echo "baseline written to ${out} (snapshot: ${dated})"
 exit "${status}"

@@ -7,9 +7,31 @@
 #include "cluster/working_region.h"
 #include "metrics/efficiency.h"
 #include "metrics/load_level.h"
+#include "util/contracts.h"
 #include "util/telemetry.h"
 
 namespace epserve::cluster {
+
+namespace {
+
+constexpr std::size_t kRowBins =
+    static_cast<std::size_t>(metrics::kernels::FleetGridView::kRowBins);
+
+/// Appends one server's native-resolution grid row: the interpolation
+/// table's own knot watts and slopes, copied bit-for-bit, so grid evaluation
+/// and the knot walk run the identical expression on identical inputs.
+void append_grid_row(util::AlignedVector<double>& w0,
+                     util::AlignedVector<double>& m,
+                     util::AlignedVector<double>& inv_peak,
+                     const metrics::PowerCurve::InterpolationTable& table) {
+  for (std::size_t seg = 0; seg < kRowBins; ++seg) {
+    w0.push_back(table.knot_watts[seg]);
+    m.push_back(table.slope[seg]);
+  }
+  inv_peak.push_back(table.inv_peak);
+}
+
+}  // namespace
 
 Fleet Fleet::make(std::span<const dataset::ServerRecord> servers) {
   telemetry::Span span("fleet.build");
@@ -22,9 +44,14 @@ Fleet Fleet::make(std::span<const dataset::ServerRecord> servers) {
   fleet.ids_.reserve(servers.size());
   fleet.tables_.reserve(servers.size());
   fleet.ee_at_full_.reserve(servers.size());
+  fleet.grid_w0_.reserve(servers.size() * kRowBins);
+  fleet.grid_m_.reserve(servers.size() * kRowBins);
+  fleet.grid_inv_peak_.reserve(servers.size());
   for (const auto& server : servers) {
     fleet.ids_.push_back(server.id);
     fleet.tables_.push_back(server.curve.interpolation_table());
+    append_grid_row(fleet.grid_w0_, fleet.grid_m_, fleet.grid_inv_peak_,
+                    fleet.tables_.back());
     fleet.ee_at_full_.push_back(
         metrics::ee_at_level(server.curve, metrics::kNumLoadLevels - 1));
     fleet.capacity_ops_ += server.curve.peak_ops();
@@ -48,6 +75,7 @@ epserve::Result<bool> Fleet::Builder::append(
     ids_.push_back(server.id);
     curves_.push_back(server.curve);
     tables_.push_back(server.curve.interpolation_table());
+    append_grid_row(grid_w0_, grid_m_, grid_inv_peak_, tables_.back());
     ee_at_full_.push_back(
         metrics::ee_at_level(server.curve, metrics::kNumLoadLevels - 1));
     capacity_ops_ += server.curve.peak_ops();
@@ -70,6 +98,9 @@ epserve::Result<Fleet> Fleet::Builder::finish() {
   fleet.curves_ = std::move(curves_);
   fleet.tables_ = std::move(tables_);
   fleet.ee_at_full_ = std::move(ee_at_full_);
+  fleet.grid_w0_ = std::move(grid_w0_);
+  fleet.grid_m_ = std::move(grid_m_);
+  fleet.grid_inv_peak_ = std::move(grid_inv_peak_);
   fleet.capacity_ops_ = capacity_ops_;
   fleet.total_idle_watts_ = total_idle_watts_;
   return fleet;
@@ -91,6 +122,73 @@ epserve::Result<Fleet> Fleet::build(
 
 Fleet Fleet::unchecked(std::span<const dataset::ServerRecord> servers) {
   return make(servers);
+}
+
+metrics::kernels::FleetGridView Fleet::grid_view() const {
+  metrics::kernels::FleetGridView view;
+  view.w0 = grid_w0_.data();
+  view.m = grid_m_.data();
+  view.inv_peak = grid_inv_peak_.data();
+  view.servers = grid_inv_peak_.size();
+  return view;
+}
+
+metrics::kernels::GridView Fleet::grid_row(std::size_t i) const {
+  metrics::kernels::GridView view;
+  view.u0 = metrics::kernels::kRowU0;
+  view.w0 = grid_w0_.data() + i * kRowBins;
+  view.m = grid_m_.data() + i * kRowBins;
+  view.inv_peak = grid_inv_peak_[i];
+  view.scale = 10.0;
+  view.last_bin = static_cast<std::int32_t>(kRowBins) - 1;
+  return view;
+}
+
+void Fleet::normalized_power_batch(std::size_t i, std::span<const double> utils,
+                                   std::span<double> out) const {
+  EPSERVE_EXPECTS(utils.size() == out.size());
+  const metrics::kernels::Kernels& kernel = metrics::kernels::active();
+  if (kernel.variant == metrics::kernels::Variant::kScalarReference) {
+    metrics::PowerCurve::normalized_power_batch_from_table(tables_[i], utils,
+                                                           out);
+    return;
+  }
+  kernel.row_batch(grid_view(), i, utils.data(), out.data(), utils.size());
+  telemetry::count("kernel.batch_points", utils.size());
+}
+
+void Fleet::normalized_power_matrix(std::size_t i0, std::size_t count,
+                                    std::span<const double> utils,
+                                    std::span<double> out,
+                                    std::size_t slots) const {
+  EPSERVE_EXPECTS(i0 + count <= size());
+  EPSERVE_EXPECTS(utils.size() == count * slots && out.size() == utils.size());
+  const metrics::kernels::Kernels& kernel = metrics::kernels::active();
+  if (kernel.variant == metrics::kernels::Variant::kScalarReference) {
+    for (std::size_t r = 0; r < count; ++r) {
+      metrics::PowerCurve::normalized_power_batch_from_table(
+          tables_[i0 + r], utils.subspan(r * slots, slots),
+          out.subspan(r * slots, slots));
+    }
+    return;
+  }
+  kernel.row_matrix(grid_view(), i0, count, utils.data(), out.data(), slots);
+  telemetry::count("kernel.batch_points", utils.size());
+}
+
+void Fleet::normalized_power_per_server(std::span<const double> utils,
+                                        std::span<double> out) const {
+  EPSERVE_EXPECTS(utils.size() == size() && out.size() == size());
+  const metrics::kernels::Kernels& kernel = metrics::kernels::active();
+  if (kernel.variant == metrics::kernels::Variant::kScalarReference) {
+    for (std::size_t i = 0; i < size(); ++i) {
+      out[i] = metrics::PowerCurve::normalized_power_from_table(tables_[i],
+                                                                utils[i]);
+    }
+    return;
+  }
+  kernel.fleet_batch(grid_view(), utils.data(), out.data());
+  telemetry::count("kernel.batch_points", utils.size());
 }
 
 std::vector<double> Fleet::optimal_region_tops(double ee_threshold) const {

@@ -30,6 +30,8 @@
 #include "dataset/columnar.h"
 #include "dataset/record.h"
 #include "metrics/power_curve.h"
+#include "metrics/simd/kernels.h"
+#include "util/aligned.h"
 #include "util/result.h"
 
 namespace epserve::cluster {
@@ -77,6 +79,9 @@ class Fleet {
     std::vector<metrics::PowerCurve> curves_;
     std::vector<metrics::PowerCurve::InterpolationTable> tables_;
     std::vector<double> ee_at_full_;
+    util::AlignedVector<double> grid_w0_;
+    util::AlignedVector<double> grid_m_;
+    util::AlignedVector<double> grid_inv_peak_;
     double capacity_ops_ = 0.0;
     double total_idle_watts_ = 0.0;
   };
@@ -153,12 +158,40 @@ class Fleet {
     return metrics::PowerCurve::normalized_power_from_table(tables_[i],
                                                             utilization);
   }
-  /// Batched variant: out[k] = normalized_power(i, utils[k]).
+  /// Batched variant: out[k] = normalized_power(i, utils[k]). Dispatches
+  /// through metrics::kernels::active(): the server's native-resolution grid
+  /// row under the grid/SIMD variants (bitwise identical to the knot walk —
+  /// docs/KERNELS.md), the pinned PowerCurve table path under
+  /// kScalarReference (EPSERVE_FORCE_SCALAR=1).
   void normalized_power_batch(std::size_t i, std::span<const double> utils,
-                              std::span<double> out) const {
-    metrics::PowerCurve::normalized_power_batch_from_table(tables_[i], utils,
-                                                           out);
-  }
+                              std::span<double> out) const;
+
+  /// One point per server: out[i] = normalized_power(i, utils[i]) across the
+  /// whole fleet — the day-sim/placement inner product, served by the
+  /// fleet_batch kernel over the SoA grid columns. Both spans must have
+  /// size() entries.
+  void normalized_power_per_server(std::span<const double> utils,
+                                   std::span<double> out) const;
+
+  /// Blocked matrix form of normalized_power_batch — the placement batch
+  /// evaluator's inner loop: for servers i0..i0+count-1,
+  /// out[r * slots + d] = normalized_power(i0 + r, utils[r * slots + d]).
+  /// One kernel call per block amortises dispatch across every row; same
+  /// bitwise/routing contract as normalized_power_batch. Both spans must
+  /// have count * slots entries.
+  void normalized_power_matrix(std::size_t i0, std::size_t count,
+                               std::span<const double> utils,
+                               std::span<double> out,
+                               std::size_t slots) const;
+
+  /// The fleet's grid columns at native knot resolution (ten bins per
+  /// server, 32-byte aligned, row i at i * kRowBins), built once at
+  /// construction for the SIMD kernels.
+  [[nodiscard]] metrics::kernels::FleetGridView grid_view() const;
+
+  /// Server i's grid row as a single-curve kernel view (scale 10, the
+  /// shared kRowU0 knot column).
+  [[nodiscard]] metrics::kernels::GridView grid_row(std::size_t i) const;
 
   /// Top of each server's optimal working region at `ee_threshold` (1.0 for
   /// servers whose region is empty) — OptimalRegionPolicy's per-batch cap
@@ -187,6 +220,12 @@ class Fleet {
   std::vector<metrics::PowerCurve> curves_;  // streamed fleets only
   std::vector<metrics::PowerCurve::InterpolationTable> tables_;
   std::vector<double> ee_at_full_;
+  // SoA grid columns for the SIMD kernels (native knot resolution; see
+  // grid_view()). Kept alongside tables_, which stays the kScalarReference
+  // evaluation path and the pinned byte-identity reference.
+  util::AlignedVector<double> grid_w0_;        // [size * kRowBins]
+  util::AlignedVector<double> grid_m_;         // [size * kRowBins]
+  util::AlignedVector<double> grid_inv_peak_;  // [size]
   double capacity_ops_ = 0.0;
   double total_idle_watts_ = 0.0;
 };

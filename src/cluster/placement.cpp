@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "metrics/simd/kernels.h"
 #include "util/contracts.h"
 #include "util/telemetry.h"
 
@@ -173,22 +174,42 @@ Result<std::vector<Assignment>> evaluate_batch(const PlacementPolicy& policy,
   }
   // Server-major accounting: each server's cached interpolation table covers
   // every demand point. Each slot's sums still accumulate in server index
-  // order, so totals match evaluate() bitwise.
+  // order, so totals match evaluate() bitwise — the axpy kernel is
+  // element-wise (acc[d] += x[d] * s, no cross-lane reduction), so every
+  // variant produces the scalar loop's bytes. Servers go through the power
+  // kernel in blocks: one normalized_power_matrix call per block amortises
+  // kernel dispatch over kBlockServers rows while the block's clamped/norm
+  // matrices stay cache-resident.
+  constexpr std::size_t kBlockServers = 256;
+  const metrics::kernels::Kernels& kernel = metrics::kernels::active();
   const std::span<const double> peak_watts_col = fleet.peak_watts();
   const std::span<const double> peak_ops_col = fleet.peak_ops();
-  std::vector<double> clamped(demands.size());
-  std::vector<double> norm(demands.size());
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    for (std::size_t d = 0; d < demands.size(); ++d) {
-      clamped[d] = std::clamp(out[d].utilization[i], 0.0, 1.0);
+  const std::size_t slots = demands.size();
+  std::vector<double> clamped(kBlockServers * slots);
+  std::vector<double> norm(kBlockServers * slots);
+  std::vector<double> power_acc(slots, 0.0);
+  std::vector<double> ops_acc(slots, 0.0);
+  for (std::size_t i0 = 0; i0 < fleet.size(); i0 += kBlockServers) {
+    const std::size_t count = std::min(kBlockServers, fleet.size() - i0);
+    for (std::size_t r = 0; r < count; ++r) {
+      for (std::size_t d = 0; d < slots; ++d) {
+        clamped[r * slots + d] =
+            std::clamp(out[d].utilization[i0 + r], 0.0, 1.0);
+      }
     }
-    fleet.normalized_power_batch(i, clamped, norm);
-    const double peak_watts = peak_watts_col[i];
-    const double peak_ops = peak_ops_col[i];
-    for (std::size_t d = 0; d < demands.size(); ++d) {
-      out[d].total_power_watts += norm[d] * peak_watts;
-      out[d].total_ops += clamped[d] * peak_ops;
+    fleet.normalized_power_matrix(
+        i0, count, std::span<const double>(clamped.data(), count * slots),
+        std::span<double>(norm.data(), count * slots), slots);
+    for (std::size_t r = 0; r < count; ++r) {
+      kernel.axpy(power_acc.data(), norm.data() + r * slots,
+                  peak_watts_col[i0 + r], slots);
+      kernel.axpy(ops_acc.data(), clamped.data() + r * slots,
+                  peak_ops_col[i0 + r], slots);
     }
+  }
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    out[d].total_power_watts = power_acc[d];
+    out[d].total_ops = ops_acc[d];
   }
   return out;
 }

@@ -1,0 +1,139 @@
+// Runtime kernel dispatch: one selection per process, cached behind an
+// atomic pointer. Selection order (docs/KERNELS.md):
+//
+//   1. EPSERVE_FORCE_SCALAR set to anything but "0"/"" -> kScalarReference
+//      (the pre-SIMD byte stream, always available);
+//   2. the best vector ISA both compiled in (CMake EPSERVE_SIMD) and
+//      reported by the CPU: AVX-512 (needs avx512f+avx512dq), then AVX2,
+//      via __builtin_cpu_supports on x86-64; NEON unconditionally on
+//      arm64 (baseline ISA there);
+//   3. kGridScalar otherwise.
+//
+// The selected variant is published as the `kernel.dispatch` telemetry
+// gauge (value = Variant enum) so a --trace run shows which path was live.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "metrics/simd/kernels.h"
+#include "util/telemetry.h"
+
+namespace epserve::metrics::kernels {
+
+// Variant tables, each defined in its own TU. The vector tables exist only
+// when their TU is compiled in (see src/CMakeLists.txt).
+extern const Kernels kScalarReferenceKernels;
+extern const Kernels kGridScalarKernels;
+#if defined(EPSERVE_HAVE_AVX2_KERNELS)
+extern const Kernels kGridAvx2Kernels;
+#endif
+#if defined(EPSERVE_HAVE_AVX512_KERNELS)
+extern const Kernels kGridAvx512Kernels;
+#endif
+#if defined(EPSERVE_HAVE_NEON_KERNELS)
+extern const Kernels kGridNeonKernels;
+#endif
+
+namespace {
+
+std::atomic<const Kernels*> g_active{nullptr};
+std::once_flag g_select_once;
+
+void publish(const Kernels& kernels) {
+  telemetry::gauge_set("kernel.dispatch",
+                       static_cast<std::uint64_t>(kernels.variant));
+}
+
+}  // namespace
+
+Variant detect() {
+  if (const char* force = std::getenv("EPSERVE_FORCE_SCALAR");
+      force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return Variant::kScalarReference;
+  }
+#if defined(EPSERVE_HAVE_AVX512_KERNELS)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return Variant::kGridAvx512;
+  }
+#endif
+#if defined(EPSERVE_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2")) {
+    return Variant::kGridAvx2;
+  }
+#endif
+#if defined(EPSERVE_HAVE_NEON_KERNELS)
+  return Variant::kGridNeon;
+#else
+  return Variant::kGridScalar;
+#endif
+}
+
+const Kernels* get(Variant variant) {
+  switch (variant) {
+    case Variant::kScalarReference:
+      return &kScalarReferenceKernels;
+    case Variant::kGridScalar:
+      return &kGridScalarKernels;
+    case Variant::kGridAvx2:
+#if defined(EPSERVE_HAVE_AVX2_KERNELS)
+      if (__builtin_cpu_supports("avx2")) return &kGridAvx2Kernels;
+#endif
+      return nullptr;
+    case Variant::kGridAvx512:
+#if defined(EPSERVE_HAVE_AVX512_KERNELS)
+      if (__builtin_cpu_supports("avx512f") &&
+          __builtin_cpu_supports("avx512dq")) {
+        return &kGridAvx512Kernels;
+      }
+#endif
+      return nullptr;
+    case Variant::kGridNeon:
+#if defined(EPSERVE_HAVE_NEON_KERNELS)
+      return &kGridNeonKernels;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Kernels& active() {
+  const Kernels* cached = g_active.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  std::call_once(g_select_once, [] {
+    const Kernels* chosen = get(detect());
+    publish(*chosen);
+    g_active.store(chosen, std::memory_order_release);
+  });
+  return *g_active.load(std::memory_order_acquire);
+}
+
+bool set_active_for_testing(Variant variant) {
+  const Kernels* kernels = get(variant);
+  if (kernels == nullptr) return false;
+  publish(*kernels);
+  g_active.store(kernels, std::memory_order_release);
+  return true;
+}
+
+const char* variant_name(Variant variant) {
+  const Kernels* kernels = get(variant);
+  if (kernels != nullptr) return kernels->name;
+  switch (variant) {
+    case Variant::kScalarReference:
+      return "scalar-reference";
+    case Variant::kGridScalar:
+      return "grid-scalar";
+    case Variant::kGridAvx2:
+      return "grid-avx2";
+    case Variant::kGridAvx512:
+      return "grid-avx512";
+    case Variant::kGridNeon:
+      return "grid-neon";
+  }
+  return "unknown";
+}
+
+}  // namespace epserve::metrics::kernels

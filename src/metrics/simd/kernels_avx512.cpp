@@ -1,0 +1,305 @@
+// AVX-512 kernel variant: 8 doubles per vector. Compiled with
+// -mavx512f -mavx512dq in its own TU (plus -ffp-contract=off); the
+// dispatcher requires both CPUID bits before routing here.
+//
+// The payoff over AVX2 is not just width: for tables of at most 16 bins —
+// the fleet's native 10-bin rows, i.e. the day-sim/placement hot path — the
+// whole parameter table fits in two zmm registers and the per-vector bin
+// lookup collapses to one vpermi2pd per parameter, replacing twelve scalar
+// loads plus shuffles. Larger grids fall back to 8-lane gathers.
+//
+// Bitwise contract: same as the other vector TUs — plain round-to-nearest
+// mul/sub/add (no FMA), truncating converts, and permutes/gathers that move
+// exact bit patterns, so results match kGridScalar bit-for-bit.
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "metrics/simd/grid_eval.h"
+#include "metrics/simd/kernels.h"
+
+namespace epserve::metrics::kernels {
+namespace {
+
+/// Set bits mark lanes where u is outside [0, 1] or NaN.
+inline __mmask8 out_of_range_mask(__m512d u, __m512d zero, __m512d one) {
+  return static_cast<__mmask8>(_mm512_cmp_pd_mask(u, zero, _CMP_NGE_UQ) |
+                               _mm512_cmp_pd_mask(u, one, _CMP_NLE_UQ));
+}
+
+/// One parameter column of a <=16-bin table, resident in two zmm registers.
+struct RegisterTable {
+  __m512d lo;
+  __m512d hi;
+
+  static RegisterTable load(const double* column, std::int32_t bins) {
+    const __mmask8 lo_mask =
+        bins >= 8 ? static_cast<__mmask8>(0xff)
+                  : static_cast<__mmask8>((1u << bins) - 1u);
+    const __mmask8 hi_mask =
+        bins <= 8 ? static_cast<__mmask8>(0)
+                  : static_cast<__mmask8>((1u << (bins - 8)) - 1u);
+    // Masked lanes are never dereferenced, so the loads cannot fault past
+    // the end of the column.
+    return {_mm512_maskz_loadu_pd(lo_mask, column),
+            _mm512_maskz_loadu_pd(hi_mask, column + 8)};
+  }
+
+  [[nodiscard]] __m512d lookup(__m512i idx) const {
+    return _mm512_permutex2var_pd(lo, idx, hi);
+  }
+};
+
+/// Shared 8-lane loop body for any grid whose table fits in registers.
+/// Handles `n - n % 8` points; returns the index where the tail begins.
+inline std::size_t grid_batch_registers(const RegisterTable& u0,
+                                        const RegisterTable& w0,
+                                        const RegisterTable& m,
+                                        double grid_scale, double grid_inv_peak,
+                                        std::int32_t grid_last_bin,
+                                        const double* utils, double* out,
+                                        std::size_t n) {
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d scale = _mm512_set1_pd(grid_scale);
+  const __m512d inv_peak = _mm512_set1_pd(grid_inv_peak);
+  const __m512i zero_i = _mm512_setzero_si512();
+  const __m512i last = _mm512_set1_epi64(grid_last_bin);
+  __mmask8 bad = 0;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d u = _mm512_loadu_pd(utils + k);
+    bad = static_cast<__mmask8>(bad | out_of_range_mask(u, zero, one));
+    __m512i idx = _mm512_cvttpd_epi64(_mm512_mul_pd(u, scale));
+    idx = _mm512_min_epi64(_mm512_max_epi64(idx, zero_i), last);
+    __m512d v = _mm512_mul_pd(
+        _mm512_add_pd(w0.lookup(idx),
+                      _mm512_mul_pd(_mm512_sub_pd(u, u0.lookup(idx)),
+                                    m.lookup(idx))),
+        inv_peak);
+    v = _mm512_mask_mov_pd(v, _mm512_cmp_pd_mask(u, one, _CMP_EQ_OQ), one);
+    _mm512_storeu_pd(out + k, v);
+  }
+  if (bad != 0) {
+    detail::utilization_out_of_range();
+  }
+  return k;
+}
+
+void grid_batch_avx512(const GridView& grid, const double* utils, double* out,
+                       std::size_t n) {
+  std::size_t k = 0;
+  if (grid.last_bin < 16) {
+    const std::int32_t bins = grid.last_bin + 1;
+    k = grid_batch_registers(RegisterTable::load(grid.u0, bins),
+                             RegisterTable::load(grid.w0, bins),
+                             RegisterTable::load(grid.m, bins), grid.scale,
+                             grid.inv_peak, grid.last_bin, utils, out, n);
+  } else {
+    // Large grid (e.g. a 250-bin UniformGridTable): 8-lane gathers.
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d one = _mm512_set1_pd(1.0);
+    const __m512d scale = _mm512_set1_pd(grid.scale);
+    const __m512d inv_peak = _mm512_set1_pd(grid.inv_peak);
+    const __m256i zero_i = _mm256_setzero_si256();
+    const __m256i last = _mm256_set1_epi32(grid.last_bin);
+    __mmask8 bad = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m512d u = _mm512_loadu_pd(utils + k);
+      bad = static_cast<__mmask8>(bad | out_of_range_mask(u, zero, one));
+      __m256i idx = _mm512_cvttpd_epi32(_mm512_mul_pd(u, scale));
+      idx = _mm256_min_epi32(_mm256_max_epi32(idx, zero_i), last);
+      const __m512d u0 = _mm512_i32gather_pd(idx, grid.u0, 8);
+      const __m512d w0 = _mm512_i32gather_pd(idx, grid.w0, 8);
+      const __m512d m = _mm512_i32gather_pd(idx, grid.m, 8);
+      __m512d v = _mm512_mul_pd(
+          _mm512_add_pd(w0, _mm512_mul_pd(_mm512_sub_pd(u, u0), m)), inv_peak);
+      v = _mm512_mask_mov_pd(v, _mm512_cmp_pd_mask(u, one, _CMP_EQ_OQ), one);
+      _mm512_storeu_pd(out + k, v);
+    }
+    if (bad != 0) {
+      detail::utilization_out_of_range();
+    }
+  }
+  for (; k < n; ++k) {
+    out[k] = detail::grid_eval_checked(grid, utils[k]);
+  }
+}
+
+void fleet_batch_avx512(const FleetGridView& fleet, const double* utils,
+                        double* out) {
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d ten = _mm512_set1_pd(10.0);
+  const __m512i zero_i = _mm512_setzero_si512();
+  const __m512i last_seg = _mm512_set1_epi64(9);
+  const RegisterTable u0_table =
+      RegisterTable::load(kRowU0, FleetGridView::kRowBins);
+  // Flat 64-bit row bases {i..i+7} * 10 step by 80 — no int32 index ceiling.
+  __m512i row_base = _mm512_setr_epi64(0, 10, 20, 30, 40, 50, 60, 70);
+  const __m512i row_step = _mm512_set1_epi64(80);
+  __mmask8 bad = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= fleet.servers; i += 8) {
+    const __m512d u = _mm512_loadu_pd(utils + i);
+    bad = static_cast<__mmask8>(bad | out_of_range_mask(u, zero, one));
+    __m512i seg = _mm512_cvttpd_epi64(_mm512_mul_pd(u, ten));
+    seg = _mm512_min_epi64(_mm512_max_epi64(seg, zero_i), last_seg);
+    const __m512i at = _mm512_add_epi64(row_base, seg);
+    const __m512d u0 = u0_table.lookup(seg);
+    const __m512d w0 = _mm512_i64gather_pd(at, fleet.w0, 8);
+    const __m512d m = _mm512_i64gather_pd(at, fleet.m, 8);
+    const __m512d inv_peak = _mm512_loadu_pd(fleet.inv_peak + i);
+    __m512d v = _mm512_mul_pd(
+        _mm512_add_pd(w0, _mm512_mul_pd(_mm512_sub_pd(u, u0), m)), inv_peak);
+    v = _mm512_mask_mov_pd(v, _mm512_cmp_pd_mask(u, one, _CMP_EQ_OQ), one);
+    _mm512_storeu_pd(out + i, v);
+    row_base = _mm512_add_epi64(row_base, row_step);
+  }
+  if (bad != 0) {
+    detail::utilization_out_of_range();
+  }
+  for (; i < fleet.servers; ++i) {
+    out[i] = detail::fleet_eval_checked(fleet, i, utils[i]);
+  }
+}
+
+// Shared hoistable state of the native-row kernels: everything that does not
+// depend on which server's row is being evaluated.
+struct RowConstants {
+  RegisterTable u0;
+  __m512d zero, one, scale;
+  __m512i zero_i, last;
+
+  static RowConstants make() {
+    return {{_mm512_loadu_pd(kRowU0), _mm512_maskz_loadu_pd(0x03, kRowU0 + 8)},
+            _mm512_setzero_pd(),
+            _mm512_set1_pd(1.0),
+            _mm512_set1_pd(10.0),
+            _mm512_setzero_si512(),
+            _mm512_set1_epi64(9)};
+  }
+};
+
+// One server's row over a batch of demand slots. Unlike the general grid
+// path, everything about the table is known at compile time — exactly
+// kRowBins (10) bins, so the load masks are immediates (full zmm + 2
+// lanes), u0 is the shared kRowU0 column, and inv_peak is a single
+// broadcast. The slot loop is unrolled 2x: iterations are independent, so
+// the second vector hides the first one's convert/permute latency. Returns
+// the accumulated out-of-range lane mask (nonzero = violation) so callers
+// can defer the throw past their own loops; keeping the accumulator local
+// lets it live in a mask register instead of memory.
+// always_inline: GCC otherwise outlines this and reloads every RowConstants
+// register from the stack on each row, which costs more than the row body.
+[[gnu::always_inline]] inline __mmask8 row_avx512(
+    const RowConstants& c, const FleetGridView& fleet, std::size_t i,
+    const double* utils, double* out, std::size_t n) {
+  __mmask8 bad = 0;
+  const std::size_t row = i * FleetGridView::kRowBins;
+  const RegisterTable w0{_mm512_loadu_pd(fleet.w0 + row),
+                         _mm512_maskz_loadu_pd(0x03, fleet.w0 + row + 8)};
+  const RegisterTable m{_mm512_loadu_pd(fleet.m + row),
+                        _mm512_maskz_loadu_pd(0x03, fleet.m + row + 8)};
+  const __m512d inv_peak = _mm512_set1_pd(fleet.inv_peak[i]);
+  const auto lanes8 = [&](std::size_t k) {
+    const __m512d u = _mm512_loadu_pd(utils + k);
+    bad = static_cast<__mmask8>(bad | out_of_range_mask(u, c.zero, c.one));
+    __m512i idx = _mm512_cvttpd_epi64(_mm512_mul_pd(u, c.scale));
+    idx = _mm512_min_epi64(_mm512_max_epi64(idx, c.zero_i), c.last);
+    __m512d v = _mm512_mul_pd(
+        _mm512_add_pd(w0.lookup(idx),
+                      _mm512_mul_pd(_mm512_sub_pd(u, c.u0.lookup(idx)),
+                                    m.lookup(idx))),
+        inv_peak);
+    v = _mm512_mask_mov_pd(v, _mm512_cmp_pd_mask(u, c.one, _CMP_EQ_OQ), c.one);
+    _mm512_storeu_pd(out + k, v);
+  };
+  std::size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    lanes8(k);
+    lanes8(k + 8);
+  }
+  if (k + 8 <= n) {
+    lanes8(k);
+    k += 8;
+  }
+  for (; k < n; ++k) {
+    // Scalar tail shares the deferred check: flag the lane 0 bit on
+    // violation instead of throwing here.
+    const double u = utils[k];
+    if (!(u >= 0.0 && u <= 1.0)) {
+      bad = static_cast<__mmask8>(bad | 1);
+      out[k] = 0.0;
+      continue;
+    }
+    out[k] = detail::fleet_eval_checked(fleet, i, u);
+  }
+  return bad;
+}
+
+void row_batch_avx512(const FleetGridView& fleet, std::size_t i,
+                      const double* utils, double* out, std::size_t n) {
+  const RowConstants c = RowConstants::make();
+  if (row_avx512(c, fleet, i, utils, out, n) != 0) {
+    detail::utilization_out_of_range();
+  }
+}
+
+void row_matrix_avx512(const FleetGridView& fleet, std::size_t i0,
+                       std::size_t count, const double* utils, double* out,
+                       std::size_t slots) {
+  const RowConstants c = RowConstants::make();
+  __mmask8 bad = 0;
+  for (std::size_t r = 0; r < count; ++r) {
+    bad = static_cast<__mmask8>(
+        bad | row_avx512(c, fleet, i0 + r, utils + r * slots,
+                         out + r * slots, slots));
+  }
+  if (bad != 0) {
+    detail::utilization_out_of_range();
+  }
+}
+
+void clamp01_avx512(const double* in, double* out, std::size_t n) {
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d one = _mm512_set1_pd(1.0);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    // Limit-first operand order propagates NaN and signed-zero inputs
+    // (second operand) unchanged, matching the scalar two-branch clamp.
+    const __m512d v = _mm512_loadu_pd(in + k);
+    _mm512_storeu_pd(out + k, _mm512_min_pd(one, _mm512_max_pd(zero, v)));
+  }
+  for (; k < n; ++k) {
+    const double v = in[k];
+    out[k] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+  }
+}
+
+void axpy_avx512(double* acc, const double* x, double s, std::size_t n) {
+  const __m512d sv = _mm512_set1_pd(s);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d product = _mm512_mul_pd(_mm512_loadu_pd(x + k), sv);
+    _mm512_storeu_pd(acc + k, _mm512_add_pd(_mm512_loadu_pd(acc + k), product));
+  }
+  for (; k < n; ++k) {
+    acc[k] += x[k] * s;
+  }
+}
+
+}  // namespace
+
+extern const Kernels kGridAvx512Kernels;
+const Kernels kGridAvx512Kernels = {
+    Variant::kGridAvx512, "grid-avx512",    grid_batch_avx512,
+    fleet_batch_avx512,   row_batch_avx512, row_matrix_avx512,
+    clamp01_avx512,       axpy_avx512,
+};
+
+}  // namespace epserve::metrics::kernels
+
+#endif  // __AVX512F__ && __AVX512DQ__

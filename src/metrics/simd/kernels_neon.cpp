@@ -1,0 +1,143 @@
+// NEON kernel variant (arm64): 2 doubles per vector. AArch64 has no vector
+// gather, so bin parameters are loaded lane-wise from scalar-computed
+// indices; the arithmetic still runs as vector ops.
+//
+// Bitwise contract: identical to the AVX2 TU — plain vmul/vsub/vadd
+// round-to-nearest ops, never vfma (fused), so results match kGridScalar
+// bit-for-bit. NEON is baseline on AArch64, so this TU needs no special
+// compile flags; it is simply absent from x86 builds.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "metrics/simd/grid_eval.h"
+#include "metrics/simd/kernels.h"
+
+namespace epserve::metrics::kernels {
+namespace {
+
+inline bool lane_in_range(double u) { return u >= 0.0 && u <= 1.0; }
+
+/// Truncating bin index clamped to [0, last] — u already range-checked.
+inline std::size_t bin_of(double u, double scale, std::size_t last) {
+  return std::min(static_cast<std::size_t>(u * scale), last);
+}
+
+void grid_batch_neon(const GridView& grid, const double* utils, double* out,
+                     std::size_t n) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t inv_peak = vdupq_n_f64(grid.inv_peak);
+  const std::size_t last = static_cast<std::size_t>(grid.last_bin);
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const double ua = utils[k];
+    const double ub = utils[k + 1];
+    if (!lane_in_range(ua) || !lane_in_range(ub)) {
+      detail::utilization_out_of_range();
+    }
+    const std::size_t ia = bin_of(ua, grid.scale, last);
+    const std::size_t ib = bin_of(ub, grid.scale, last);
+    const float64x2_t u = vld1q_f64(utils + k);
+    const float64x2_t u0 = {grid.u0[ia], grid.u0[ib]};
+    const float64x2_t w0 = {grid.w0[ia], grid.w0[ib]};
+    const float64x2_t m = {grid.m[ia], grid.m[ib]};
+    float64x2_t v = vmulq_f64(
+        vaddq_f64(w0, vmulq_f64(vsubq_f64(u, u0), m)), inv_peak);
+    v = vbslq_f64(vceqq_f64(u, one), one, v);
+    vst1q_f64(out + k, v);
+  }
+  for (; k < n; ++k) {
+    out[k] = detail::grid_eval_checked(grid, utils[k]);
+  }
+}
+
+void fleet_batch_neon(const FleetGridView& fleet, const double* utils,
+                      double* out) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= fleet.servers; i += 2) {
+    const double ua = utils[i];
+    const double ub = utils[i + 1];
+    if (!lane_in_range(ua) || !lane_in_range(ub)) {
+      detail::utilization_out_of_range();
+    }
+    const std::size_t sa = bin_of(ua, 10.0, 9);
+    const std::size_t sb = bin_of(ub, 10.0, 9);
+    const std::size_t ra = i * FleetGridView::kRowBins + sa;
+    const std::size_t rb = (i + 1) * FleetGridView::kRowBins + sb;
+    const float64x2_t u = vld1q_f64(utils + i);
+    const float64x2_t u0 = {kRowU0[sa], kRowU0[sb]};
+    const float64x2_t w0 = {fleet.w0[ra], fleet.w0[rb]};
+    const float64x2_t m = {fleet.m[ra], fleet.m[rb]};
+    const float64x2_t inv_peak = vld1q_f64(fleet.inv_peak + i);
+    float64x2_t v = vmulq_f64(
+        vaddq_f64(w0, vmulq_f64(vsubq_f64(u, u0), m)), inv_peak);
+    v = vbslq_f64(vceqq_f64(u, one), one, v);
+    vst1q_f64(out + i, v);
+  }
+  for (; i < fleet.servers; ++i) {
+    out[i] = detail::fleet_eval_checked(fleet, i, utils[i]);
+  }
+}
+
+void row_batch_neon(const FleetGridView& fleet, std::size_t i,
+                    const double* utils, double* out, std::size_t n) {
+  const std::size_t row = i * FleetGridView::kRowBins;
+  const GridView grid{kRowU0,          fleet.w0 + row, fleet.m + row,
+                      fleet.inv_peak[i], 10.0,         9};
+  grid_batch_neon(grid, utils, out, n);
+}
+
+void row_matrix_neon(const FleetGridView& fleet, std::size_t i0,
+                     std::size_t count, const double* utils, double* out,
+                     std::size_t slots) {
+  for (std::size_t r = 0; r < count; ++r) {
+    row_batch_neon(fleet, i0 + r, utils + r * slots, out + r * slots, slots);
+  }
+}
+
+void clamp01_neon(const double* in, double* out, std::size_t n) {
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t v = vld1q_f64(in + k);
+    // Compare-and-select rather than vmin/vmax so NaN and -0.0 lanes pass
+    // through unchanged, matching the scalar two-branch clamp.
+    const float64x2_t lo = vbslq_f64(vcltq_f64(v, vdupq_n_f64(0.0)),
+                                     vdupq_n_f64(0.0), v);
+    const float64x2_t hi = vbslq_f64(vcgtq_f64(lo, vdupq_n_f64(1.0)),
+                                     vdupq_n_f64(1.0), lo);
+    vst1q_f64(out + k, hi);
+  }
+  for (; k < n; ++k) {
+    const double v = in[k];
+    out[k] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+  }
+}
+
+void axpy_neon(double* acc, const double* x, double s, std::size_t n) {
+  const float64x2_t sv = vdupq_n_f64(s);
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t product = vmulq_f64(vld1q_f64(x + k), sv);
+    vst1q_f64(acc + k, vaddq_f64(vld1q_f64(acc + k), product));
+  }
+  for (; k < n; ++k) {
+    acc[k] += x[k] * s;
+  }
+}
+
+}  // namespace
+
+extern const Kernels kGridNeonKernels;
+const Kernels kGridNeonKernels = {
+    Variant::kGridNeon, "grid-neon",    grid_batch_neon,
+    fleet_batch_neon,   row_batch_neon, row_matrix_neon,
+    clamp01_neon,       axpy_neon,
+};
+
+}  // namespace epserve::metrics::kernels
+
+#endif  // __aarch64__

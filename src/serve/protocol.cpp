@@ -326,6 +326,7 @@ std::string render_stats_response(std::uint64_t epoch, std::uint64_t digest,
   json.key("requests").value(static_cast<std::size_t>(info.requests));
   json.key("swaps").value(static_cast<std::size_t>(info.swaps));
   json.key("active_epochs").value(info.active_epochs);
+  json.key("kernel").value(info.kernel);
   json.end_object();
   return json.str();
 }

@@ -105,6 +105,7 @@ struct StatsInfo {
   std::uint64_t requests = 0;      // served so far, this one included
   std::uint64_t swaps = 0;         // published fleet updates
   std::size_t active_epochs = 0;   // snapshots not yet reclaimed
+  std::string kernel;              // active power-kernel variant name
 };
 
 std::string render_stats_response(std::uint64_t epoch, std::uint64_t digest,

@@ -5,6 +5,7 @@
 
 #include "cluster/operating_guide.h"
 #include "cluster/power_cap.h"
+#include "metrics/simd/kernels.h"
 #include "util/telemetry.h"
 
 namespace epserve::serve {
@@ -195,6 +196,7 @@ std::string FleetServer::handle_request(const Request& request) {
     info.requests = requests_.load(std::memory_order_relaxed);
     info.swaps = swaps_.load(std::memory_order_relaxed);
     info.active_epochs = state_->active_epochs();
+    info.kernel = metrics::kernels::active().name;
     return render_stats_response(pin.epoch(), pin->digest(), info);
   }
   return handle_admin(std::get<AdminRequest>(request.payload));

@@ -1,0 +1,51 @@
+// Over-aligned heap allocation for SIMD column storage.
+//
+// The metrics/simd kernels load fleet columns with 32-byte vector loads;
+// std::allocator only guarantees alignof(std::max_align_t) (16 on x86-64),
+// so the columns cluster::Fleet hands to the kernels use this allocator
+// instead. Alignment is a template parameter so a future AVX-512 column can
+// ask for 64 without a new type.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace epserve::util {
+
+template <typename T, std::size_t Alignment = 32>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of 2");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 32-byte aligned (the kernels' load width).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace epserve::util
