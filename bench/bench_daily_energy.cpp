@@ -25,7 +25,7 @@ int main() {
                                                 trace.demand.end()), 0)
             << "\n\n";
 
-  const auto results = cluster::compare_policies_over_day(fleet, trace);
+  const auto results = cluster::compare_policies_over_day(cluster::Fleet::from_records(fleet), trace);
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.error().message.c_str());
     return 1;

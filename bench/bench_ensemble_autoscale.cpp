@@ -28,9 +28,9 @@ int main() {
             << format_fixed(mean_ep, 2) << "\n\n";
 
   const auto trace = cluster::DemandTrace::diurnal(0.2, 0.4);
-  const auto always_on = cluster::compare_policies_over_day(fleet, trace);
+  const auto always_on = cluster::compare_policies_over_day(cluster::Fleet::from_records(fleet), trace);
   if (!always_on.ok()) return 1;
-  const auto scaled = cluster::autoscale_over_day(fleet, trace);
+  const auto scaled = cluster::autoscale_over_day(cluster::Fleet::from_records(fleet), trace);
   if (!scaled.ok()) return 1;
 
   TextTable table;

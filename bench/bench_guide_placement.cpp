@@ -22,6 +22,9 @@ int main() {
     }
   }
 
+  // One record->Fleet conversion at the boundary, shared by every section.
+  const auto handle = cluster::Fleet::from_records(fleet);
+
   const cluster::PackToFullPolicy pack;
   const cluster::BalancedPolicy balanced;
   const cluster::OptimalRegionPolicy optimal;
@@ -30,9 +33,9 @@ int main() {
   table.columns({"demand", "pack-to-full (ops/W)", "balanced (ops/W)",
                  "optimal-region (ops/W)", "optimal vs pack"});
   for (double demand = 0.1; demand <= 0.91; demand += 0.1) {
-    const auto a = cluster::evaluate(pack, fleet, demand);
-    const auto b = cluster::evaluate(balanced, fleet, demand);
-    const auto c = cluster::evaluate(optimal, fleet, demand);
+    const auto a = cluster::evaluate(pack, handle,  demand);
+    const auto b = cluster::evaluate(balanced, handle,  demand);
+    const auto c = cluster::evaluate(optimal, handle,  demand);
     if (!a.ok() || !b.ok() || !c.ok()) {
       std::fprintf(stderr, "placement evaluation failed\n");
       return 1;
@@ -50,7 +53,7 @@ int main() {
   for (const cluster::PlacementPolicy* policy :
        std::initializer_list<const cluster::PlacementPolicy*>{
            &pack, &balanced, &optimal}) {
-    const auto curve = cluster::cluster_power_curve(*policy, fleet);
+    const auto curve = cluster::cluster_power_curve(*policy, handle);
     if (!curve.ok()) {
       std::fprintf(stderr, "%s\n", curve.error().message.c_str());
       return 1;
@@ -72,7 +75,7 @@ int main() {
            &pack, &balanced, &optimal}) {
     double best_ops = 0.0;
     for (double demand = 0.0; demand <= 1.0; demand += 0.01) {
-      const auto a = cluster::evaluate(*policy, fleet, demand);
+      const auto a = cluster::evaluate(*policy, handle,  demand);
       if (!a.ok()) break;
       if (a.value().total_power_watts <= cap) {
         best_ops = std::max(best_ops, a.value().total_ops);

@@ -23,6 +23,7 @@ benches=(
   bench_report_cache
   bench_telemetry_overhead
   bench_fleet_day
+  bench_policy_matrix
   bench_serve_qps
   bench_population_scale
 )

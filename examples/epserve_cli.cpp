@@ -14,9 +14,14 @@
 //   epserve_cli validate <in.csv>           structural validation of a CSV
 //   epserve_cli sweep   <server 1..4>       §V testbed sweep (Fig.18-21)
 //   epserve_cli guide   [fleet_size] [seed] §V.C operating guide
-//   epserve_cli day     [fleet_size] [seed] 24h energy under each placement
-//                                           policy plus the ensemble
-//                                           autoscaler, on one shared Fleet
+//   epserve_cli day     [fleet_size] [seed] trace energy under each placement
+//                       [--trace=<name>]    policy plus the ensemble
+//                       [--idle=none|acpi]  autoscaler, on one shared Fleet
+//                                           (default trace: diurnal)
+//   epserve_cli day     --list-traces       the registered trace catalog
+//   epserve_cli day     --matrix [--json]   all policies x all traces off one
+//                                           shared Fleet, ACPI idle ladder;
+//                                           winner per trace class
 //   epserve_cli day     --scale N [seed] [--chunk C]
 //                                           same study on a streamed Fleet of
 //                                           N scaled servers (Fleet::Builder;
@@ -49,7 +54,9 @@
 #include "cluster/autoscaler.h"
 #include "cluster/day_simulation.h"
 #include "cluster/fleet.h"
+#include "cluster/matrix.h"
 #include "cluster/operating_guide.h"
+#include "cluster/trace.h"
 #include "analysis/report_json.h"
 #include "serve/server.h"
 #include "core/epserve.h"
@@ -413,19 +420,80 @@ int cmd_day(int argc, const char* const* argv) {
   bool scale_given = false;
   std::string chunk_text;
   bool chunk_given = false;
+  std::string trace_name;
+  bool trace_given = false;
+  std::string idle_name;
+  bool idle_given = false;
+  bool list_traces = false;
+  bool matrix = false;
+  bool json = false;
   ArgParser parser("day");
   parser.optional_u64("fleet_size", &fleet_size, "servers in the fleet")
       .optional_u64("seed", &seed, "population seed")
       .value_flag("--scale", &scale_text, &scale_given,
                   "run on a streamed fleet of N scaled servers")
       .value_flag("--chunk", &chunk_text, &chunk_given,
-                  "rows per streamed chunk (default 65536)");
+                  "rows per streamed chunk (default 65536)")
+      .value_flag("--trace", &trace_name, &trace_given,
+                  "registry trace to simulate (--trace=<name>; bare --trace "
+                  "is the global telemetry flag)")
+      .value_flag("--idle", &idle_name, &idle_given,
+                  "idle-state model: none|acpi (default none; acpi under "
+                  "--matrix)")
+      .flag("--list-traces", &list_traces, "list registered traces and exit")
+      .flag("--matrix", &matrix,
+            "all policies x all traces off one shared Fleet")
+      .flag("--json", &json, "with --matrix: emit the JSON report");
   if (auto parsed = parser.parse(argc, argv); !parsed.ok()) {
     return parse_failure(parser, parsed.error());
+  }
+  if (list_traces) {
+    TextTable table;
+    table.columns({"name", "slots", "slot h", "base", "amplitude",
+                   "latency-critical", "description"});
+    for (const auto& info : cluster::trace_catalog()) {
+      table.row({std::string(info.name), std::to_string(info.slots),
+                 format_fixed(info.slot_hours, 1),
+                 format_fixed(info.default_base, 2),
+                 format_fixed(info.default_amplitude, 2),
+                 info.latency_critical ? "yes" : "no",
+                 std::string(info.description)});
+    }
+    std::cout << table.render();
+    return 0;
   }
   if (chunk_given && !scale_given) {
     std::fprintf(stderr, "--chunk requires --scale\n");
     return 2;
+  }
+  if (json && !matrix) {
+    std::fprintf(stderr, "--json requires --matrix\n");
+    return 2;
+  }
+  if (matrix && trace_given) {
+    std::fprintf(stderr, "--matrix runs every registered trace; drop "
+                         "--trace=%s\n", trace_name.c_str());
+    return 2;
+  }
+  // Idle model: legacy accounting by default on the single-trace path
+  // (keeps the no-flag output byte-identical); the matrix defaults to the
+  // ACPI ladder it exists to expose.
+  auto idle = cluster::IdleModel::by_name(
+      idle_given ? idle_name : (matrix ? "acpi" : "none"));
+  if (!idle.ok()) {
+    std::fprintf(stderr, "%s\n", idle.error().message.c_str());
+    return 2;
+  }
+  // Trace selection is strict: an unknown name exits 2 listing the known
+  // names (from the registry's kNotFound error).
+  cluster::DemandTrace trace;
+  if (!matrix) {
+    auto made = cluster::make_trace(trace_given ? trace_name : "diurnal");
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.error().message.c_str());
+      return 2;
+    }
+    trace = std::move(made).take();
   }
   if (seed != kSeedAbsent && !scale_given) config.seed = seed;
   dataset::ScaledConfig scaled_config;
@@ -454,15 +522,26 @@ int cmd_day(int argc, const char* const* argv) {
     std::fprintf(stderr, "%s\n", handle.error().message.c_str());
     return 1;
   }
-  const auto trace = cluster::DemandTrace::diurnal();
-  auto days = cluster::compare_policies_over_day(handle.value(), trace);
+  if (matrix) {
+    cluster::MatrixOptions options;
+    options.idle = std::move(idle).take();
+    options.idle_name = idle_given ? idle_name : "acpi";
+    auto run = cluster::run_policy_trace_matrix(handle.value(), options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.error().message.c_str());
+      return 1;
+    }
+    if (json) {
+      std::cout << cluster::render_matrix_json(run.value()) << "\n";
+    } else {
+      std::cout << cluster::render_matrix_text(run.value());
+    }
+    return 0;
+  }
+  auto days =
+      cluster::compare_policies_over_day(handle.value(), trace, idle.value());
   if (!days.ok()) {
     std::fprintf(stderr, "%s\n", days.error().message.c_str());
-    return 1;
-  }
-  auto scaled = cluster::autoscale_over_day(handle.value(), trace);
-  if (!scaled.ok()) {
-    std::fprintf(stderr, "%s\n", scaled.error().message.c_str());
     return 1;
   }
   TextTable table;
@@ -472,9 +551,19 @@ int cmd_day(int argc, const char* const* argv) {
                format_fixed(day.served_gops, 1),
                format_fixed(day.avg_efficiency, 1)});
   }
-  table.row({"autoscaler", format_fixed(scaled.value().energy_kwh, 2),
-             format_fixed(scaled.value().served_gops, 1),
-             format_fixed(scaled.value().avg_efficiency, 1)});
+  if (trace.latency_critical()) {
+    // Powering servers fully off violates the trace's idle-state cap.
+    table.row({"autoscaler", "-", "-", "-"});
+  } else {
+    auto scaled = cluster::autoscale_over_day(handle.value(), trace);
+    if (!scaled.ok()) {
+      std::fprintf(stderr, "%s\n", scaled.error().message.c_str());
+      return 1;
+    }
+    table.row({"autoscaler", format_fixed(scaled.value().energy_kwh, 2),
+               format_fixed(scaled.value().served_gops, 1),
+               format_fixed(scaled.value().avg_efficiency, 1)});
+  }
   std::cout << handle.value().size() << " servers over "
             << trace.demand.size() << " slots\n"
             << table.render();
@@ -577,9 +666,12 @@ int cmd_fit(int argc, const char* const* argv) {
   return 1;
 }
 
-/// The one definition of the global --trace flag: strips it from argv (any
-/// position), enables telemetry, and reports the requested render mode.
-/// Returns false on a malformed --trace value.
+/// The one definition of the global --trace flag: strips a bare `--trace`
+/// or `--trace=json` from argv (any position), enables telemetry, and
+/// reports the requested render mode. Any other `--trace=<value>` is left
+/// in argv for the subcommand parser — `day` defines `--trace=<name>` as
+/// its demand-trace selector; every other subcommand rejects it as an
+/// unknown flag.
 bool extract_trace_flag(std::vector<const char*>& args, bool& trace,
                         bool& trace_json) {
   std::vector<const char*> kept;
@@ -590,9 +682,6 @@ bool extract_trace_flag(std::vector<const char*>& args, bool& trace,
     } else if (view == "--trace=json") {
       trace = true;
       trace_json = true;
-    } else if (starts_with(view, "--trace=")) {
-      std::fprintf(stderr, "--trace accepts only '=json' (got '%s')\n", arg);
-      return false;
     } else {
       kept.push_back(arg);
     }

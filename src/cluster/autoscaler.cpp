@@ -148,11 +148,4 @@ Result<AutoscaleResult> autoscale_over_day(const Fleet& fleet,
   return result;
 }
 
-Result<AutoscaleResult> autoscale_over_day(
-    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace,
-    const AutoscalerConfig& config) {
-  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
-  return autoscale_over_day(Fleet::unchecked(fleet), trace, config);
-}
-
 }  // namespace epserve::cluster

@@ -50,9 +50,4 @@ epserve::Result<AutoscaleResult> autoscale_over_day(
     const Fleet& fleet, const DemandTrace& trace,
     const AutoscalerConfig& config = {});
 
-/// Legacy wrapper: builds a throwaway unchecked Fleet and delegates.
-epserve::Result<AutoscaleResult> autoscale_over_day(
-    const std::vector<dataset::ServerRecord>& fleet, const DemandTrace& trace,
-    const AutoscalerConfig& config = {});
-
 }  // namespace epserve::cluster

@@ -1,36 +1,27 @@
 #include "cluster/day_simulation.h"
 
 #include <algorithm>
-#include <cmath>
 #include <initializer_list>
-#include <numbers>
+#include <vector>
 
 #include "util/telemetry.h"
 
 namespace epserve::cluster {
 
-DemandTrace DemandTrace::diurnal(double base, double amplitude) {
-  DemandTrace trace;
-  trace.slot_hours = 1.0;
-  trace.demand.resize(24);
-  for (int h = 0; h < 24; ++h) {
-    // Trough around 04:00, peak around 20:00 (shifted sine, clamped).
-    const double phase =
-        2.0 * std::numbers::pi * (static_cast<double>(h) - 10.0) / 24.0;
-    const double value = base + amplitude * 0.5 * (1.0 + std::sin(phase));
-    trace.demand[static_cast<std::size_t>(h)] =
-        std::clamp(value, 0.0, 1.0);
-  }
-  return trace;
-}
-
 Result<DayResult> simulate_day(const PlacementPolicy& policy,
-                               const Fleet& fleet, const DemandTrace& trace) {
+                               const Fleet& fleet, const DemandTrace& trace,
+                               const IdleModel& idle) {
   if (trace.demand.empty()) {
     return Error::invalid_argument("trace has no slots");
   }
   if (!(trace.slot_hours > 0.0)) {
     return Error::invalid_argument("slot length must be positive");
+  }
+  // The trivial model (IdleModel::none()) skips the idle pass entirely, so
+  // that path stays bit-identical to the pre-idle-model accounting.
+  const bool idle_aware = !idle.trivial();
+  if (idle_aware) {
+    if (auto valid = idle.validate(); !valid.ok()) return valid.error();
   }
   // Root scope: the policy's whole day reads as `cluster/policy/<name>`
   // whether it runs on the calling thread or a pool worker.
@@ -50,19 +41,55 @@ Result<DayResult> simulate_day(const PlacementPolicy& policy,
     result.served_gops +=
         assignment.total_ops * trace.slot_hours * 3600.0 / 1e9;
   }
+  if (idle_aware) {
+    // Idle pass, server-index order per slot (deterministic): a parked
+    // server (exact utilisation 0.0 — the evaluators charge it active idle
+    // power) drops to the deepest state the trace's cap allows; the
+    // parked->active transition charges the state's wake energy and
+    // forfeits the wake_latency_s head of the slot's served work.
+    const double slot_seconds = trace.slot_hours * 3600.0;
+    const auto idle_watts = fleet.idle_watts();
+    const auto peak_ops = fleet.peak_ops();
+    const auto& slots = assignments.value();
+    std::vector<int> parked_state(fleet.size(), -1);  // -1 = active
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const int cap = trace.idle_state_cap(s, idle.deepest());
+      const IdleState& state = idle.states[static_cast<std::size_t>(cap)];
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        const double u = slots[s].utilization[i];
+        if (u == 0.0) {
+          result.energy_kwh += idle_watts[i] * (state.power_fraction - 1.0) *
+                               trace.slot_hours / 1000.0;
+          result.idle_energy_kwh += idle_watts[i] * state.power_fraction *
+                                    trace.slot_hours / 1000.0;
+          parked_state[i] = cap;
+          continue;
+        }
+        if (parked_state[i] >= 0) {
+          const IdleState& from =
+              idle.states[static_cast<std::size_t>(parked_state[i])];
+          result.wake_count += 1;
+          result.wake_energy_kwh += from.wake_energy_j / 3.6e6;
+          result.energy_kwh += from.wake_energy_j / 3.6e6;
+          const double gap =
+              std::min(from.wake_latency_s, slot_seconds) / slot_seconds;
+          const double lost =
+              u * peak_ops[i] * gap * trace.slot_hours * 3600.0 / 1e9;
+          result.wake_lost_gops += lost;
+          result.served_gops -= lost;
+        }
+        parked_state[i] = -1;
+      }
+    }
+    telemetry::count("cluster.day.wakes", result.wake_count);
+  }
   const double joules = result.energy_kwh * 3.6e6;
   result.avg_efficiency = joules > 0.0 ? result.served_gops * 1e9 / joules : 0.0;
   return result;
 }
 
-Result<DayResult> simulate_day(const PlacementPolicy& policy,
-                               const std::vector<dataset::ServerRecord>& fleet,
-                               const DemandTrace& trace) {
-  return simulate_day(policy, Fleet::unchecked(fleet), trace);
-}
-
 Result<std::vector<DayResult>> compare_policies_over_day(
-    const Fleet& fleet, const DemandTrace& trace) {
+    const Fleet& fleet, const DemandTrace& trace, const IdleModel& idle) {
   const PackToFullPolicy pack;
   const BalancedPolicy balanced;
   const OptimalRegionPolicy optimal;
@@ -70,17 +97,11 @@ Result<std::vector<DayResult>> compare_policies_over_day(
   for (const PlacementPolicy* policy :
        std::initializer_list<const PlacementPolicy*>{&pack, &balanced,
                                                      &optimal}) {
-    auto day = simulate_day(*policy, fleet, trace);
+    auto day = simulate_day(*policy, fleet, trace, idle);
     if (!day.ok()) return day.error();
     results.push_back(std::move(day).take());
   }
   return results;
-}
-
-Result<std::vector<DayResult>> compare_policies_over_day(
-    const std::vector<dataset::ServerRecord>& fleet,
-    const DemandTrace& trace) {
-  return compare_policies_over_day(Fleet::unchecked(fleet), trace);
 }
 
 }  // namespace epserve::cluster

@@ -120,7 +120,7 @@ epserve::Result<Fleet> Fleet::build(
   return make(servers);
 }
 
-Fleet Fleet::unchecked(std::span<const dataset::ServerRecord> servers) {
+Fleet Fleet::from_records(std::span<const dataset::ServerRecord> servers) {
   return make(servers);
 }
 

@@ -45,10 +45,13 @@ class Fleet {
   static epserve::Result<Fleet> build(
       std::span<const dataset::ServerRecord> servers);
 
-  /// Unvalidated build for the legacy delegating wrappers, whose original
-  /// scalar paths never validated curves — keeps their behaviour (and their
-  /// error surfaces) exactly as before the refactor. Prefer build().
-  static Fleet unchecked(std::span<const dataset::ServerRecord> servers);
+  /// Unvalidated adapter at the record/Fleet call boundary: wraps a record
+  /// vector without curve validation, preserving the error surfaces of the
+  /// pre-Fleet scalar paths (which never validated curves — evaluation
+  /// still fails on an empty fleet or bad demand exactly as before).
+  /// Every cluster entry point takes `const Fleet&` only; callers holding
+  /// records convert once here. Prefer build() for untrusted input.
+  static Fleet from_records(std::span<const dataset::ServerRecord> servers);
 
   /// Streaming fleet assembly for chunk-emitting generators
   /// (dataset::generate_population_chunked): append record chunks, then
@@ -207,9 +210,7 @@ class Fleet {
   [[nodiscard]] std::uint64_t digest() const;
 
  private:
-  // Only the named factories construct fleets. Keeping the default ctor
-  // private also keeps `{}` unambiguous at the legacy vector<ServerRecord>
-  // overloads of evaluate()/evaluate_batch().
+  // Only the named factories construct fleets.
   Fleet() = default;
 
   static Fleet make(std::span<const dataset::ServerRecord> servers);

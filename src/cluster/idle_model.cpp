@@ -1,0 +1,76 @@
+#include "cluster/idle_model.h"
+
+namespace epserve::cluster {
+
+IdleModel IdleModel::none() {
+  IdleModel model;
+  model.states = {{"C0", 1.0, 0.0, 0.0}};
+  return model;
+}
+
+IdleModel IdleModel::acpi() {
+  IdleModel model;
+  model.states = {
+      {"C0", 1.0, 0.0, 0.0},        // active idle: the measured curve floor
+      {"C1", 0.70, 10e-6, 1.0},     // clock-gated halt
+      {"C3", 0.40, 100e-6, 20.0},   // caches flushed
+      {"C6", 0.15, 1e-3, 150.0},    // core power-gated
+      {"S3", 0.03, 30.0, 6000.0},   // suspend-to-RAM: boot-burst wake
+  };
+  return model;
+}
+
+Result<IdleModel> IdleModel::by_name(std::string_view name) {
+  if (name == "none") return none();
+  if (name == "acpi") return acpi();
+  return Error::not_found("unknown idle model '" + std::string(name) +
+                          "' (known models: none, acpi)");
+}
+
+bool IdleModel::trivial() const {
+  if (states.size() > 1) return false;
+  if (states.empty()) return true;
+  const IdleState& s = states.front();
+  return s.power_fraction == 1.0 && s.wake_latency_s == 0.0 &&
+         s.wake_energy_j == 0.0;
+}
+
+Result<bool> IdleModel::validate() const {
+  if (states.empty()) {
+    return Error::invalid_argument("idle model has no states");
+  }
+  const IdleState& first = states.front();
+  if (first.power_fraction != 1.0 || first.wake_latency_s != 0.0 ||
+      first.wake_energy_j != 0.0) {
+    return Error::invalid_argument(
+        "idle state 0 must be free active idle (power_fraction 1, zero "
+        "wake cost)");
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const IdleState& s = states[i];
+    const std::string where = "idle state " + std::to_string(i) +
+                              (s.name.empty() ? "" : " (" + s.name + ")");
+    if (!(s.power_fraction >= 0.0 && s.power_fraction <= 1.0)) {
+      return Error::invalid_argument(where +
+                                     ": power_fraction must be in [0, 1]");
+    }
+    if (s.wake_latency_s < 0.0 || s.wake_energy_j < 0.0) {
+      return Error::invalid_argument(where +
+                                     ": wake costs must be non-negative");
+    }
+    if (i == 0) continue;
+    const IdleState& prev = states[i - 1];
+    if (s.power_fraction > prev.power_fraction) {
+      return Error::invalid_argument(
+          where + ": power_fraction must not increase with depth");
+    }
+    if (s.wake_latency_s < prev.wake_latency_s ||
+        s.wake_energy_j < prev.wake_energy_j) {
+      return Error::invalid_argument(
+          where + ": wake costs must not decrease with depth");
+    }
+  }
+  return true;
+}
+
+}  // namespace epserve::cluster

@@ -94,7 +94,7 @@ Result<metrics::PowerCurve> knightshift_curve(const Fleet& fleet,
 Result<metrics::PowerCurve> knightshift_curve(
     const dataset::ServerRecord& primary, const KnightShiftConfig& config) {
   const Fleet fleet =
-      Fleet::unchecked(std::span<const dataset::ServerRecord>(&primary, 1));
+      Fleet::from_records(std::span<const dataset::ServerRecord>(&primary, 1));
   return knightshift_curve(fleet, 0, config);
 }
 
@@ -115,7 +115,7 @@ Result<KnightShiftComparison> compare_knightshift(
 Result<KnightShiftComparison> compare_knightshift(
     const dataset::ServerRecord& primary, const KnightShiftConfig& config) {
   const Fleet fleet =
-      Fleet::unchecked(std::span<const dataset::ServerRecord>(&primary, 1));
+      Fleet::from_records(std::span<const dataset::ServerRecord>(&primary, 1));
   return compare_knightshift(fleet, 0, config);
 }
 

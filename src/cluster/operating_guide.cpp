@@ -89,14 +89,6 @@ Result<OperatingGuide> build_operating_guide(const Fleet& fleet,
   return guide;
 }
 
-Result<OperatingGuide> build_operating_guide(
-    const std::vector<dataset::ServerRecord>& fleet, double ee_threshold,
-    double ep_bucket_width) {
-  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
-  return build_operating_guide(Fleet::unchecked(fleet), ee_threshold,
-                               ep_bucket_width);
-}
-
 std::string render_guide(const OperatingGuide& guide) {
   TextTable table;
   table.columns({"EP bucket", "servers", "shared region", "target util",

@@ -37,14 +37,10 @@ struct OperatingGuide {
 /// Builds the guide. Target utilisation per cluster: the top of the shared
 /// region when it exists (running at the high end maximises work done inside
 /// the efficient band), otherwise the members' mean peak-EE utilisation.
-/// The Fleet overload reads peak ops / peak-EE state off the fleet columns;
-/// the record overload wraps one unchecked Fleet around the vector.
+/// Peak ops / peak-EE state is read off the fleet columns.
 epserve::Result<OperatingGuide> build_operating_guide(
     const Fleet& fleet, double ee_threshold = 0.95,
     double ep_bucket_width = 0.1);
-epserve::Result<OperatingGuide> build_operating_guide(
-    const std::vector<dataset::ServerRecord>& fleet,
-    double ee_threshold = 0.95, double ep_bucket_width = 0.1);
 
 /// Renders the guide as a table.
 std::string render_guide(const OperatingGuide& guide);

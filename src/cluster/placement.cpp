@@ -50,11 +50,6 @@ std::vector<double> PlacementPolicy::place(const Fleet& fleet,
   return std::move(placed.front());
 }
 
-std::vector<double> PlacementPolicy::place(
-    const std::vector<dataset::ServerRecord>& fleet, double demand) const {
-  return place(Fleet::unchecked(fleet), demand);
-}
-
 std::vector<std::vector<double>> PackToFullPolicy::place_batch(
     const Fleet& fleet, std::span<const double> demands) const {
   const auto order = order_by(fleet, fleet.ee_at_full());
@@ -135,13 +130,6 @@ Result<Assignment> evaluate(const PlacementPolicy& policy, const Fleet& fleet,
   return assignment;
 }
 
-Result<Assignment> evaluate(const PlacementPolicy& policy,
-                            const std::vector<dataset::ServerRecord>& fleet,
-                            double demand) {
-  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
-  return evaluate(policy, Fleet::unchecked(fleet), demand);
-}
-
 Result<std::vector<Assignment>> evaluate_batch(const PlacementPolicy& policy,
                                                const Fleet& fleet,
                                                std::span<const double> demands) {
@@ -214,14 +202,6 @@ Result<std::vector<Assignment>> evaluate_batch(const PlacementPolicy& policy,
   return out;
 }
 
-Result<std::vector<Assignment>> evaluate_batch(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet,
-    std::span<const double> demands) {
-  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
-  return evaluate_batch(policy, Fleet::unchecked(fleet), demands);
-}
-
 Result<metrics::PowerCurve> cluster_power_curve(const PlacementPolicy& policy,
                                                 const Fleet& fleet) {
   if (fleet.empty()) return Error::invalid_argument("fleet is empty");
@@ -244,13 +224,6 @@ Result<metrics::PowerCurve> cluster_power_curve(const PlacementPolicy& policy,
   metrics::PowerCurve curve(watts, ops, idle);
   if (auto valid = curve.validate(); !valid.ok()) return valid.error();
   return curve;
-}
-
-Result<metrics::PowerCurve> cluster_power_curve(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet) {
-  if (fleet.empty()) return Error::invalid_argument("fleet is empty");
-  return cluster_power_curve(policy, Fleet::unchecked(fleet));
 }
 
 epserve::Result<std::unique_ptr<PlacementPolicy>> make_placement_policy(

@@ -11,10 +11,12 @@
 // point is place_batch(fleet, demands), so demand-independent work (ordering
 // servers by an efficiency score, computing working-region caps) happens once
 // per batch instead of once per demand point, and all power accounting runs
-// through the fleet's cached interpolation tables. The record-at-a-time
-// std::vector<ServerRecord> entry points survive as thin wrappers that build
-// an unchecked Fleet and delegate — their results are byte-identical to the
-// pre-Fleet implementations (pinned by tests/cluster_fleet_test.cpp).
+// through the fleet's cached interpolation tables. Callers holding raw
+// std::vector<ServerRecord> data convert once at the call boundary via
+// Fleet::from_records (unvalidated) or Fleet::build (validated) — every
+// entry point here takes `const Fleet&` only, and the results are
+// byte-identical to the pre-Fleet record-at-a-time implementations
+// (pinned by tests/cluster_fleet_test.cpp).
 #pragma once
 
 #include <memory>
@@ -56,11 +58,6 @@ class PlacementPolicy {
   /// Single-demand convenience over place_batch.
   [[nodiscard]] std::vector<double> place(const Fleet& fleet,
                                           double demand) const;
-
-  /// Legacy record-at-a-time entry point: builds a throwaway unchecked Fleet
-  /// and delegates. Prefer the Fleet overloads in loops.
-  [[nodiscard]] std::vector<double> place(
-      const std::vector<dataset::ServerRecord>& fleet, double demand) const;
 };
 
 /// Packs servers to 100% one at a time, most-efficient-at-full-load first.
@@ -100,9 +97,6 @@ class OptimalRegionPolicy final : public PlacementPolicy {
 /// [0, 1].
 epserve::Result<Assignment> evaluate(const PlacementPolicy& policy,
                                      const Fleet& fleet, double demand);
-epserve::Result<Assignment> evaluate(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet, double demand);
 
 /// Evaluates a policy at many demand points in one call: one place_batch for
 /// the placement, then server-major power accounting through the fleet's
@@ -111,10 +105,6 @@ epserve::Result<Assignment> evaluate(
 /// per demand.
 epserve::Result<std::vector<Assignment>> evaluate_batch(
     const PlacementPolicy& policy, const Fleet& fleet,
-    std::span<const double> demands);
-epserve::Result<std::vector<Assignment>> evaluate_batch(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet,
     std::span<const double> demands);
 
 /// Policy lookup by wire/CLI name ("pack-to-full", "balanced",
@@ -129,8 +119,5 @@ epserve::Result<std::unique_ptr<PlacementPolicy>> make_placement_policy(
 /// a PowerCurve so cluster-wide EP (Eq.1) applies directly.
 epserve::Result<metrics::PowerCurve> cluster_power_curve(
     const PlacementPolicy& policy, const Fleet& fleet);
-epserve::Result<metrics::PowerCurve> cluster_power_curve(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet);
 
 }  // namespace epserve::cluster

@@ -55,14 +55,4 @@ Result<CapResult> max_throughput_under_cap(const PlacementPolicy& policy,
   return result;
 }
 
-Result<CapResult> max_throughput_under_cap(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet, double cap_watts,
-    double tolerance) {
-  // No empty-fleet check here: the legacy path surfaced it from evaluate()
-  // after the cap/tolerance checks, and the Fleet path does the same.
-  return max_throughput_under_cap(policy, Fleet::unchecked(fleet), cap_watts,
-                                  tolerance);
-}
-
 }  // namespace epserve::cluster

@@ -21,15 +21,10 @@ struct CapResult {
 /// Finds the largest demand a policy can serve without exceeding
 /// `cap_watts`, by bisection over the demand axis (power is monotone in
 /// demand for all built-in policies). Fails when even zero demand (fleet
-/// idle) violates the cap, or on an empty fleet. The Fleet overload reuses
-/// the fleet's cached tables across every bisection step; the record
-/// overload builds one unchecked Fleet for the whole search.
+/// idle) violates the cap, or on an empty fleet. The fleet's cached tables
+/// are reused across every bisection step.
 epserve::Result<CapResult> max_throughput_under_cap(
     const PlacementPolicy& policy, const Fleet& fleet, double cap_watts,
-    double tolerance = 1e-4);
-epserve::Result<CapResult> max_throughput_under_cap(
-    const PlacementPolicy& policy,
-    const std::vector<dataset::ServerRecord>& fleet, double cap_watts,
     double tolerance = 1e-4);
 
 }  // namespace epserve::cluster

@@ -83,11 +83,4 @@ std::vector<LogicalCluster> build_logical_clusters(const Fleet& fleet,
   return out;
 }
 
-std::vector<LogicalCluster> build_logical_clusters(
-    const std::vector<dataset::ServerRecord>& servers, double bucket_width,
-    double ee_threshold) {
-  return build_logical_clusters(Fleet::unchecked(servers), bucket_width,
-                                ee_threshold);
-}
-
 }  // namespace epserve::cluster

@@ -43,13 +43,10 @@ struct LogicalCluster {
 };
 
 /// Groups servers into EP buckets of `bucket_width` and computes each
-/// bucket's shared optimal region. Buckets ascend by EP. The Fleet overload
-/// reads each server's EP off the fleet's derived column instead of
-/// re-integrating the curve per call; members point into fleet.records().
+/// bucket's shared optimal region. Buckets ascend by EP. Each server's EP is
+/// read off the fleet's derived column instead of re-integrating the curve
+/// per call; members point into fleet.records() (view-built fleets only).
 std::vector<LogicalCluster> build_logical_clusters(
     const Fleet& fleet, double bucket_width = 0.1, double ee_threshold = 0.95);
-std::vector<LogicalCluster> build_logical_clusters(
-    const std::vector<dataset::ServerRecord>& servers,
-    double bucket_width = 0.1, double ee_threshold = 0.95);
 
 }  // namespace epserve::cluster

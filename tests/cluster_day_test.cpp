@@ -51,7 +51,7 @@ TEST(DemandTrace, DiurnalClampsExtremeShapesIntoUnitRange) {
       EXPECT_GE(d, 0.0) << "base " << base << " amplitude " << amplitude;
       EXPECT_LE(d, 1.0) << "base " << base << " amplitude " << amplitude;
     }
-    const auto day = simulate_day(policy, f, trace);
+    const auto day = simulate_day(policy, Fleet::from_records(f), trace);
     EXPECT_TRUE(day.ok()) << day.error().message;
   }
 }
@@ -68,7 +68,7 @@ TEST(DemandTrace, TroughAtNightPeakInEvening) {
 TEST(SimulateDay, AccountsEnergyAndWork) {
   const auto f = fleet();
   const OptimalRegionPolicy policy;
-  const auto day = simulate_day(policy, f, DemandTrace::diurnal());
+  const auto day = simulate_day(policy, Fleet::from_records(f), DemandTrace::diurnal());
   ASSERT_TRUE(day.ok()) << day.error().message;
   EXPECT_GT(day.value().energy_kwh, 0.0);
   EXPECT_GT(day.value().served_gops, 0.0);
@@ -81,7 +81,7 @@ TEST(SimulateDay, ZeroDemandTraceStillBurnsIdleEnergy) {
   DemandTrace trace;
   trace.demand.assign(24, 0.0);
   const BalancedPolicy policy;
-  const auto day = simulate_day(policy, f, trace);
+  const auto day = simulate_day(policy, Fleet::from_records(f), trace);
   ASSERT_TRUE(day.ok());
   double idle_watts = 0.0;
   for (const auto& s : f) idle_watts += s.curve.idle_watts();
@@ -93,15 +93,15 @@ TEST(SimulateDay, RejectsEmptyTraceAndBadSlot) {
   const auto f = fleet();
   const BalancedPolicy policy;
   DemandTrace empty;
-  EXPECT_FALSE(simulate_day(policy, f, empty).ok());
+  EXPECT_FALSE(simulate_day(policy, Fleet::from_records(f), empty).ok());
   DemandTrace bad;
   bad.demand = {0.5};
   bad.slot_hours = 0.0;
-  EXPECT_FALSE(simulate_day(policy, f, bad).ok());
+  EXPECT_FALSE(simulate_day(policy, Fleet::from_records(f), bad).ok());
 }
 
 TEST(CompareOverDay, ReturnsAllThreePolicies) {
-  const auto results = compare_policies_over_day(fleet(), DemandTrace::diurnal());
+  const auto results = compare_policies_over_day(Fleet::from_records(fleet()), DemandTrace::diurnal());
   ASSERT_TRUE(results.ok());
   ASSERT_EQ(results.value().size(), 3u);
   EXPECT_EQ(results.value()[0].policy, "pack-to-full");
@@ -110,7 +110,7 @@ TEST(CompareOverDay, ReturnsAllThreePolicies) {
 }
 
 TEST(CompareOverDay, AllPoliciesServeTheSameWork) {
-  const auto results = compare_policies_over_day(fleet(), DemandTrace::diurnal());
+  const auto results = compare_policies_over_day(Fleet::from_records(fleet()), DemandTrace::diurnal());
   ASSERT_TRUE(results.ok());
   const double reference = results.value()[0].served_gops;
   for (const auto& day : results.value()) {
@@ -129,7 +129,7 @@ TEST(CompareOverDay, OptimalRegionUsesLeastEnergyOnModernFleet) {
       modern.push_back(r);
     }
   }
-  const auto results = compare_policies_over_day(modern, DemandTrace::diurnal());
+  const auto results = compare_policies_over_day(Fleet::from_records(modern), DemandTrace::diurnal());
   ASSERT_TRUE(results.ok());
   const auto& pack = results.value()[0];
   const auto& balanced = results.value()[1];

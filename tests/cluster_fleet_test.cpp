@@ -179,7 +179,7 @@ TEST(FleetBuild, ColumnsAreBitwiseCopiesOfPerRecordMetrics) {
 
 TEST(FleetBuild, NormalizedPowerMatchesCurveBitwise) {
   const auto records = make_fleet(20);
-  const Fleet fleet = Fleet::unchecked(records);
+  const Fleet fleet = Fleet::from_records(records);
   for (std::size_t i = 0; i < records.size(); ++i) {
     for (const double u : {0.0, 0.03, 0.1, 0.37, 0.5, 0.71, 0.99, 1.0}) {
       EXPECT_EQ(fleet.normalized_power(i, u),
@@ -278,7 +278,7 @@ TEST(FleetBuild, NamesTheServerForEveryCurveFailureMode) {
 
 TEST(FleetBuild, OptimalRegionTopsMatchPerRecordRegions) {
   const auto records = make_fleet(50);
-  const Fleet fleet = Fleet::unchecked(records);
+  const Fleet fleet = Fleet::from_records(records);
   const auto tops = fleet.optimal_region_tops(0.95);
   ASSERT_EQ(tops.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -312,7 +312,7 @@ TEST_P(FleetEquivalence, EvaluateIsByteIdenticalToScalarReference) {
   }
 }
 
-TEST_P(FleetEquivalence, LegacyWrappersMatchTheFleetPath) {
+TEST_P(FleetEquivalence, FromRecordsAdapterMatchesValidatedBuild) {
   const auto records = make_fleet(GetParam());
   const auto built = Fleet::build(records);
   ASSERT_TRUE(built.ok()) << built.error().message;
@@ -320,7 +320,8 @@ TEST_P(FleetEquivalence, LegacyWrappersMatchTheFleetPath) {
 
   const auto day_fleet =
       compare_policies_over_day(built.value(), trace);
-  const auto day_legacy = compare_policies_over_day(records, trace);
+  const auto day_legacy =
+      compare_policies_over_day(Fleet::from_records(records), trace);
   ASSERT_TRUE(day_fleet.ok());
   ASSERT_TRUE(day_legacy.ok());
   ASSERT_EQ(day_fleet.value().size(), day_legacy.value().size());
@@ -335,7 +336,8 @@ TEST_P(FleetEquivalence, LegacyWrappersMatchTheFleetPath) {
   }
 
   const auto scaled_fleet = autoscale_over_day(built.value(), trace);
-  const auto scaled_legacy = autoscale_over_day(records, trace);
+  const auto scaled_legacy =
+      autoscale_over_day(Fleet::from_records(records), trace);
   ASSERT_TRUE(scaled_fleet.ok());
   ASSERT_TRUE(scaled_legacy.ok());
   EXPECT_EQ(scaled_fleet.value().energy_kwh, scaled_legacy.value().energy_kwh);
@@ -351,7 +353,8 @@ TEST_P(FleetEquivalence, LegacyWrappersMatchTheFleetPath) {
   }
 
   const auto guide_fleet = build_operating_guide(built.value());
-  const auto guide_legacy = build_operating_guide(records);
+  const auto guide_legacy =
+      build_operating_guide(Fleet::from_records(records));
   ASSERT_TRUE(guide_fleet.ok());
   ASSERT_TRUE(guide_legacy.ok());
   EXPECT_EQ(render_guide(guide_fleet.value()),
@@ -362,7 +365,8 @@ TEST_P(FleetEquivalence, LegacyWrappersMatchTheFleetPath) {
   const OptimalRegionPolicy optimal;
   const auto cap_fleet =
       max_throughput_under_cap(optimal, built.value(), 1e9);
-  const auto cap_legacy = max_throughput_under_cap(optimal, records, 1e9);
+  const auto cap_legacy =
+      max_throughput_under_cap(optimal, Fleet::from_records(records), 1e9);
   ASSERT_TRUE(cap_fleet.ok());
   ASSERT_TRUE(cap_legacy.ok());
   EXPECT_EQ(cap_fleet.value().max_demand, cap_legacy.value().max_demand);
@@ -382,7 +386,7 @@ TEST(FleetConcurrency, EightThreadsSeeOneBuildAndIdenticalResults) {
 
   // Single-threaded baseline through its own fleet.
   const auto baseline =
-      compare_policies_over_day(Fleet::unchecked(records), trace);
+      compare_policies_over_day(Fleet::from_records(records), trace);
   ASSERT_TRUE(baseline.ok());
 
   telemetry::reset();

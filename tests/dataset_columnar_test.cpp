@@ -185,11 +185,11 @@ TEST(EvaluateBatch, BitIdenticalToPerSlotEvaluate) {
   const std::vector<ServerRecord> fleet(base.begin(), base.begin() + 32);
   const cluster::OptimalRegionPolicy policy;
   const auto trace = cluster::DemandTrace::diurnal();
-  auto batched = cluster::evaluate_batch(policy, fleet, trace.demand);
+  auto batched = cluster::evaluate_batch(policy, cluster::Fleet::from_records(fleet), trace.demand);
   ASSERT_TRUE(batched.ok());
   ASSERT_EQ(batched.value().size(), trace.demand.size());
   for (std::size_t d = 0; d < trace.demand.size(); ++d) {
-    auto single = cluster::evaluate(policy, fleet, trace.demand[d]);
+    auto single = cluster::evaluate(policy, cluster::Fleet::from_records(fleet), trace.demand[d]);
     ASSERT_TRUE(single.ok());
     EXPECT_EQ(batched.value()[d].total_power_watts,
               single.value().total_power_watts);
@@ -203,10 +203,10 @@ TEST(EvaluateBatch, RejectsWithTheSameErrorsAsEvaluate) {
   const std::vector<ServerRecord> fleet(base.begin(), base.begin() + 4);
   const cluster::BalancedPolicy policy;
   const std::vector<double> bad{0.5, 1.5};
-  auto result = cluster::evaluate_batch(policy, fleet, bad);
+  auto result = cluster::evaluate_batch(policy, cluster::Fleet::from_records(fleet), bad);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().message, "demand must be in [0, 1]");
-  auto empty = cluster::evaluate_batch(policy, std::vector<dataset::ServerRecord>{}, bad);
+  auto empty = cluster::evaluate_batch(policy, cluster::Fleet::from_records(std::vector<dataset::ServerRecord>{}), bad);
   ASSERT_FALSE(empty.ok());
   EXPECT_EQ(empty.error().message, "fleet is empty");
 }
