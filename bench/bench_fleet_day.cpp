@@ -42,6 +42,7 @@
 #include "cluster/fleet.h"
 #include "cluster/placement.h"
 #include "cluster/working_region.h"
+#include "exp/gate.h"
 #include "metrics/curve_models.h"
 #include "metrics/efficiency.h"
 #include "metrics/simd/kernels.h"
@@ -333,34 +334,21 @@ int main() {
       1e9 * kernel_simd_s / kernel_points, kernel_speedup,
       kernels::variant_name(dispatched));
 
-  bool ok = true;
-  if (!(fleet_digest == scalar_digest)) {
-    std::fprintf(stderr, "FAIL: day outputs differ between paths\n");
-    ok = false;
+  exp::Gate gate("bench_fleet_day");
+  gate.bytes_equal("day digest: fleet vs scalar",
+                   std::span<const double>(fleet_digest.values),
+                   std::span<const double>(scalar_digest.values));
+  gate.bytes_equal("day digest: forced-scalar vs scalar",
+                   std::span<const double>(forced_scalar_digest.values),
+                   std::span<const double>(scalar_digest.values));
+  gate.bytes_equal("kernel matrix: dispatched vs scalar reference",
+                   std::span<const double>(kernel_out_simd),
+                   std::span<const double>(kernel_out_scalar));
+  gate.floor("day speedup (x)", speedup, 3.0);
+  if (have_vector) {
+    gate.floor(std::string("kernel speedup (x, ") +
+                   kernels::variant_name(dispatched) + ")",
+               kernel_speedup, 4.0);
   }
-  if (!(forced_scalar_digest == scalar_digest)) {
-    std::fprintf(stderr,
-                 "FAIL: forced-scalar day outputs differ from the pre-SIMD "
-                 "path\n");
-    ok = false;
-  }
-  if (std::memcmp(kernel_out_scalar.data(), kernel_out_simd.data(),
-                  kernel_out_scalar.size() * sizeof(double)) != 0) {
-    std::fprintf(stderr,
-                 "FAIL: dispatched kernel output is not byte-identical to "
-                 "the scalar reference\n");
-    ok = false;
-  }
-  if (speedup < 3.0) {
-    std::fprintf(stderr, "FAIL: fleet speedup %.2fx below 3x target\n",
-                 speedup);
-    ok = false;
-  }
-  if (have_vector && kernel_speedup < 4.0) {
-    std::fprintf(stderr,
-                 "FAIL: batch kernel speedup %.2fx below 4x target (%s)\n",
-                 kernel_speedup, kernels::variant_name(dispatched));
-    ok = false;
-  }
-  return ok ? 0 : 1;
+  return gate.finish();
 }

@@ -17,6 +17,7 @@
 
 #include "cluster/fleet.h"
 #include "cluster/matrix.h"
+#include "exp/gate.h"
 #include "metrics/curve_models.h"
 
 namespace {
@@ -107,25 +108,13 @@ int main() {
       parallel.value().policies.size(), 1000.0 * serial_s,
       1000.0 * parallel_s);
 
-  bool ok = true;
-  const std::string text_serial = cluster::render_matrix_text(serial.value());
-  const std::string text_parallel =
-      cluster::render_matrix_text(parallel.value());
-  if (text_serial != text_parallel) {
-    std::fprintf(stderr,
-                 "FAIL: text matrix differs between 1 and 8 threads\n");
-    ok = false;
-  }
-  if (cluster::render_matrix_json(serial.value()) !=
-      cluster::render_matrix_json(parallel.value())) {
-    std::fprintf(stderr,
-                 "FAIL: JSON matrix differs between 1 and 8 threads\n");
-    ok = false;
-  }
-  if (parallel_s > kWallBudgetSeconds) {
-    std::fprintf(stderr, "FAIL: matrix took %.1fs, budget is %.1fs\n",
-                 parallel_s, kWallBudgetSeconds);
-    ok = false;
-  }
-  return ok ? 0 : 1;
+  exp::Gate gate("bench_policy_matrix");
+  gate.bytes_equal("text matrix: 1 vs 8 threads",
+                   cluster::render_matrix_text(serial.value()),
+                   cluster::render_matrix_text(parallel.value()));
+  gate.bytes_equal("json matrix: 1 vs 8 threads",
+                   cluster::render_matrix_json(serial.value()),
+                   cluster::render_matrix_json(parallel.value()));
+  gate.ceiling("matrix wall (s)", parallel_s, kWallBudgetSeconds);
+  return gate.finish();
 }

@@ -30,6 +30,7 @@
 #include "cluster/placement.h"
 #include "dataset/generator.h"
 #include "dataset/group_index.h"
+#include "exp/gate.h"
 
 namespace {
 
@@ -78,7 +79,7 @@ int main() {
   bench::print_header(
       "population scale — 1M-server streaming pipeline",
       "sharded generate -> chunked fleet build -> radix group -> day sim");
-  bool ok = true;
+  exp::Gate gate("bench_population_scale");
 
   // --- reference-size digest byte-compare: streamed == monolithic ----------
   dataset::ScaledConfig reference_config;
@@ -98,13 +99,9 @@ int main() {
   }
   const bool digest_match =
       reference_streamed.value().digest() == monolithic.value().digest();
-  if (!digest_match) {
-    std::fprintf(stderr,
-                 "FAIL: streamed digest diverges from monolithic digest at "
-                 "%llu servers\n",
-                 static_cast<unsigned long long>(kReferenceServers));
-    ok = false;
-  }
+  gate.require("digest: streamed vs monolithic (5000-server reference)",
+               digest_match,
+               digest_match ? "digests identical" : "digests diverge");
 
   // --- full-scale streamed build -------------------------------------------
   dataset::ScaledConfig scale_config;
@@ -141,16 +138,11 @@ int main() {
   const double comparison_ms =
       1000.0 * seconds_since(comparison_start) / kGroupIters;
   const double radix_speedup = comparison_ms / radix_ms;
-  if (radix_groups != comparison_groups) {
-    std::fprintf(stderr, "FAIL: radix and comparison group counts differ\n");
-    ok = false;
-  }
-  if (radix_speedup < 2.0) {
-    std::fprintf(stderr,
-                 "FAIL: radix grouping %.2fx vs comparison, below 2x target\n",
-                 radix_speedup);
-    ok = false;
-  }
+  gate.require("radix vs comparison group counts",
+               radix_groups == comparison_groups,
+               std::to_string(radix_groups) + " vs " +
+                   std::to_string(comparison_groups) + " groups");
+  gate.floor("radix grouping speedup (x)", radix_speedup, 2.0);
 
   // --- one whole-day placement run on the million-server fleet --------------
   const auto trace = cluster::DemandTrace::diurnal();
@@ -165,11 +157,8 @@ int main() {
   }
 
   const long rss_mb = peak_rss_mb();
-  if (rss_mb > kPeakRssCeilingMb) {
-    std::fprintf(stderr, "FAIL: peak RSS %ld MB above the %ld MB ceiling\n",
-                 rss_mb, kPeakRssCeilingMb);
-    ok = false;
-  }
+  gate.ceiling("peak RSS (MB)", static_cast<double>(rss_mb),
+               static_cast<double>(kPeakRssCeilingMb));
 
   TextTable table;
   table.columns({"stage", "value"});
@@ -196,5 +185,5 @@ int main() {
       static_cast<unsigned long long>(kScaleServers), build_s, rows_per_s,
       radix_ms, comparison_ms, radix_speedup, day_s, day.value().energy_kwh,
       digest_match ? 1 : 0, rss_mb);
-  return ok ? 0 : 1;
+  return gate.finish();
 }

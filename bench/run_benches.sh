@@ -1,14 +1,9 @@
 #!/usr/bin/env bash
-# Runs the perf-gating bench suite and emits a machine-readable baseline.
-#
-# Each bench binary is timed wall-clock and must exit 0 (the perf benches
-# self-verify: byte-compared outputs, exactly-once cache stats, and speedup
-# floors). Binaries may print one `BENCH_JSON {...}` line with their key
-# numbers; it is harvested verbatim into the baseline's `metrics` field.
-#
-# Alongside the baseline, the same document is written to a dated
-# BENCH_<YYYYMMDD>.json snapshot (next to the output file) so perf history
-# accumulates run over run instead of being overwritten.
+# Back-compat wrapper over `epserve_exp gate` (src/exp/gate.h), which owns
+# the perf-gating suite: it runs every gating bench wall-clock timed,
+# harvests the `BENCH_JSON {...}` lines, and writes the
+# epserve-bench-baseline-v1 document plus a dated BENCH_<YYYYMMDD>.json
+# snapshot next to it. Same CLI as the old shell harness:
 #
 # Usage: bench/run_benches.sh [build-dir] [output-json]
 #   defaults:     build       BENCH_baseline.json
@@ -16,54 +11,11 @@ set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_baseline.json}"
-dated="$(dirname "${out}")/BENCH_$(date +%Y%m%d).json"
+harness="${build_dir}/examples/epserve_exp"
 
-benches=(
-  bench_columnar_groupby
-  bench_report_cache
-  bench_telemetry_overhead
-  bench_fleet_day
-  bench_policy_matrix
-  bench_serve_qps
-  bench_population_scale
-)
+if [[ ! -x "${harness}" ]]; then
+  echo "missing harness binary: ${harness} (build the epserve_exp_app target first)" >&2
+  exit 1
+fi
 
-entries=()
-status=0
-for bench in "${benches[@]}"; do
-  binary="${build_dir}/bench/${bench}"
-  if [[ ! -x "${binary}" ]]; then
-    echo "missing bench binary: ${binary} (build the ${bench} target first)" >&2
-    exit 1
-  fi
-  echo "== ${bench} =="
-  start=$(date +%s.%N)
-  output=$("${binary}" 2>&1) && exit_code=0 || exit_code=$?
-  end=$(date +%s.%N)
-  echo "${output}"
-  seconds=$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.3f", b - a }')
-  metrics=$(printf '%s\n' "${output}" | sed -n 's/^BENCH_JSON //p' | tail -1)
-  [[ -n "${metrics}" ]] || metrics="{}"
-  entries+=("    {\"name\": \"${bench}\", \"exit\": ${exit_code}, \"seconds\": ${seconds}, \"metrics\": ${metrics}}")
-  if [[ "${exit_code}" -ne 0 ]]; then
-    echo "FAIL: ${bench} exited ${exit_code}" >&2
-    status=1
-  fi
-done
-
-{
-  echo '{'
-  echo '  "schema": "epserve-bench-baseline-v1",'
-  echo '  "benches": ['
-  for i in "${!entries[@]}"; do
-    suffix=','
-    [[ "$i" -eq $((${#entries[@]} - 1)) ]] && suffix=''
-    echo "${entries[$i]}${suffix}"
-  done
-  echo '  ]'
-  echo '}'
-} > "${out}"
-cp "${out}" "${dated}"
-
-echo "baseline written to ${out} (snapshot: ${dated})"
-exit "${status}"
+exec "${harness}" gate --build-dir "${build_dir}" --out "${out}"

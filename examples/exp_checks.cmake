@@ -1,0 +1,67 @@
+# CLI contract checks for epserve_exp that need exact exit codes or
+# byte-compared files (ctest's PASS_REGULAR_EXPRESSION can verify neither).
+# Invoked per check by examples/CMakeLists.txt:
+#   cmake -DEXP_BIN=<binary> -DCHECK=<name> -DREPO_DIR=<source tree>
+#         -DWORK_DIR=<scratch dir> -P exp_checks.cmake
+
+if(CHECK STREQUAL "unknown_spec")
+  # An unknown spec name is a usage error: exit code exactly 2 and a
+  # diagnostic listing the known registry names.
+  execute_process(COMMAND ${EXP_BIN} run no_such_spec
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "expected exit 2 for unknown spec, got ${code}")
+  endif()
+  foreach(name smoke default scale)
+    if(NOT err MATCHES "${name}")
+      message(FATAL_ERROR "diagnostic does not list spec '${name}': ${err}")
+    endif()
+  endforeach()
+
+elseif(CHECK STREQUAL "threads_invariance")
+  # The determinism contract, end to end through the CLI: the default-spec
+  # result document is byte-identical at 1 and 8 worker threads.
+  set(one "${WORK_DIR}/exp_default_t1.json")
+  set(eight "${WORK_DIR}/exp_default_t8.json")
+  execute_process(COMMAND ${EXP_BIN} run default --threads 1 --out ${one}
+                  RESULT_VARIABLE code ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "run default --threads 1 failed (${code}): ${err}")
+  endif()
+  execute_process(COMMAND ${EXP_BIN} run default --threads 8 --out ${eight}
+                  RESULT_VARIABLE code ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "run default --threads 8 failed (${code}): ${err}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${one} ${eight}
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "result documents differ between 1 and 8 threads")
+  endif()
+
+elseif(CHECK STREQUAL "render_committed")
+  # The committed sweep report regenerates byte-for-byte from the committed
+  # result document (render is pure parse + format — no simulation).
+  set(rendered "${WORK_DIR}/EXPERIMENTS_SWEEPS.rendered.md")
+  execute_process(COMMAND ${EXP_BIN} render
+                          ${REPO_DIR}/experiments/exp_default.json
+                          --out ${rendered}
+                  RESULT_VARIABLE code ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "render failed (${code}): ${err}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          ${rendered} ${REPO_DIR}/EXPERIMENTS_SWEEPS.md
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "rendered report differs from committed EXPERIMENTS_SWEEPS.md "
+            "(regenerate: build/examples/epserve_exp render "
+            "experiments/exp_default.json --out EXPERIMENTS_SWEEPS.md)")
+  endif()
+
+else()
+  message(FATAL_ERROR "unknown CHECK '${CHECK}'")
+endif()

@@ -1,0 +1,357 @@
+#include "exp/report.h"
+
+#include <utility>
+
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+#include "util/strings.h"
+
+namespace epserve::exp {
+namespace {
+
+constexpr std::string_view kResultSchema = "epserve-exp-result-v1";
+
+/// Strict non-negative-integer member (axis coordinates, counters).
+Result<std::uint64_t> u64_member(const JsonValue& doc, std::string_view key) {
+  auto number = doc.number_member(key);
+  if (!number.ok()) return number.error();
+  const double value = number.value();
+  if (value < 0.0 ||
+      value != static_cast<double>(static_cast<std::uint64_t>(value))) {
+    return Error::parse(std::string(key) +
+                        ": expected a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+Result<bool> bool_member(const JsonValue& doc, std::string_view key) {
+  const JsonValue* member = doc.find(key);
+  if (member == nullptr || !member->is_bool()) {
+    return Error::parse(std::string(key) + ": expected a boolean");
+  }
+  return member->as_bool();
+}
+
+Result<FleetSummary> fleet_from_value(const JsonValue& doc) {
+  if (!doc.is_object()) return Error::parse("fleets: expected objects");
+  FleetSummary fleet;
+  auto fleet_size = u64_member(doc, "fleet_size");
+  if (!fleet_size.ok()) return fleet_size.error();
+  fleet.fleet_size = fleet_size.value();
+  auto seed = u64_member(doc, "seed");
+  if (!seed.ok()) return seed.error();
+  fleet.seed = seed.value();
+  auto gen_threads = u64_member(doc, "gen_threads");
+  if (!gen_threads.ok()) return gen_threads.error();
+  fleet.gen_threads = static_cast<int>(gen_threads.value());
+  auto digest = doc.string_member("digest");
+  if (!digest.ok()) return digest.error();
+  auto parsed = parse_digest_hex(digest.value());
+  if (!parsed.ok()) return parsed.error();
+  fleet.digest = parsed.value();
+  return fleet;
+}
+
+Result<CellResult> cell_from_value(const JsonValue& doc) {
+  if (!doc.is_object()) return Error::parse("cells: expected objects");
+  CellResult result;
+  auto fleet_size = u64_member(doc, "fleet_size");
+  if (!fleet_size.ok()) return fleet_size.error();
+  result.cell.fleet_size = fleet_size.value();
+  auto seed = u64_member(doc, "seed");
+  if (!seed.ok()) return seed.error();
+  result.cell.seed = seed.value();
+  auto gen_threads = u64_member(doc, "gen_threads");
+  if (!gen_threads.ok()) return gen_threads.error();
+  result.cell.gen_threads = static_cast<int>(gen_threads.value());
+  auto idle = doc.string_member("idle");
+  if (!idle.ok()) return idle.error();
+  result.cell.idle = std::move(idle).take();
+  auto trace = doc.string_member("trace");
+  if (!trace.ok()) return trace.error();
+  result.cell.trace = std::move(trace).take();
+  auto policy = doc.string_member("policy");
+  if (!policy.ok()) return policy.error();
+  result.cell.policy = std::move(policy).take();
+  auto eligible = bool_member(doc, "eligible");
+  if (!eligible.ok()) return eligible.error();
+  result.eligible = eligible.value();
+  auto servers = u64_member(doc, "servers");
+  if (!servers.ok()) return servers.error();
+  result.servers = servers.value();
+  auto digest = doc.string_member("digest");
+  if (!digest.ok()) return digest.error();
+  auto parsed = parse_digest_hex(digest.value());
+  if (!parsed.ok()) return parsed.error();
+  result.fleet_digest = parsed.value();
+
+  result.day.policy = result.cell.policy;
+  if (!result.eligible) return result;
+
+  auto energy = doc.number_member("energy_kwh");
+  if (!energy.ok()) return energy.error();
+  result.day.energy_kwh = energy.value();
+  auto served = doc.number_member("served_gops");
+  if (!served.ok()) return served.error();
+  result.day.served_gops = served.value();
+  auto efficiency = doc.number_member("avg_efficiency");
+  if (!efficiency.ok()) return efficiency.error();
+  result.day.avg_efficiency = efficiency.value();
+  auto idle_energy = doc.number_member("idle_energy_kwh");
+  if (!idle_energy.ok()) return idle_energy.error();
+  result.day.idle_energy_kwh = idle_energy.value();
+  auto wake_energy = doc.number_member("wake_energy_kwh");
+  if (!wake_energy.ok()) return wake_energy.error();
+  result.day.wake_energy_kwh = wake_energy.value();
+  auto wake_lost = doc.number_member("wake_lost_gops");
+  if (!wake_lost.ok()) return wake_lost.error();
+  result.day.wake_lost_gops = wake_lost.value();
+  auto wakes = u64_member(doc, "wake_count");
+  if (!wakes.ok()) return wakes.error();
+  result.day.wake_count = wakes.value();
+  return result;
+}
+
+Result<SweepVerdict> verdict_from_value(const JsonValue& doc) {
+  if (!doc.is_object()) return Error::parse("winners: expected objects");
+  SweepVerdict verdict;
+  auto fleet_size = u64_member(doc, "fleet_size");
+  if (!fleet_size.ok()) return fleet_size.error();
+  verdict.fleet_size = fleet_size.value();
+  auto seed = u64_member(doc, "seed");
+  if (!seed.ok()) return seed.error();
+  verdict.seed = seed.value();
+  auto gen_threads = u64_member(doc, "gen_threads");
+  if (!gen_threads.ok()) return gen_threads.error();
+  verdict.gen_threads = static_cast<int>(gen_threads.value());
+  auto idle = doc.string_member("idle");
+  if (!idle.ok()) return idle.error();
+  verdict.idle = std::move(idle).take();
+  auto trace = doc.string_member("trace");
+  if (!trace.ok()) return trace.error();
+  verdict.trace = std::move(trace).take();
+  auto policy = doc.string_member("policy");
+  if (!policy.ok()) return policy.error();
+  verdict.policy = std::move(policy).take();
+  auto efficiency = doc.number_member("avg_efficiency");
+  if (!efficiency.ok()) return efficiency.error();
+  verdict.avg_efficiency = efficiency.value();
+  return verdict;
+}
+
+const JsonValue* array_member(const JsonValue& doc, std::string_view key) {
+  const JsonValue* member = doc.find(key);
+  if (member == nullptr || !member->is_array()) return nullptr;
+  return member;
+}
+
+}  // namespace
+
+Result<RunResult> result_from_json(std::string_view text) {
+  auto parsed = parse_json(text);
+  if (!parsed.ok()) return parsed.error();
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) return Error::parse("result: expected a JSON object");
+  auto schema = doc.string_member("schema");
+  if (!schema.ok()) return schema.error();
+  if (schema.value() != kResultSchema) {
+    return Error::parse("result: unsupported schema '" + schema.value() +
+                        "' (expected " + std::string(kResultSchema) + ")");
+  }
+
+  RunResult result;
+  const JsonValue* spec_value = doc.find("spec");
+  if (spec_value == nullptr) return Error::parse("result: missing spec echo");
+  auto spec = spec_from_value(*spec_value);
+  if (!spec.ok()) return spec.error();
+  result.spec = std::move(spec).take();
+
+  const JsonValue* fleets = array_member(doc, "fleets");
+  if (fleets == nullptr) return Error::parse("fleets: expected an array");
+  for (const auto& item : fleets->items()) {
+    auto fleet = fleet_from_value(item);
+    if (!fleet.ok()) return fleet.error();
+    result.fleets.push_back(std::move(fleet).take());
+  }
+  const std::size_t want_fleets = result.spec.fleet_sizes.size() *
+                                  result.spec.seeds.size() *
+                                  result.spec.gen_threads.size();
+  if (result.fleets.size() != want_fleets) {
+    return Error::parse("fleets: count does not match the spec axes");
+  }
+
+  const JsonValue* cells = array_member(doc, "cells");
+  if (cells == nullptr) return Error::parse("cells: expected an array");
+  for (const auto& item : cells->items()) {
+    auto cell = cell_from_value(item);
+    if (!cell.ok()) return cell.error();
+    result.cells.push_back(std::move(cell).take());
+  }
+  const std::vector<Cell> expanded = expand_cells(result.spec);
+  if (result.cells.size() != expanded.size()) {
+    return Error::parse("cells: count does not match the spec axes");
+  }
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    if (!(result.cells[i].cell == expanded[i])) {
+      return Error::parse(
+          "cells: coordinates do not match the spec expansion order");
+    }
+  }
+
+  const JsonValue* winners = array_member(doc, "winners");
+  if (winners == nullptr) return Error::parse("winners: expected an array");
+  for (const auto& item : winners->items()) {
+    auto verdict = verdict_from_value(item);
+    if (!verdict.ok()) return verdict.error();
+    result.winners.push_back(std::move(verdict).take());
+  }
+  const std::size_t policies = result.spec.policies.size();
+  if (result.winners.size() * policies != result.cells.size()) {
+    return Error::parse("winners: count does not match the spec axes");
+  }
+  for (std::size_t g = 0; g < result.winners.size(); ++g) {
+    const Cell& first = result.cells[g * policies].cell;
+    const SweepVerdict& verdict = result.winners[g];
+    if (verdict.fleet_size != first.fleet_size ||
+        verdict.seed != first.seed ||
+        verdict.gen_threads != first.gen_threads ||
+        verdict.idle != first.idle || verdict.trace != first.trace) {
+      return Error::parse(
+          "winners: coordinates do not match the cell groups");
+    }
+  }
+  return result;
+}
+
+std::string render_sweep_markdown(const RunResult& result) {
+  const Spec& spec = result.spec;
+  std::size_t eligible = 0;
+  for (const auto& cell : result.cells) {
+    if (cell.eligible) eligible += 1;
+  }
+
+  std::string out;
+  out += "# Experiment sweeps\n\n";
+  out += "Generated by `epserve_exp render` from the committed result\n";
+  out += "document; do not edit by hand (docs/EXPERIMENTS_HARNESS.md).\n";
+  out += "Regenerate with:\n\n";
+  out += "    build/examples/epserve_exp run " + spec.name +
+         " --out experiments/exp_" + spec.name + ".json\n";
+  out += "    build/examples/epserve_exp render experiments/exp_" + spec.name +
+         ".json --out EXPERIMENTS_SWEEPS.md\n\n";
+  out += "## Spec: " + spec.name + "\n\n";
+  if (!spec.description.empty()) out += spec.description + "\n\n";
+  out += "Axes: fleet_sizes=" + std::to_string(spec.fleet_sizes.size()) +
+         " x policies=" + std::to_string(spec.policies.size()) +
+         " x traces=" + std::to_string(spec.traces.size()) +
+         " x idle_models=" + std::to_string(spec.idle_models.size()) +
+         " x seeds=" + std::to_string(spec.seeds.size()) +
+         " x gen_threads=" + std::to_string(spec.gen_threads.size()) +
+         " -> " + std::to_string(result.cells.size()) + " cells (" +
+         std::to_string(eligible) + " eligible).\n\n";
+
+  out += "## Fleets\n\n";
+  out += "| servers | seed | gen threads | digest |\n";
+  out += "|---:|---:|---:|---|\n";
+  for (const auto& fleet : result.fleets) {
+    out += "| " + std::to_string(fleet.fleet_size) + " | " +
+           std::to_string(fleet.seed) + " | " +
+           std::to_string(fleet.gen_threads) + " | `" +
+           digest_hex(fleet.digest) + "` |\n";
+  }
+  out += "\n";
+
+  // Sections follow the expansion order: cells[] is consumed linearly and
+  // winners[] one verdict per trace table.
+  std::size_t cell_index = 0;
+  std::size_t group = 0;
+  for (const auto& fleet : result.fleets) {
+    for (const auto& idle : spec.idle_models) {
+      out += "## " + std::to_string(fleet.fleet_size) + " servers, seed " +
+             std::to_string(fleet.seed) + ", gen threads " +
+             std::to_string(fleet.gen_threads) + ", idle " + idle + "\n\n";
+      for (const auto& trace : spec.traces) {
+        out += "### Trace `" + trace + "`\n\n";
+        out += "| policy | energy kWh | served Gops | ops/J | idle kWh | "
+               "wake kWh | wakes |\n";
+        out += "|---|---:|---:|---:|---:|---:|---:|\n";
+        for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+          const CellResult& cell = result.cells[cell_index];
+          cell_index += 1;
+          if (!cell.eligible) {
+            out += "| " + cell.cell.policy +
+                   " | - | - | - | - | - | - |\n";
+            continue;
+          }
+          out += "| " + cell.cell.policy + " | " +
+                 format_fixed(cell.day.energy_kwh, 2) + " | " +
+                 format_fixed(cell.day.served_gops, 1) + " | " +
+                 format_fixed(cell.day.avg_efficiency, 1) + " | " +
+                 format_fixed(cell.day.idle_energy_kwh, 2) + " | " +
+                 format_fixed(cell.day.wake_energy_kwh, 3) + " | " +
+                 std::to_string(cell.day.wake_count) + " |\n";
+        }
+        const SweepVerdict& verdict = result.winners[group];
+        group += 1;
+        out += "\n";
+        if (verdict.policy.empty()) {
+          out += "Winner: none (no eligible policy).\n\n";
+        } else {
+          out += "Winner: **" + verdict.policy + "** (" +
+                 format_fixed(verdict.avg_efficiency, 1) + " ops/J).\n\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::uint64_t> parse_digest_hex(std::string_view hex) {
+  if (hex.size() != 16) {
+    return Error::parse("digest: expected 16 lowercase hex digits");
+  }
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return Error::parse("digest: expected 16 lowercase hex digits");
+    }
+  }
+  return value;
+}
+
+void write_json_value(JsonWriter& json, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      json.null();
+      break;
+    case JsonValue::Kind::kBool:
+      json.value(value.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      json.value(value.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      json.value(value.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      json.begin_array();
+      for (const auto& item : value.items()) write_json_value(json, item);
+      json.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      json.begin_object();
+      for (const auto& [key, member] : value.members()) {
+        json.key(key);
+        write_json_value(json, member);
+      }
+      json.end_object();
+      break;
+  }
+}
+
+}  // namespace epserve::exp

@@ -1,0 +1,47 @@
+// exp::Report — the renderer side of the experiment subsystem: parses a
+// unified result document (schema "epserve-exp-result-v1") back into a
+// RunResult and renders the committed EXPERIMENTS_SWEEPS.md from it.
+//
+// Rendering is a pure function of the parsed document: parse -> format
+// touches no clocks, no hardware, and no libm-sensitive simulation, so
+// `epserve_exp render` regenerates the committed report byte-for-byte on
+// any machine. Doubles survive the documented %.10g round-trip rule
+// (util/json_writer.h): render_result_json(result_from_json(text)) == text
+// for any writer-produced document, asserted by
+// tests/exp_json_roundtrip_test.cpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "exp/runner.h"
+#include "util/result.h"
+
+namespace epserve {
+class JsonValue;
+class JsonWriter;
+}
+
+namespace epserve::exp {
+
+/// Parses a result-v1 document, re-validating the spec echo and the
+/// cells/winners/fleets counts against the spec's axes. kParse names the
+/// first offending member.
+epserve::Result<RunResult> result_from_json(std::string_view text);
+
+/// Renders the sweep report (the committed EXPERIMENTS_SWEEPS.md body)
+/// from a validated RunResult: one fleet-digest table, then one section
+/// per (fleet, seed, gen_threads, idle) group with a policy table and a
+/// winner line per trace. Requires the RunResult shape result_from_json /
+/// run_experiment produce (cells in expand_cells order).
+std::string render_sweep_markdown(const RunResult& result);
+
+/// Parses the 16-hex-digit fleet-digest encoding (digest_hex's inverse).
+epserve::Result<std::uint64_t> parse_digest_hex(std::string_view hex);
+
+/// Re-emits an arbitrary parsed JSON value through the writer (objects in
+/// parse order, numbers via the %.10g rule). The gate suite embeds
+/// harvested BENCH_JSON metrics with this.
+void write_json_value(JsonWriter& json, const JsonValue& value);
+
+}  // namespace epserve::exp

@@ -1,0 +1,288 @@
+#include "exp/runner.h"
+
+#include <time.h>  // clock_gettime(CLOCK_THREAD_CPUTIME_ID) — POSIX
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "cluster/autoscaler.h"
+#include "cluster/fleet.h"
+#include "cluster/idle_model.h"
+#include "cluster/placement.h"
+#include "cluster/trace.h"
+#include "dataset/generator.h"
+#include "util/json_writer.h"
+#include "util/parallel.h"
+#include "util/telemetry.h"
+
+namespace epserve::exp {
+namespace {
+
+constexpr std::string_view kAutoscalerPolicy = "autoscaler";
+constexpr std::string_view kResultSchema = "epserve-exp-result-v1";
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000u +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Streams the scaled population for one fleet coordinate into a fleet that
+/// owns its columns (the bench_population_scale pipeline shape).
+Result<cluster::Fleet> build_fleet(const FleetSummary& coords,
+                                   std::size_t chunk_rows) {
+  dataset::ScaledConfig config;
+  config.seed = coords.seed;
+  config.servers = coords.fleet_size;
+  config.threads = coords.gen_threads;
+  cluster::Fleet::Builder builder;
+  std::optional<Error> append_error;
+  auto emitted = dataset::generate_population_chunked(
+      config, chunk_rows,
+      [&](std::span<const dataset::ServerRecord> chunk, std::uint64_t) {
+        if (append_error) return;
+        if (auto appended = builder.append(chunk); !appended.ok()) {
+          append_error = appended.error();
+        }
+      });
+  if (!emitted.ok()) return emitted.error();
+  if (append_error) return *append_error;
+  return builder.finish();
+}
+
+/// Maps an autoscaler day onto the DayResult cell shape (the
+/// cluster/matrix.cpp rule: the wake penalty, already inside energy_kwh,
+/// doubles as the wake-energy line item).
+cluster::DayResult autoscaler_day(const cluster::AutoscaleResult& scaled,
+                                  const cluster::AutoscalerConfig& config,
+                                  const std::string& policy) {
+  cluster::DayResult day;
+  day.policy = policy;
+  day.energy_kwh = scaled.energy_kwh;
+  day.served_gops = scaled.served_gops;
+  day.avg_efficiency = scaled.avg_efficiency;
+  double wakes = 0.0;
+  for (const auto& slot : scaled.slots) wakes += slot.wakes;
+  day.wake_count = static_cast<std::uint64_t>(std::llround(wakes));
+  day.wake_energy_kwh = wakes * config.wake_penalty_wh / 1000.0;
+  return day;
+}
+
+Result<CellResult> run_cell(const Cell& cell, const cluster::Fleet& fleet,
+                            const cluster::DemandTrace& trace,
+                            const cluster::IdleModel& idle) {
+  CellResult result;
+  result.cell = cell;
+  result.servers = fleet.size();
+  result.fleet_digest = fleet.digest();
+  if (cell.policy == kAutoscalerPolicy) {
+    if (trace.latency_critical()) {
+      // Powering servers fully off violates the trace's idle-state cap.
+      result.eligible = false;
+      result.day.policy = cell.policy;
+      return result;
+    }
+    const cluster::AutoscalerConfig config;
+    auto scaled = cluster::autoscale_over_day(fleet, trace, config);
+    if (!scaled.ok()) return scaled.error();
+    result.day = autoscaler_day(scaled.value(), config, cell.policy);
+    return result;
+  }
+  auto policy = cluster::make_placement_policy(cell.policy);
+  if (!policy.ok()) return policy.error();
+  auto day = cluster::simulate_day(*policy.value(), fleet, trace, idle);
+  if (!day.ok()) return day.error();
+  result.day = std::move(day).take();
+  return result;
+}
+
+void write_cell(JsonWriter& json, const CellResult& result) {
+  json.begin_object();
+  json.key("fleet_size")
+      .value(static_cast<std::size_t>(result.cell.fleet_size));
+  json.key("seed").value(static_cast<std::size_t>(result.cell.seed));
+  json.key("gen_threads").value(result.cell.gen_threads);
+  json.key("idle").value(result.cell.idle);
+  json.key("trace").value(result.cell.trace);
+  json.key("policy").value(result.cell.policy);
+  json.key("eligible").value(result.eligible);
+  json.key("servers").value(static_cast<std::size_t>(result.servers));
+  json.key("digest").value(digest_hex(result.fleet_digest));
+  if (result.eligible) {
+    json.key("energy_kwh").value(result.day.energy_kwh);
+    json.key("served_gops").value(result.day.served_gops);
+    json.key("avg_efficiency").value(result.day.avg_efficiency);
+    json.key("idle_energy_kwh").value(result.day.idle_energy_kwh);
+    json.key("wake_energy_kwh").value(result.day.wake_energy_kwh);
+    json.key("wake_lost_gops").value(result.day.wake_lost_gops);
+    json.key("wake_count")
+        .value(static_cast<std::size_t>(result.day.wake_count));
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+Result<RunResult> run_experiment(const Spec& spec,
+                                 const RunnerOptions& options) {
+  if (auto valid = validate_spec(spec); !valid.ok()) return valid.error();
+  if (options.chunk_rows == 0) {
+    return Error::invalid_argument("chunk_rows must be positive");
+  }
+
+  RunResult result;
+  result.spec = spec;
+
+  // Axis materialisation up front (serially, cheap) so unknown names fail
+  // before any cell runs — the matrix-layer discipline.
+  std::vector<cluster::DemandTrace> traces;
+  traces.reserve(spec.traces.size());
+  for (const auto& name : spec.traces) {
+    auto trace = cluster::make_trace(name);
+    if (!trace.ok()) return trace.error();
+    traces.push_back(std::move(trace).take());
+  }
+  std::vector<cluster::IdleModel> idles;
+  idles.reserve(spec.idle_models.size());
+  for (const auto& name : spec.idle_models) {
+    auto idle = cluster::IdleModel::by_name(name);
+    if (!idle.ok()) return idle.error();
+    idles.push_back(std::move(idle).take());
+  }
+
+  const telemetry::Span run_span("exp/run", telemetry::Span::Scope::kRoot);
+
+  // One fleet per unique (fleet_size, seed, gen_threads) coordinate — the
+  // outer three expansion axes — built serially through the streamed
+  // pipeline and shared read-only by every cell addressing it.
+  for (const auto fleet_size : spec.fleet_sizes) {
+    for (const auto seed : spec.seeds) {
+      for (const auto threads : spec.gen_threads) {
+        FleetSummary summary;
+        summary.fleet_size = fleet_size;
+        summary.seed = seed;
+        summary.gen_threads = threads;
+        result.fleets.push_back(summary);
+      }
+    }
+  }
+  std::vector<cluster::Fleet> fleets;
+  fleets.reserve(result.fleets.size());
+  for (auto& summary : result.fleets) {
+    const telemetry::Span fleet_span("fleet");
+    auto fleet = build_fleet(summary, options.chunk_rows);
+    if (!fleet.ok()) return fleet.error();
+    summary.digest = fleet.value().digest();
+    fleets.push_back(std::move(fleet).take());
+  }
+  telemetry::count("exp.fleets", fleets.size());
+
+  // The cell sweep: cells share immutable fleets/traces/idles and write
+  // only their own slot, so the sweep is byte-identical at any thread
+  // count. Failures land in per-cell slots; the lowest index wins.
+  const std::vector<Cell> cells = expand_cells(spec);
+  const std::size_t n = cells.size();
+  telemetry::count("exp.cells", n);
+  // Cells expand with the per-fleet block innermost: idle x trace x policy.
+  const std::size_t cells_per_fleet =
+      spec.idle_models.size() * spec.traces.size() * spec.policies.size();
+  result.cells.resize(n);
+  std::vector<std::optional<Error>> errors(n);
+  const auto pool = make_worker_pool(resolve_thread_count(options.threads));
+  parallel_for(pool.get(), n, [&](std::size_t i) {
+    const telemetry::Span cell_span("exp/cell",
+                                    telemetry::Span::Scope::kRoot);
+    const std::uint64_t cpu_start = thread_cpu_ns();
+    const Cell& cell = cells[i];
+    const std::size_t fleet_index = i / cells_per_fleet;
+    const std::size_t in_fleet = i % cells_per_fleet;
+    const std::size_t idle_index =
+        in_fleet / (spec.traces.size() * spec.policies.size());
+    const std::size_t trace_index =
+        (in_fleet / spec.policies.size()) % spec.traces.size();
+    auto computed = run_cell(cell, fleets[fleet_index], traces[trace_index],
+                             idles[idle_index]);
+    if (computed.ok()) {
+      result.cells[i] = std::move(computed).take();
+    } else {
+      errors[i] = computed.error();
+    }
+    telemetry::timer_add("exp.cell.cpu", thread_cpu_ns() - cpu_start);
+  });
+  for (const auto& error : errors) {
+    if (error) return *error;
+  }
+
+  // Verdicts: one winner per (fleet, idle, trace) group over the policy
+  // axis — highest ops/J among eligible cells, ties toward the earlier
+  // policy.
+  const std::size_t groups = n / spec.policies.size();
+  for (std::size_t g = 0; g < groups; ++g) {
+    SweepVerdict verdict;
+    const CellResult& first = result.cells[g * spec.policies.size()];
+    verdict.fleet_size = first.cell.fleet_size;
+    verdict.seed = first.cell.seed;
+    verdict.gen_threads = first.cell.gen_threads;
+    verdict.idle = first.cell.idle;
+    verdict.trace = first.cell.trace;
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const CellResult& cell = result.cells[g * spec.policies.size() + p];
+      if (!cell.eligible) continue;
+      if (verdict.policy.empty() ||
+          cell.day.avg_efficiency > verdict.avg_efficiency) {
+        verdict.policy = cell.cell.policy;
+        verdict.avg_efficiency = cell.day.avg_efficiency;
+      }
+    }
+    result.winners.push_back(std::move(verdict));
+  }
+  return result;
+}
+
+std::string render_result_json(const RunResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value(std::string(kResultSchema));
+  json.key("spec");
+  write_spec(json, result.spec);
+  json.key("fleets").begin_array();
+  for (const auto& fleet : result.fleets) {
+    json.begin_object();
+    json.key("fleet_size").value(static_cast<std::size_t>(fleet.fleet_size));
+    json.key("seed").value(static_cast<std::size_t>(fleet.seed));
+    json.key("gen_threads").value(fleet.gen_threads);
+    json.key("digest").value(digest_hex(fleet.digest));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("cells").begin_array();
+  for (const auto& cell : result.cells) write_cell(json, cell);
+  json.end_array();
+  json.key("winners").begin_array();
+  for (const auto& verdict : result.winners) {
+    json.begin_object();
+    json.key("fleet_size").value(static_cast<std::size_t>(verdict.fleet_size));
+    json.key("seed").value(static_cast<std::size_t>(verdict.seed));
+    json.key("gen_threads").value(verdict.gen_threads);
+    json.key("idle").value(verdict.idle);
+    json.key("trace").value(verdict.trace);
+    json.key("policy").value(verdict.policy);
+    json.key("avg_efficiency").value(verdict.avg_efficiency);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace epserve::exp

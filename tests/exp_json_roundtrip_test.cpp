@@ -1,0 +1,123 @@
+// The result-schema round trip between util/json_writer and
+// util/json_parser: render -> parse -> render is byte-identical (the
+// documented %.10g double rule), digests survive their hex encoding, and
+// result_from_json re-validates the document against its spec echo.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+
+namespace {
+
+using namespace epserve;
+
+exp::RunResult smoke_result() {
+  auto spec = exp::named_spec("smoke");
+  EXPECT_TRUE(spec.ok());
+  auto run = exp::run_experiment(spec.value());
+  EXPECT_TRUE(run.ok()) << run.error().message;
+  return std::move(run).take();
+}
+
+TEST(ExpJsonRoundTrip, RenderParseRenderIsByteIdentical) {
+  const auto result = smoke_result();
+  const std::string first = exp::render_result_json(result);
+  auto parsed = exp::result_from_json(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  // Every double (kWh, Gops, ops/J) survived the %.10g round trip and every
+  // digest its hex encoding: the re-render reproduces the bytes.
+  EXPECT_EQ(exp::render_result_json(parsed.value()), first);
+  // Coordinates and digests are exact; doubles are only print-stable (the
+  // %.10g rule trims low bits, but the trimmed value re-prints identically
+  // — which is what the byte-compare above already proved).
+  EXPECT_EQ(parsed.value().spec, result.spec);
+  ASSERT_EQ(parsed.value().cells.size(), result.cells.size());
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    EXPECT_EQ(parsed.value().cells[i].cell, result.cells[i].cell);
+    EXPECT_EQ(parsed.value().cells[i].fleet_digest,
+              result.cells[i].fleet_digest);
+    EXPECT_EQ(parsed.value().cells[i].eligible, result.cells[i].eligible);
+    EXPECT_EQ(parsed.value().cells[i].day.wake_count,
+              result.cells[i].day.wake_count);
+    EXPECT_NEAR(parsed.value().cells[i].day.energy_kwh,
+                result.cells[i].day.energy_kwh,
+                1e-9 * result.cells[i].day.energy_kwh + 1e-12);
+  }
+}
+
+TEST(ExpJsonRoundTrip, RenderedMarkdownIsAPureFunctionOfTheDocument) {
+  const auto result = smoke_result();
+  const std::string text = exp::render_result_json(result);
+  auto parsed = exp::result_from_json(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(exp::render_sweep_markdown(parsed.value()),
+            exp::render_sweep_markdown(result));
+}
+
+TEST(ExpJsonRoundTrip, DigestHexInvertsExactly) {
+  for (const std::uint64_t digest :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xdeadbeefull},
+        std::uint64_t{0xffffffffffffffffull},
+        std::uint64_t{0x0123456789abcdefull}}) {
+    auto parsed = exp::parse_digest_hex(exp::digest_hex(digest));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), digest);
+  }
+  EXPECT_FALSE(exp::parse_digest_hex("").ok());
+  EXPECT_FALSE(exp::parse_digest_hex("0123").ok());
+  EXPECT_FALSE(exp::parse_digest_hex("0123456789ABCDEF").ok());  // uppercase
+  EXPECT_FALSE(exp::parse_digest_hex("0123456789abcdeg").ok());
+  EXPECT_FALSE(exp::parse_digest_hex("0123456789abcdef0").ok());  // 17 digits
+}
+
+TEST(ExpJsonRoundTrip, WriteJsonValueIsPrintStable) {
+  // Nested objects/arrays, doubles, bools, nulls, escaped strings: one
+  // parse -> write pass is enough to reach the writer's fixed point.
+  const std::string_view input =
+      "{\"a\": [1, 2.5, {\"b\": \"x\\ny\", \"c\": null}], "
+      "\"d\": true, \"e\": 0.1234567891, \"f\": -12}";
+  auto parsed = parse_json(input);
+  ASSERT_TRUE(parsed.ok());
+  JsonWriter first;
+  exp::write_json_value(first, parsed.value());
+  auto reparsed = parse_json(first.str());
+  ASSERT_TRUE(reparsed.ok());
+  JsonWriter second;
+  exp::write_json_value(second, reparsed.value());
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(ExpJsonRoundTrip, ResultParsingRevalidatesAgainstTheSpecEcho) {
+  EXPECT_FALSE(exp::result_from_json("not json").ok());
+  EXPECT_FALSE(
+      exp::result_from_json("{\"schema\": \"wrong-schema\"}").ok());
+
+  // A document whose winners do not cover the cell groups is rejected.
+  auto truncated = smoke_result();
+  truncated.winners.clear();
+  auto no_winners =
+      exp::result_from_json(exp::render_result_json(truncated));
+  ASSERT_FALSE(no_winners.ok());
+  EXPECT_NE(no_winners.error().message.find("winners"), std::string::npos);
+
+  // A document whose cells disagree with the spec expansion is rejected.
+  auto reordered = smoke_result();
+  std::swap(reordered.cells[0], reordered.cells[1]);
+  auto bad_order =
+      exp::result_from_json(exp::render_result_json(reordered));
+  ASSERT_FALSE(bad_order.ok());
+  EXPECT_NE(bad_order.error().message.find("cells"), std::string::npos);
+
+  // A document with a fleet list that does not match the axes is rejected.
+  auto no_fleets = smoke_result();
+  no_fleets.fleets.clear();
+  EXPECT_FALSE(
+      exp::result_from_json(exp::render_result_json(no_fleets)).ok());
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// exp::Runner: the thread-count byte-identity contract, fleet sharing and
+// digest stamping, autoscaler eligibility, the verdict rule, and the exact
+// telemetry shape of a run.
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/spec.h"
+#include "util/telemetry.h"
+
+namespace {
+
+using namespace epserve;
+
+/// Small but fully featured: two gen-thread counts (digest invariance),
+/// both idle models, a latency-critical trace (autoscaler ineligibility),
+/// 16 cells total on 48-server fleets.
+exp::Spec runner_spec() {
+  exp::Spec spec;
+  spec.name = "runner-unit";
+  spec.fleet_sizes = {48};
+  spec.policies = {"pack-to-full", "autoscaler"};
+  spec.traces = {"diurnal", "scale_out"};
+  spec.idle_models = {"none", "acpi"};
+  spec.seeds = {7};
+  spec.gen_threads = {1, 2};
+  return spec;
+}
+
+TEST(ExpRunner, ResultIsByteIdenticalAcrossThreadCounts) {
+  const auto spec = runner_spec();
+  exp::RunnerOptions serial;
+  serial.threads = 1;
+  exp::RunnerOptions parallel;
+  parallel.threads = 8;
+  auto one = exp::run_experiment(spec, serial);
+  auto eight = exp::run_experiment(spec, parallel);
+  ASSERT_TRUE(one.ok()) << one.error().message;
+  ASSERT_TRUE(eight.ok()) << eight.error().message;
+  EXPECT_EQ(exp::render_result_json(one.value()),
+            exp::render_result_json(eight.value()));
+}
+
+TEST(ExpRunner, FleetsAreSharedAndDigestStamped) {
+  auto run = exp::run_experiment(runner_spec());
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  const auto& result = run.value();
+  // One fleet per (fleet_size, seed, gen_threads) coordinate.
+  ASSERT_EQ(result.fleets.size(), 2u);
+  EXPECT_EQ(result.fleets[0].gen_threads, 1);
+  EXPECT_EQ(result.fleets[1].gen_threads, 2);
+  // Generation is byte-identical at any thread count, so the digests match.
+  EXPECT_EQ(result.fleets[0].digest, result.fleets[1].digest);
+  EXPECT_NE(result.fleets[0].digest, 0u);
+  // Every cell carries the digest of the fleet it measured.
+  ASSERT_EQ(result.cells.size(), 16u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.servers, 48u);
+    EXPECT_EQ(cell.fleet_digest, result.fleets[0].digest);
+  }
+}
+
+TEST(ExpRunner, AutoscalerIsIneligibleOnLatencyCriticalTraces) {
+  auto run = exp::run_experiment(runner_spec());
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  for (const auto& cell : run.value().cells) {
+    const bool latency_critical = cell.cell.trace == "scale_out";
+    const bool autoscaler = cell.cell.policy == "autoscaler";
+    EXPECT_EQ(cell.eligible, !(latency_critical && autoscaler))
+        << cell.cell.trace << " / " << cell.cell.policy;
+    if (!cell.eligible) {
+      EXPECT_EQ(cell.day.energy_kwh, 0.0);
+      EXPECT_EQ(cell.day.policy, cell.cell.policy);
+    }
+  }
+}
+
+TEST(ExpRunner, WinnersCoverEveryGroupAndSkipIneligibleCells) {
+  const auto spec = runner_spec();
+  auto run = exp::run_experiment(spec);
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  const auto& result = run.value();
+  ASSERT_EQ(result.winners.size(),
+            result.cells.size() / spec.policies.size());
+  for (std::size_t g = 0; g < result.winners.size(); ++g) {
+    const auto& verdict = result.winners[g];
+    const auto& first = result.cells[g * spec.policies.size()].cell;
+    EXPECT_EQ(verdict.trace, first.trace);
+    EXPECT_EQ(verdict.idle, first.idle);
+    // Every group here has at least one eligible policy.
+    EXPECT_FALSE(verdict.policy.empty());
+    // The winner's efficiency is the max over the group's eligible cells.
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const auto& cell = result.cells[g * spec.policies.size() + p];
+      if (cell.eligible) {
+        EXPECT_GE(verdict.avg_efficiency, cell.day.avg_efficiency);
+      }
+    }
+  }
+}
+
+TEST(ExpRunner, TelemetryShapeIsExact) {
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  auto run = exp::run_experiment(runner_spec());
+  telemetry::set_enabled(false);
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  const auto snap = telemetry::snapshot();
+  const auto* cells = snap.find_counter("exp.cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->value, 16u);
+  const auto* fleets = snap.find_counter("exp.fleets");
+  ASSERT_NE(fleets, nullptr);
+  EXPECT_EQ(fleets->value, 2u);
+  const auto* run_span = snap.find_span("exp/run");
+  ASSERT_NE(run_span, nullptr);
+  EXPECT_EQ(run_span->count, 1u);
+  // Cell spans are kRoot: the path is "exp/cell" whether a cell ran on the
+  // caller or on a pool worker.
+  const auto* cell_span = snap.find_span("exp/cell");
+  ASSERT_NE(cell_span, nullptr);
+  EXPECT_EQ(cell_span->count, 16u);
+  // Fleet builds are nested inside the run span.
+  const auto* fleet_span = snap.find_span("exp/run/fleet");
+  ASSERT_NE(fleet_span, nullptr);
+  EXPECT_EQ(fleet_span->count, 2u);
+  const auto* cpu = snap.find_timer("exp.cell.cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->count, 16u);
+  telemetry::reset();
+}
+
+TEST(ExpRunner, InvalidInputFailsBeforeAnyCellRuns) {
+  auto spec = runner_spec();
+  spec.traces = {"bogus"};
+  EXPECT_FALSE(exp::run_experiment(spec).ok());
+
+  exp::RunnerOptions options;
+  options.chunk_rows = 0;
+  EXPECT_FALSE(exp::run_experiment(runner_spec(), options).ok());
+}
+
+TEST(ExpRunner, DigestHexIsSixteenLowercaseDigits) {
+  EXPECT_EQ(exp::digest_hex(0), "0000000000000000");
+  EXPECT_EQ(exp::digest_hex(0xdeadbeef01234567ull), "deadbeef01234567");
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// exp::Spec: axis validation, the expansion-order contract, the built-in
+// registry, and the spec JSON round trip.
+#include "exp/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json_parser.h"
+
+namespace {
+
+using namespace epserve;
+
+exp::Spec small_spec() {
+  exp::Spec spec;
+  spec.name = "unit";
+  spec.description = "unit-test spec";
+  spec.fleet_sizes = {16, 32};
+  spec.policies = {"pack-to-full", "balanced"};
+  spec.traces = {"diurnal"};
+  spec.idle_models = {"none", "acpi"};
+  spec.seeds = {1};
+  spec.gen_threads = {1};
+  return spec;
+}
+
+TEST(ExpSpec, RegistryListsTheCommittedSpecs) {
+  const auto names = exp::spec_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "smoke");
+  EXPECT_EQ(names[1], "default");
+  EXPECT_EQ(names[2], "scale");
+  for (const auto name : names) {
+    auto spec = exp::named_spec(name);
+    ASSERT_TRUE(spec.ok()) << std::string(name);
+    EXPECT_TRUE(exp::validate_spec(spec.value()).ok());
+  }
+}
+
+TEST(ExpSpec, SmokeSpecIsTwoCells) {
+  auto spec = exp::named_spec("smoke");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(exp::cell_count(spec.value()), 2u);
+}
+
+TEST(ExpSpec, DefaultSpecMatchesTheAcceptanceShape) {
+  // The ISSUE floor for the committed artifact: >= 2 fleet sizes x 3
+  // policies x >= 2 traces x >= 2 seeds.
+  auto spec = exp::named_spec("default");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_GE(spec.value().fleet_sizes.size(), 2u);
+  EXPECT_GE(spec.value().policies.size(), 3u);
+  EXPECT_GE(spec.value().traces.size(), 2u);
+  EXPECT_GE(spec.value().seeds.size(), 2u);
+}
+
+TEST(ExpSpec, UnknownNameListsTheRegistry) {
+  auto spec = exp::named_spec("bogus");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().message.find("bogus"), std::string::npos);
+  EXPECT_NE(spec.error().message.find("smoke"), std::string::npos);
+  EXPECT_NE(spec.error().message.find("default"), std::string::npos);
+  EXPECT_NE(spec.error().message.find("scale"), std::string::npos);
+}
+
+TEST(ExpSpec, ExpansionOrderIsOutermostToInnermost) {
+  const auto cells = exp::expand_cells(small_spec());
+  ASSERT_EQ(cells.size(), 8u);
+  // fleet_size, then idle, then policy (seed/threads/trace are singletons).
+  EXPECT_EQ(cells[0].fleet_size, 16u);
+  EXPECT_EQ(cells[0].idle, "none");
+  EXPECT_EQ(cells[0].policy, "pack-to-full");
+  EXPECT_EQ(cells[1].policy, "balanced");
+  EXPECT_EQ(cells[2].idle, "acpi");
+  EXPECT_EQ(cells[3].idle, "acpi");
+  EXPECT_EQ(cells[3].policy, "balanced");
+  EXPECT_EQ(cells[4].fleet_size, 32u);
+  EXPECT_EQ(cells[7].fleet_size, 32u);
+  EXPECT_EQ(cells[7].idle, "acpi");
+  EXPECT_EQ(cells[7].policy, "balanced");
+}
+
+TEST(ExpSpec, ValidationNamesTheOffendingAxis) {
+  auto spec = small_spec();
+  spec.policies = {"pack-to-full", "no-such-policy"};
+  auto bad_policy = exp::validate_spec(spec);
+  ASSERT_FALSE(bad_policy.ok());
+  EXPECT_NE(bad_policy.error().message.find("no-such-policy"),
+            std::string::npos);
+
+  spec = small_spec();
+  spec.traces = {"no-such-trace"};
+  auto bad_trace = exp::validate_spec(spec);
+  ASSERT_FALSE(bad_trace.ok());
+  EXPECT_NE(bad_trace.error().message.find("no-such-trace"),
+            std::string::npos);
+
+  spec = small_spec();
+  spec.idle_models = {"deep-sleep"};
+  EXPECT_FALSE(exp::validate_spec(spec).ok());
+
+  spec = small_spec();
+  spec.seeds.clear();
+  auto empty_axis = exp::validate_spec(spec);
+  ASSERT_FALSE(empty_axis.ok());
+  EXPECT_NE(empty_axis.error().message.find("non-empty"), std::string::npos);
+
+  spec = small_spec();
+  spec.fleet_sizes = {0};
+  EXPECT_FALSE(exp::validate_spec(spec).ok());
+}
+
+TEST(ExpSpec, AutoscalerIsAKnownPolicy) {
+  auto spec = small_spec();
+  spec.policies = {"autoscaler"};
+  EXPECT_TRUE(exp::validate_spec(spec).ok());
+}
+
+TEST(ExpSpec, JsonRoundTripReproducesTheSpec) {
+  const auto spec = small_spec();
+  const std::string text = exp::spec_to_json(spec);
+  auto parsed = exp::spec_from_json(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), spec);
+  // Print -> parse -> print is byte-stable (the spec document contract).
+  EXPECT_EQ(exp::spec_to_json(parsed.value()), text);
+}
+
+TEST(ExpSpec, JsonParsingIsStrict) {
+  EXPECT_FALSE(exp::spec_from_json("not json").ok());
+  EXPECT_FALSE(exp::spec_from_json("{\"schema\":\"wrong-schema\"}").ok());
+  // Fractional axis entries are rejected, never truncated.
+  auto fractional = exp::spec_from_json(
+      "{\"schema\":\"epserve-exp-spec-v1\",\"name\":\"x\","
+      "\"fleet_sizes\":[16.5],\"policies\":[\"balanced\"],"
+      "\"traces\":[\"diurnal\"],\"idle_models\":[\"none\"],"
+      "\"seeds\":[1],\"gen_threads\":[1]}");
+  ASSERT_FALSE(fractional.ok());
+  EXPECT_NE(fractional.error().message.find("fleet_sizes"),
+            std::string::npos);
+  // Unknown axis names inside an otherwise valid document fail validation.
+  auto unknown = exp::spec_from_json(
+      "{\"schema\":\"epserve-exp-spec-v1\",\"name\":\"x\","
+      "\"fleet_sizes\":[16],\"policies\":[\"balanced\"],"
+      "\"traces\":[\"bogus\"],\"idle_models\":[\"none\"],"
+      "\"seeds\":[1],\"gen_threads\":[1]}");
+  EXPECT_FALSE(unknown.ok());
+}
+
+}  // namespace
